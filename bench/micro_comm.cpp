@@ -1,0 +1,121 @@
+// Microbenchmarks of the minimpi message layer: point-to-point throughput,
+// collective costs, and the per-epoch genome allgather at paper payload
+// sizes — the real (wall-clock) costs of the in-process transport.
+#include <benchmark/benchmark.h>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace {
+
+using namespace cellgan::minimpi;
+
+void BM_PingPong(benchmark::State& state) {
+  const auto bytes = static_cast<std::size_t>(state.range(0));
+  Runtime runtime(2);
+  // Drive the benchmark loop from rank 0; rank 1 echoes until poisoned.
+  std::vector<std::uint8_t> payload(bytes, 7);
+  runtime.run([&](Comm& world) {
+    if (world.rank() == 0) {
+      for (auto _ : state) {
+        world.send(1, 1, payload);
+        benchmark::DoNotOptimize(world.recv(1, 2));
+      }
+      world.send(1, 99, {});  // stop
+    } else {
+      for (;;) {
+        Message m = world.recv(0, kAnyTag);
+        if (m.tag == 99) break;
+        world.send(0, 2, m.payload);
+      }
+    }
+  });
+  state.SetBytesProcessed(state.iterations() * 2 * bytes);
+}
+BENCHMARK(BM_PingPong)->Arg(64)->Arg(4096)->Arg(1 << 20);
+
+void BM_Barrier(benchmark::State& state) {
+  // Rank 0 drives the benchmark loop; after each barrier it broadcasts a
+  // continue/stop flag so the other ranks mirror the unknown iteration count.
+  const int n = static_cast<int>(state.range(0));
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    if (world.rank() == 0) {
+      for (auto _ : state) {
+        world.barrier();
+        std::vector<std::uint8_t> go{1};
+        world.bcast(go, 0);
+      }
+      std::vector<std::uint8_t> stop{0};
+      world.barrier();
+      world.bcast(stop, 0);
+    } else {
+      for (;;) {
+        world.barrier();
+        std::vector<std::uint8_t> go;
+        world.bcast(go, 0);
+        if (go[0] == 0) break;
+      }
+    }
+  });
+}
+BENCHMARK(BM_Barrier)->Arg(2)->Arg(5)->Arg(17);
+
+void BM_GenomeAllgather(benchmark::State& state) {
+  // The per-epoch exchange: every active slave allgathers its serialized
+  // center genome. Payload 2.2 MB = the paper's full MLP pair. Rank 0
+  // broadcasts a continue/stop flag BEFORE each collective so every rank
+  // joins exactly the collectives that will complete.
+  const int n = static_cast<int>(state.range(0));
+  const std::size_t bytes = 2'205'716;
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    std::vector<std::uint8_t> genome(bytes,
+                                     static_cast<std::uint8_t>(world.rank()));
+    if (world.rank() == 0) {
+      for (auto _ : state) {
+        std::vector<std::uint8_t> go{1};
+        world.bcast(go, 0);
+        benchmark::DoNotOptimize(world.allgather(genome));
+      }
+      std::vector<std::uint8_t> stop{0};
+      world.bcast(stop, 0);
+    } else {
+      for (;;) {
+        std::vector<std::uint8_t> go;
+        world.bcast(go, 0);
+        if (go[0] == 0) break;
+        benchmark::DoNotOptimize(world.allgather(genome));
+      }
+    }
+  });
+  state.SetBytesProcessed(state.iterations() * bytes * (n - 1));
+}
+BENCHMARK(BM_GenomeAllgather)->Arg(2)->Arg(4);
+
+void BM_CommSplit(benchmark::State& state) {
+  Runtime runtime(4);
+  runtime.run([&](Comm& world) {
+    if (world.rank() == 0) {
+      for (auto _ : state) {
+        std::vector<std::uint8_t> go{1};
+        world.bcast(go, 0);
+        benchmark::DoNotOptimize(world.split(0, world.rank()));
+      }
+      std::vector<std::uint8_t> stop{0};
+      world.bcast(stop, 0);
+    } else {
+      for (;;) {
+        std::vector<std::uint8_t> go;
+        world.bcast(go, 0);
+        if (go[0] == 0) break;
+        benchmark::DoNotOptimize(world.split(0, world.rank()));
+      }
+    }
+  });
+}
+BENCHMARK(BM_CommSplit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,125 @@
+// Microbenchmarks of the tensor/NN kernels on the paper's layer shapes —
+// the per-iteration compute the virtual-time model charges for.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/gan_trainer.hpp"
+#include "core/genome.hpp"
+#include "nn/gan_models.hpp"
+#include "nn/optimizer.hpp"
+#include "tensor/ops.hpp"
+
+namespace {
+
+using namespace cellgan;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto n = static_cast<std::size_t>(state.range(2));
+  common::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn(m, k, rng);
+  const tensor::Tensor b = tensor::Tensor::randn(k, n, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+}
+// The paper's generator layers at batch 100: 100x64 * 64x256, 100x256 *
+// 256x256, 100x256 * 256x784; discriminator first layer 100x784 * 784x256.
+BENCHMARK(BM_Gemm)->Args({100, 64, 256})->Args({100, 256, 256})
+    ->Args({100, 256, 784})->Args({100, 784, 256});
+
+void BM_GemmThreaded(benchmark::State& state) {
+  common::set_global_pool_threads(static_cast<std::size_t>(state.range(0)));
+  common::Rng rng(1);
+  const tensor::Tensor a = tensor::Tensor::randn(256, 256, rng);
+  const tensor::Tensor b = tensor::Tensor::randn(256, 256, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::matmul(a, b));
+  }
+  common::set_global_pool_threads(1);
+  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2);
+
+void BM_TanhForward(benchmark::State& state) {
+  common::Rng rng(2);
+  const tensor::Tensor x = tensor::Tensor::randn(100, 784, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::tanh_forward(x));
+  }
+  state.SetItemsProcessed(state.iterations() * x.size());
+}
+BENCHMARK(BM_TanhForward);
+
+void BM_BceWithLogits(benchmark::State& state) {
+  common::Rng rng(3);
+  const tensor::Tensor logits = tensor::Tensor::randn(100, 1, rng);
+  const tensor::Tensor target = tensor::Tensor::full(100, 1, 1.0f);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::bce_with_logits(logits, target));
+  }
+}
+BENCHMARK(BM_BceWithLogits);
+
+void BM_GeneratorForward(benchmark::State& state) {
+  common::Rng rng(4);
+  const nn::GanArch arch = nn::GanArch::paper();
+  nn::Sequential g = nn::make_generator(arch, rng);
+  const tensor::Tensor z = tensor::Tensor::randn(100, arch.latent_dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.forward(z));
+  }
+}
+BENCHMARK(BM_GeneratorForward);
+
+void BM_DiscriminatorStep(benchmark::State& state) {
+  // One full adversarial discriminator update at paper scale: the dominant
+  // per-batch cost in the train routine.
+  common::Rng rng(5);
+  const nn::GanArch arch = nn::GanArch::paper();
+  nn::Sequential g = nn::make_generator(arch, rng);
+  nn::Sequential d = nn::make_discriminator(arch, rng);
+  nn::Adam opt(2e-4);
+  const tensor::Tensor real = tensor::Tensor::randn(100, arch.image_dim, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::train_discriminator_step(d, opt, g, real, arch.latent_dim, rng));
+  }
+}
+BENCHMARK(BM_DiscriminatorStep);
+
+void BM_GenomeSerialize(benchmark::State& state) {
+  common::Rng rng(6);
+  const nn::GanArch arch = nn::GanArch::paper();
+  nn::Sequential g = nn::make_generator(arch, rng);
+  nn::Sequential d = nn::make_discriminator(arch, rng);
+  core::CellGenome genome = core::CellGenome::capture(g, d);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(genome.serialize());
+  }
+  state.SetBytesProcessed(state.iterations() * genome.byte_size());
+}
+BENCHMARK(BM_GenomeSerialize);
+
+void BM_AdamStep(benchmark::State& state) {
+  common::Rng rng(7);
+  const nn::GanArch arch = nn::GanArch::paper();
+  nn::Sequential g = nn::make_generator(arch, rng);
+  nn::Adam opt(2e-4);
+  // Populate gradients once.
+  const tensor::Tensor z = tensor::Tensor::randn(10, arch.latent_dim, rng);
+  (void)g.forward(z);
+  (void)g.backward(tensor::Tensor::full(10, arch.image_dim, 1.0f));
+  for (auto _ : state) {
+    opt.step(g);
+  }
+  state.SetItemsProcessed(state.iterations() * g.parameter_count());
+}
+BENCHMARK(BM_AdamStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

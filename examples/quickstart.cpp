@@ -1,0 +1,81 @@
+// Quickstart: train a 2x2 cellular GAN grid on the synthetic MNIST stand-in
+// with both execution modes, then print the per-cell losses and an ASCII
+// sample from the best cell's mixture.
+//
+//   ./quickstart [--iterations N] [--grid 2] [--samples 4]
+//
+// Runs in well under a minute on a laptop: the example uses the tiny network
+// architecture; switch to --paper-arch to train the paper's full MLPs.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/log.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/sequential_trainer.hpp"
+#include "core/workload.hpp"
+#include "data/pgm.hpp"
+#include "tensor/ops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellgan;
+
+  common::CliParser cli("quickstart: minimal cellular GAN training run");
+  cli.add_flag("iterations", "8", "training epochs");
+  cli.add_flag("grid", "2", "grid side (grid x grid cells)");
+  cli.add_flag("samples", "600", "synthetic training samples");
+  cli.add_flag("paper-arch", "false", "use the paper's full-size MLPs");
+  cli.add_flag("distributed", "true", "also run the master/slave version");
+  if (!cli.parse(argc, argv)) return 1;
+
+  core::TrainingConfig config = core::TrainingConfig::tiny();
+  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
+  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(cli.get_int("grid"));
+  if (cli.get_bool("paper-arch")) {
+    config.arch = nn::GanArch::paper();
+    config.batch_size = 100;
+  }
+
+  const auto dataset = core::make_matched_dataset(
+      config, static_cast<std::size_t>(cli.get_int("samples")), /*seed=*/7);
+  std::printf("dataset: %zu samples, %zu pixels each\n", dataset.size(),
+              static_cast<std::size_t>(dataset.images.cols()));
+
+  // --- single-core cellular training (the paper's baseline) ----------------
+  core::SequentialTrainer trainer(config, dataset);
+  const core::TrainOutcome outcome = trainer.run();
+  std::printf("\nsingle-core run: %.2fs wall\n", outcome.wall_s);
+  for (int cell = 0; cell < trainer.cells(); ++cell) {
+    const auto coord = trainer.grid().coords_of(cell);
+    std::printf("  cell (%d,%d): G loss %.4f | D loss %.4f | G lr %.6f\n",
+                coord.row, coord.col, outcome.g_fitnesses[cell],
+                outcome.d_fitnesses[cell], trainer.cell(cell).g_learning_rate());
+  }
+  std::printf("best cell: %d\n", outcome.best_cell);
+
+  // --- the same training, distributed over master + one slave per cell -----
+  if (cli.get_bool("distributed")) {
+    const core::DistributedOutcome dist = core::run_distributed(config, dataset);
+    std::printf("\ndistributed run: %.2fs wall, %d slaves + master\n", dist.wall_s,
+                static_cast<int>(dist.master.results.size()));
+    std::printf("  best cell %d (G loss %.4f), heartbeat cycles %llu\n",
+                dist.master.best_cell,
+                dist.master.results[dist.master.best_cell].center.g_fitness,
+                static_cast<unsigned long long>(dist.master.heartbeat_cycles));
+  }
+
+  // --- sample from the best cell's neighborhood mixture ---------------------
+  auto& best = trainer.cell(outcome.best_cell);
+  const tensor::Tensor samples = best.sample_from_mixture(4);
+  if (config.arch.image_dim == data::kImageDim) {
+    std::printf("\nmixture sample from best cell (28x28 ASCII):\n%s\n",
+                data::ascii_art(samples.row_span(0)).c_str());
+    if (data::write_pgm_grid("quickstart_samples.pgm", samples.data(), 4, 2)) {
+      std::printf("wrote quickstart_samples.pgm\n");
+    }
+  } else {
+    std::printf("\nmixture sample mean intensity: %.3f (use --paper-arch for "
+                "viewable 28x28 output)\n",
+                tensor::mean(samples));
+  }
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "common/cli.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/expect.hpp"
+
+namespace cellgan::common {
+
+CliParser::CliParser(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliParser::add_flag(const std::string& name, const std::string& default_value,
+                         const std::string& help) {
+  CG_EXPECT(!flags_.contains(name));
+  flags_[name] = Flag{default_value, default_value, help};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected positional argument: %s\n", arg.c_str());
+      print_usage();
+      return false;
+    }
+    std::string name, value;
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(2, eq - 2);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg.substr(2);
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        print_usage();
+        return false;
+      }
+      value = argv[++i];
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
+      print_usage();
+      return false;
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+std::string CliParser::get(const std::string& name) const {
+  auto it = flags_.find(name);
+  CG_EXPECT(it != flags_.end());
+  return it->second.value;
+}
+
+std::int64_t CliParser::get_int(const std::string& name) const {
+  return std::strtoll(get(name).c_str(), nullptr, 10);
+}
+
+double CliParser::get_double(const std::string& name) const {
+  return std::strtod(get(name).c_str(), nullptr);
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string v = get(name);
+  return v == "1" || v == "true" || v == "yes" || v == "on";
+}
+
+void CliParser::print_usage() const {
+  std::fprintf(stderr, "%s\n\nflags:\n", description_.c_str());
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    std::fprintf(stderr, "  --%-24s %s (default: %s)\n", name.c_str(), f.help.c_str(),
+                 f.default_value.empty() ? "\"\"" : f.default_value.c_str());
+  }
+}
+
+}  // namespace cellgan::common

@@ -1,0 +1,46 @@
+// Tiny command-line flag parser for the examples and benchmark harnesses.
+//
+// Supports `--name value` and `--name=value`; every flag is registered with a
+// default and a help string, and `--help` prints the generated usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cellgan::common {
+
+class CliParser {
+ public:
+  explicit CliParser(std::string program_description);
+
+  /// Register flags before parse(). Returned value is the parsed result
+  /// after parse() has run; before that it holds the default.
+  void add_flag(const std::string& name, const std::string& default_value,
+                const std::string& help);
+
+  /// Parse argv. Returns false (after printing usage) on --help or on an
+  /// unknown/malformed flag.
+  bool parse(int argc, const char* const* argv);
+
+  std::string get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  void print_usage() const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;  // registration order for usage text
+};
+
+}  // namespace cellgan::common

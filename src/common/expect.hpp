@@ -1,0 +1,30 @@
+// Lightweight contract checks (C++ Core Guidelines I.6/I.8 style).
+//
+// CG_EXPECT / CG_ENSURE abort with a readable message on violation. They are
+// kept enabled in all build types: the cost is negligible next to GEMM work
+// and silent contract violations in a message-passing runtime are far more
+// expensive to debug than the check is to run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace cellgan {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line) {
+  std::fprintf(stderr, "[cellgan] %s violated: (%s) at %s:%d\n", kind, expr, file, line);
+  std::abort();
+}
+
+}  // namespace cellgan
+
+#define CG_EXPECT(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) ::cellgan::contract_failure("precondition", #cond, __FILE__, __LINE__); \
+  } while (0)
+
+#define CG_ENSURE(cond)                                                      \
+  do {                                                                       \
+    if (!(cond)) ::cellgan::contract_failure("postcondition", #cond, __FILE__, __LINE__); \
+  } while (0)

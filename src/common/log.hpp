@@ -1,0 +1,50 @@
+// Minimal thread-safe leveled logger.
+//
+// The distributed runtime runs many rank-threads concurrently; lines are
+// emitted atomically with a rank/thread label so interleaved output stays
+// readable. Verbosity is process-global and defaults to Info.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace cellgan::common {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Process-global verbosity threshold.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Label attached to every line logged from the calling thread (e.g. "rank 3").
+void set_thread_log_label(std::string label);
+
+/// Emit one line (appends '\n'); no-op when below the global threshold.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+ public:
+  explicit LineLogger(LogLevel level) : level_(level) {}
+  ~LineLogger() { log_line(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineLogger log_debug() { return detail::LineLogger(LogLevel::Debug); }
+inline detail::LineLogger log_info() { return detail::LineLogger(LogLevel::Info); }
+inline detail::LineLogger log_warn() { return detail::LineLogger(LogLevel::Warn); }
+inline detail::LineLogger log_error() { return detail::LineLogger(LogLevel::Error); }
+
+}  // namespace cellgan::common

@@ -1,0 +1,87 @@
+#include "common/profiler.hpp"
+
+#include "common/expect.hpp"
+
+namespace cellgan::common {
+
+Profiler::Profiler(const Profiler& other) {
+  std::lock_guard<std::mutex> lock(other.mutex_);
+  buckets_ = other.buckets_;
+}
+
+Profiler& Profiler::operator=(const Profiler& other) {
+  if (this != &other) {
+    std::map<std::string, RoutineCost> copy;
+    {
+      std::lock_guard<std::mutex> lock(other.mutex_);
+      copy = other.buckets_;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    buckets_ = std::move(copy);
+  }
+  return *this;
+}
+
+void Profiler::add(const std::string& name, double wall_s, double virtual_s) {
+  CG_EXPECT(wall_s >= 0.0 && virtual_s >= 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  RoutineCost& bucket = buckets_[name];
+  bucket.wall_s += wall_s;
+  bucket.virtual_s += virtual_s;
+  bucket.calls += 1;
+}
+
+RoutineCost Profiler::cost(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = buckets_.find(name);
+  return it == buckets_.end() ? RoutineCost{} : it->second;
+}
+
+bool Profiler::has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return buckets_.contains(name);
+}
+
+double Profiler::total_wall_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& [name, cost] : buckets_) total += cost.wall_s;
+  return total;
+}
+
+double Profiler::total_virtual_s() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  double total = 0.0;
+  for (const auto& [name, cost] : buckets_) total += cost.virtual_s;
+  return total;
+}
+
+void Profiler::merge(const Profiler& other) {
+  std::map<std::string, RoutineCost> copy;
+  {
+    std::lock_guard<std::mutex> lock(other.mutex_);
+    copy = other.buckets_;
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, cost] : copy) {
+    RoutineCost& bucket = buckets_[name];
+    bucket.wall_s += cost.wall_s;
+    bucket.virtual_s += cost.virtual_s;
+    bucket.calls += cost.calls;
+  }
+}
+
+std::vector<std::string> Profiler::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(buckets_.size());
+  for (const auto& [name, cost] : buckets_) out.push_back(name);
+  return out;
+}
+
+void Profiler::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+}
+
+}  // namespace cellgan::common

@@ -1,0 +1,84 @@
+// Per-routine time accounting — the instrument behind Table IV / Fig. 4.
+//
+// The paper profiles the four hottest routines of cellular GAN training
+// (gather, train, update-genomes, mutate) in both the single-core and the
+// distributed versions. Profiler accumulates named buckets of wall time
+// and/or virtual time; each rank owns one Profiler so no locking is needed
+// on the hot path, and reports can be merged afterwards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+
+namespace cellgan::common {
+
+/// Accumulated cost of one named routine.
+struct RoutineCost {
+  double wall_s = 0.0;     ///< real measured seconds
+  double virtual_s = 0.0;  ///< simulated seconds (NetModel)
+  std::uint64_t calls = 0;
+};
+
+/// Names used across the code base so reports line up with the paper's rows.
+namespace routine {
+inline constexpr const char* kGather = "gather";
+inline constexpr const char* kTrain = "train";
+inline constexpr const char* kUpdateGenomes = "update_genomes";
+inline constexpr const char* kMutate = "mutate";
+inline constexpr const char* kSelection = "selection";
+inline constexpr const char* kEvaluation = "evaluation";
+inline constexpr const char* kManagement = "management";
+}  // namespace routine
+
+/// Thread-safe accumulator (a slave's comm thread and training thread share
+/// one per-rank profiler).
+class Profiler {
+ public:
+  Profiler() = default;
+  Profiler(const Profiler& other);
+  Profiler& operator=(const Profiler& other);
+
+  /// Add `wall_s` measured seconds (and optionally simulated seconds) to a bucket.
+  void add(const std::string& name, double wall_s, double virtual_s = 0.0);
+
+  RoutineCost cost(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Sum of a field across all buckets.
+  double total_wall_s() const;
+  double total_virtual_s() const;
+
+  /// Merge another profiler's buckets into this one (summing).
+  void merge(const Profiler& other);
+
+  /// Bucket names in deterministic (sorted) order.
+  std::vector<std::string> names() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, RoutineCost> buckets_;
+};
+
+/// RAII scope that adds elapsed wall time to a profiler bucket on destruction.
+class ProfileScope {
+ public:
+  ProfileScope(Profiler& profiler, std::string name)
+      : profiler_(profiler), name_(std::move(name)) {}
+  ~ProfileScope() { profiler_.add(name_, timer_.elapsed_s()); }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  Profiler& profiler_;
+  std::string name_;
+  WallTimer timer_;
+};
+
+}  // namespace cellgan::common

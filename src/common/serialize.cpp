@@ -1,0 +1,4 @@
+#include "common/serialize.hpp"
+
+// Header-only; this TU exists so the module has an object file and the
+// static_assert in the header is compiled exactly once per configuration.

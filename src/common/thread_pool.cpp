@@ -1,0 +1,85 @@
+#include "common/thread_pool.hpp"
+
+#include <memory>
+
+#include "common/expect.hpp"
+
+namespace cellgan::common {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  const std::size_t workers = num_threads <= 1 ? 0 : num_threads - 1;
+  tasks_.resize(workers);
+  workers_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t parts = std::min(size(), n);
+  if (parts == 1) {
+    fn(0, n);
+    return;
+  }
+  const std::size_t chunk = (n + parts - 1) / parts;
+  // Slot 0..parts-2 go to workers; the last chunk runs on the caller.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++generation_;
+    pending_ = parts - 1;
+    for (std::size_t i = 0; i + 1 < parts; ++i) {
+      tasks_[i].fn = &fn;
+      tasks_[i].begin = i * chunk;
+      tasks_[i].end = std::min(n, (i + 1) * chunk);
+    }
+    for (std::size_t i = parts - 1; i < tasks_.size(); ++i) tasks_[i].fn = nullptr;
+  }
+  work_ready_.notify_all();
+  fn((parts - 1) * chunk, n);
+  std::unique_lock<std::mutex> lock(mutex_);
+  work_done_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [&] { return stopping_ || generation_ != seen_generation; });
+      if (stopping_) return;
+      seen_generation = generation_;
+      task = tasks_[worker_index];
+      if (task.fn == nullptr) continue;  // no work for this worker this round
+    }
+    (*task.fn)(task.begin, task.end);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --pending_;
+    }
+    work_done_.notify_one();
+  }
+}
+
+namespace {
+std::unique_ptr<ThreadPool> g_pool = std::make_unique<ThreadPool>(1);
+}  // namespace
+
+ThreadPool& global_pool() { return *g_pool; }
+
+void set_global_pool_threads(std::size_t num_threads) {
+  g_pool = std::make_unique<ThreadPool>(num_threads == 0 ? 1 : num_threads);
+}
+
+}  // namespace cellgan::common

@@ -1,0 +1,32 @@
+#include "common/timer.hpp"
+
+#include "common/expect.hpp"
+
+namespace cellgan::common {
+
+VirtualClock& VirtualClock::operator=(const VirtualClock& other) {
+  if (this != &other) {
+    const double t = other.now();
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_s_ = t;
+  }
+  return *this;
+}
+
+double VirtualClock::now() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return now_s_;
+}
+
+void VirtualClock::advance(double seconds) {
+  CG_EXPECT(seconds >= 0.0);
+  std::lock_guard<std::mutex> lock(mutex_);
+  now_s_ += seconds;
+}
+
+void VirtualClock::wait_until(double t) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (t > now_s_) now_s_ = t;
+}
+
+}  // namespace cellgan::common

@@ -1,0 +1,345 @@
+#include "core/cell_trainer.hpp"
+
+#include <algorithm>
+
+#include "core/evolution.hpp"
+#include "core/gan_trainer.hpp"
+#include "tensor/flops.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::core {
+
+namespace {
+
+/// Data dieting: draw this cell's private training subsample, or nullopt to
+/// train on the shared full dataset.
+std::optional<data::Dataset> make_diet(const TrainingConfig& config,
+                                       const data::Dataset& dataset,
+                                       common::Rng& rng) {
+  if (config.data_dieting_fraction >= 1.0) return std::nullopt;
+  CG_EXPECT(config.data_dieting_fraction > 0.0);
+  const auto count = std::max<std::size_t>(
+      config.batch_size,
+      static_cast<std::size_t>(config.data_dieting_fraction *
+                               static_cast<double>(dataset.size())));
+  return dataset.subsample(std::min(count, dataset.size()), rng);
+}
+
+}  // namespace
+
+CellTrainer::CellTrainer(const TrainingConfig& config, const Grid& grid, int cell_id,
+                         const data::Dataset& dataset, common::Rng rng,
+                         const ExecContext& context)
+    : config_(config),
+      grid_(grid),
+      cell_(cell_id),
+      context_(context),
+      rng_(rng),
+      diet_(make_diet(config_, dataset, rng_)),
+      loader_(diet_ ? *diet_ : dataset, config.batch_size),
+      generator_(nn::make_generator(config.arch, rng_)),
+      discriminator_(nn::make_discriminator(config.arch, rng_)),
+      g_optimizer_(config.initial_learning_rate),
+      d_optimizer_(config.initial_learning_rate),
+      scratch_generator_(nn::make_generator(config.arch, rng_)),
+      scratch_discriminator_(nn::make_discriminator(config.arch, rng_)),
+      subpop_(grid.neighbors_of(cell_id).size()),
+      subpop_ids_(grid.neighbors_of(cell_id)),
+      mixture_(grid.subpopulation_size(cell_id)) {
+  CG_EXPECT(dataset.images.cols() == config_.arch.image_dim);
+  loader_.reshuffle(rng_);
+  evaluate_center_fitness();
+}
+
+void CellTrainer::sync_topology() {
+  const auto& neighbors = grid_.neighbors_of(cell_);
+  if (neighbors == subpop_ids_) return;
+  std::vector<SubpopSlot> remapped(neighbors.size());
+  for (std::size_t i = 0; i < neighbors.size(); ++i) {
+    for (std::size_t old = 0; old < subpop_ids_.size(); ++old) {
+      if (subpop_ids_[old] == neighbors[i]) {
+        remapped[i] = std::move(subpop_[old]);
+        break;
+      }
+    }
+  }
+  subpop_ = std::move(remapped);
+  subpop_ids_ = neighbors;
+  mixture_ = MixtureWeights(neighbors.size() + 1);
+}
+
+void CellTrainer::step(const std::vector<std::vector<std::uint8_t>>& gathered) {
+  {
+    common::WallTimer timer;
+    tensor::exchange_thread_flops();  // reset; install cost is byte-based
+    update_genomes(gathered);
+    double virtual_s = 0.0;
+    if (context_.virtual_time()) {
+      virtual_s = context_.cost->update_seconds(context_.mode, context_.grid_cells,
+                                                last_update_bytes_) *
+                  context_.compute_jitter();
+    }
+    context_.charge(common::routine::kUpdateGenomes, timer.elapsed_s(), virtual_s);
+  }
+  {
+    common::WallTimer timer;
+    tensor::exchange_thread_flops();
+    train();
+    last_train_flops_ = static_cast<double>(tensor::exchange_thread_flops());
+    double virtual_s = 0.0;
+    if (context_.virtual_time()) {
+      virtual_s = context_.cost->train_seconds(context_.mode, context_.grid_cells,
+                                               last_train_flops_) *
+                  context_.compute_jitter();
+    }
+    context_.charge(common::routine::kTrain, timer.elapsed_s(), virtual_s);
+  }
+  {
+    common::WallTimer timer;
+    mutate();
+    tensor::exchange_thread_flops();  // mixture-ES forwards are folded into the call cost
+    double virtual_s = 0.0;
+    if (context_.virtual_time()) {
+      virtual_s =
+          context_.cost->mutate_seconds(context_.mode, context_.grid_cells, 1.0);
+    }
+    context_.charge(common::routine::kMutate, timer.elapsed_s(), virtual_s);
+  }
+  ++iteration_;
+}
+
+void CellTrainer::update_genomes(
+    const std::vector<std::vector<std::uint8_t>>& gathered) {
+  sync_topology();
+  last_update_bytes_ = 0.0;
+  const auto& neighbors = subpop_ids_;
+  for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
+    const int neighbor = neighbors[slot];
+    if (neighbor >= static_cast<int>(gathered.size())) continue;
+    const auto& bytes = gathered[neighbor];
+    if (bytes.empty()) continue;
+    subpop_[slot].genome = CellGenome::deserialize(bytes);
+    last_update_bytes_ += static_cast<double>(bytes.size());
+  }
+
+  // Selection: a strictly fitter neighbor center replaces the local center
+  // (parameters, learning rate and bookkeeping fitness), per side.
+  const SubpopSlot* best_g = nullptr;
+  const SubpopSlot* best_d = nullptr;
+  for (const auto& slot : subpop_) {
+    if (!slot.genome) continue;
+    if (slot.genome->g_fitness < g_fitness_ &&
+        (best_g == nullptr || slot.genome->g_fitness < best_g->genome->g_fitness)) {
+      best_g = &slot;
+    }
+    if (slot.genome->d_fitness < d_fitness_ &&
+        (best_d == nullptr || slot.genome->d_fitness < best_d->genome->d_fitness)) {
+      best_d = &slot;
+    }
+  }
+  if (best_g != nullptr) {
+    generator_.load_parameters(best_g->genome->generator_params);
+    g_optimizer_.set_learning_rate(best_g->genome->g_learning_rate);
+    g_fitness_ = best_g->genome->g_fitness;
+  }
+  if (best_d != nullptr) {
+    discriminator_.load_parameters(best_d->genome->discriminator_params);
+    d_optimizer_.set_learning_rate(best_d->genome->d_learning_rate);
+    d_fitness_ = best_d->genome->d_fitness;
+  }
+}
+
+void CellTrainer::train() {
+  // Pick this epoch's objective: fixed by configuration, or a fresh Mustangs
+  // draw from the three E-GAN objectives.
+  switch (config_.loss_mode) {
+    case LossMode::kHeuristic: current_loss_ = GanLossKind::kHeuristic; break;
+    case LossMode::kMinimax: current_loss_ = GanLossKind::kMinimax; break;
+    case LossMode::kLeastSquares: current_loss_ = GanLossKind::kLeastSquares; break;
+    case LossMode::kMustangs:
+      current_loss_ = static_cast<GanLossKind>(rng_.uniform_int(3));
+      break;
+  }
+
+  // Sub-population fitness tables for tournament selection: entry 0 is the
+  // center, entries 1.. are the installed neighbor genomes.
+  std::vector<double> d_table{d_fitness_};
+  std::vector<double> g_table{g_fitness_};
+  std::vector<const CellGenome*> members{nullptr};  // nullptr = center
+  for (const auto& slot : subpop_) {
+    if (!slot.genome) continue;
+    d_table.push_back(slot.genome->d_fitness);
+    g_table.push_back(slot.genome->g_fitness);
+    members.push_back(&*slot.genome);
+  }
+
+  for (std::uint32_t b = 0; b < config_.batches_per_iteration; ++b) {
+    if (next_batch_ >= loader_.batches_per_epoch()) {
+      loader_.reshuffle(rng_);
+      next_batch_ = 0;
+    }
+    const tensor::Tensor real = loader_.batch(next_batch_++);
+
+    // Train the center generator against a tournament-selected discriminator.
+    const std::size_t d_pick =
+        tournament_select(d_table, config_.tournament_size, rng_);
+    nn::Sequential* opponent_d = &discriminator_;
+    if (members[d_pick] != nullptr) {
+      scratch_discriminator_.load_parameters(members[d_pick]->discriminator_params);
+      opponent_d = &scratch_discriminator_;
+    }
+    train_generator_step(generator_, g_optimizer_, *opponent_d, config_.batch_size,
+                         config_.arch.latent_dim, rng_, current_loss_);
+
+    // Train the center discriminator against a tournament-selected generator,
+    // honoring the "skip N discriminator steps" setting.
+    if (config_.discriminator_skip_steps == 0 ||
+        b % config_.discriminator_skip_steps == 0) {
+      const std::size_t g_pick =
+          tournament_select(g_table, config_.tournament_size, rng_);
+      nn::Sequential* opponent_g = &generator_;
+      if (members[g_pick] != nullptr) {
+        scratch_generator_.load_parameters(members[g_pick]->generator_params);
+        opponent_g = &scratch_generator_;
+      }
+      train_discriminator_step(discriminator_, d_optimizer_, *opponent_g, real,
+                               config_.arch.latent_dim, rng_, current_loss_);
+    }
+  }
+
+  evaluate_center_fitness();
+}
+
+void CellTrainer::evaluate_center_fitness() {
+  if (next_batch_ >= loader_.batches_per_epoch()) {
+    loader_.reshuffle(rng_);
+    next_batch_ = 0;
+  }
+  const tensor::Tensor real = loader_.batch(next_batch_);
+  const std::size_t eval_n =
+      std::min<std::size_t>(config_.fitness_eval_samples, real.rows());
+  const tensor::Tensor eval_real = real.slice_rows(0, eval_n);
+  g_fitness_ = evaluate_generator_loss(generator_, discriminator_, eval_n,
+                                       config_.arch.latent_dim, rng_);
+  d_fitness_ = evaluate_discriminator_loss(discriminator_, generator_, eval_real,
+                                           config_.arch.latent_dim, rng_);
+}
+
+void CellTrainer::mutate() {
+  // Hyperparameter mutation (Table I): Gaussian on both Adam learning rates.
+  g_optimizer_.set_learning_rate(
+      mutate_learning_rate(g_optimizer_.learning_rate(), config_.lr_mutation_sigma,
+                           config_.lr_mutation_probability, rng_));
+  d_optimizer_.set_learning_rate(
+      mutate_learning_rate(d_optimizer_.learning_rate(), config_.lr_mutation_sigma,
+                           config_.lr_mutation_probability, rng_));
+
+  // Mixture evolution: (1+1)-ES with Gaussian weight mutation. The candidate
+  // replaces the incumbent when the mixture fools the center discriminator
+  // at least as well.
+  const MixtureWeights candidate =
+      mixture_.mutated(config_.mixture_mutation_scale, rng_);
+  if (mixture_quality(candidate) <= mixture_quality(mixture_)) {
+    mixture_ = candidate;
+  }
+}
+
+double CellTrainer::mixture_quality(const MixtureWeights& weights) {
+  // Lower is better: generator-side BCE of mixture samples against the
+  // center discriminator on a small probe batch.
+  const std::size_t probe = std::max<std::size_t>(8, config_.fitness_eval_samples / 4);
+  const tensor::Tensor samples = [&] {
+    // Temporarily sample with the candidate weights via the shared machinery.
+    std::vector<std::size_t> counts(weights.size(), 0);
+    for (std::size_t i = 0; i < probe; ++i) ++counts[weights.sample_index(rng_)];
+    tensor::Tensor out(probe, config_.arch.image_dim);
+    std::size_t row = 0;
+    for (std::size_t member = 0; member < counts.size(); ++member) {
+      if (counts[member] == 0) continue;
+      nn::Sequential* gen = &generator_;
+      if (member > 0) {
+        const std::size_t slot = member - 1;
+        if (slot >= subpop_.size() || !subpop_[slot].genome) {
+          gen = &generator_;  // neighbor not yet received: fall back to center
+        } else {
+          scratch_generator_.load_parameters(subpop_[slot].genome->generator_params);
+          gen = &scratch_generator_;
+        }
+      }
+      const tensor::Tensor z = tensor::Tensor::randn(
+          counts[member], config_.arch.latent_dim, rng_, 1.0f);
+      const tensor::Tensor images = gen->forward(z);
+      for (std::size_t k = 0; k < counts[member]; ++k, ++row) {
+        auto src = images.row_span(k);
+        auto dst = out.row_span(row);
+        std::copy(src.begin(), src.end(), dst.begin());
+      }
+    }
+    return out;
+  }();
+  const tensor::Tensor logits = discriminator_.forward(samples);
+  auto [loss, grad] = tensor::bce_with_logits(
+      logits, tensor::Tensor::full(samples.rows(), 1, 1.0f));
+  (void)grad;
+  return loss;
+}
+
+std::vector<std::uint8_t> CellTrainer::export_genome() {
+  return center_genome().serialize();
+}
+
+void CellTrainer::restore(const CellGenome& genome,
+                          std::span<const double> mixture_weights) {
+  genome.install(generator_, discriminator_);
+  g_optimizer_.set_learning_rate(genome.g_learning_rate);
+  d_optimizer_.set_learning_rate(genome.d_learning_rate);
+  g_optimizer_.reset();
+  d_optimizer_.reset();
+  g_fitness_ = genome.g_fitness;
+  d_fitness_ = genome.d_fitness;
+  iteration_ = genome.iteration;
+  if (mixture_weights.size() == mixture_.size()) {
+    mixture_.set_weights({mixture_weights.begin(), mixture_weights.end()});
+  }
+}
+
+CellGenome CellTrainer::center_genome() {
+  CellGenome g = CellGenome::capture(generator_, discriminator_);
+  g.g_learning_rate = g_optimizer_.learning_rate();
+  g.d_learning_rate = d_optimizer_.learning_rate();
+  g.g_fitness = g_fitness_;
+  g.d_fitness = d_fitness_;
+  g.origin_cell = static_cast<std::uint32_t>(cell_);
+  g.iteration = iteration_;
+  return g;
+}
+
+tensor::Tensor CellTrainer::sample_from_mixture(std::size_t count) {
+  CG_EXPECT(count > 0);
+  std::vector<std::size_t> counts(mixture_.size(), 0);
+  for (std::size_t i = 0; i < count; ++i) ++counts[mixture_.sample_index(rng_)];
+  tensor::Tensor out(count, config_.arch.image_dim);
+  std::size_t row = 0;
+  for (std::size_t member = 0; member < counts.size(); ++member) {
+    if (counts[member] == 0) continue;
+    nn::Sequential* gen = &generator_;
+    if (member > 0) {
+      const std::size_t slot = member - 1;
+      if (slot < subpop_.size() && subpop_[slot].genome) {
+        scratch_generator_.load_parameters(subpop_[slot].genome->generator_params);
+        gen = &scratch_generator_;
+      }
+    }
+    const tensor::Tensor z =
+        tensor::Tensor::randn(counts[member], config_.arch.latent_dim, rng_, 1.0f);
+    const tensor::Tensor images = gen->forward(z);
+    for (std::size_t k = 0; k < counts[member]; ++k, ++row) {
+      auto src = images.row_span(k);
+      auto dst = out.row_span(row);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace cellgan::core

@@ -1,0 +1,135 @@
+// One grid cell's coevolutionary learning algorithm (Section II.B).
+//
+// Each cell owns a center generator/discriminator pair with persistent Adam
+// optimizers, plus the sub-population of neighbor genomes gathered through
+// the comm-manager. An epoch (step) runs the paper's four profiled routines
+// in order:
+//
+//   update_genomes — install freshly gathered neighbor genomes into the
+//                    sub-population and apply selection (a strictly fitter
+//                    neighbor center replaces the local center);
+//   train          — for each mini-batch, tournament-select (size 2) an
+//                    opponent from the sub-population and apply adversarial
+//                    gradient steps to the center pair, then re-evaluate
+//                    center fitnesses;
+//   mutate         — Gaussian mutation of the Adam learning rates
+//                    (prob 0.5, sigma 1e-4) and (1+1)-ES mutation of the
+//                    neighborhood mixture weights (scale 0.01).
+//
+// The fourth routine, gather, is the comm-manager exchange driven by the
+// surrounding trainer loop. Every routine is wall-timed and charged to the
+// cost model, which is how Table IV's per-routine rows are measured.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/comm_manager.hpp"
+#include "core/config.hpp"
+#include "core/exec_context.hpp"
+#include "core/gan_losses.hpp"
+#include "core/genome.hpp"
+#include "core/mixture.hpp"
+#include "data/dataloader.hpp"
+#include "nn/gan_models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace cellgan::core {
+
+class CellTrainer {
+ public:
+  /// `dataset` must outlive the trainer. `rng` seeds this cell's private
+  /// stream (fork per cell for schedule-independent reproducibility).
+  CellTrainer(const TrainingConfig& config, const Grid& grid, int cell_id,
+              const data::Dataset& dataset, common::Rng rng,
+              const ExecContext& context);
+
+  /// One coevolutionary epoch. `gathered[cell]` holds that cell's serialized
+  /// genome (empty entries are skipped; iteration 0 passes all-empty).
+  void step(const std::vector<std::vector<std::uint8_t>>& gathered);
+
+  /// Serialize the center genome for the neighbor exchange.
+  std::vector<std::uint8_t> export_genome();
+
+  int cell_id() const { return cell_; }
+  std::uint32_t iteration() const { return iteration_; }
+  double g_fitness() const { return g_fitness_; }
+  double d_fitness() const { return d_fitness_; }
+  /// Objective used in the most recent train() (fixed by config, or the
+  /// epoch's Mustangs draw).
+  GanLossKind current_loss() const { return current_loss_; }
+  double g_learning_rate() const { return g_optimizer_.learning_rate(); }
+  double d_learning_rate() const { return d_optimizer_.learning_rate(); }
+  const MixtureWeights& mixture() const { return mixture_; }
+  const Grid& grid() const { return grid_; }
+
+  /// Snapshot of the center (params + hyperparams + fitness).
+  CellGenome center_genome();
+
+  /// Restore the center pair (and optionally the mixture) from a checkpoint
+  /// snapshot: parameters, learning rates, fitnesses and iteration counter.
+  /// Adam moment state restarts (only parameters travel in genomes, matching
+  /// the exchange semantics).
+  void restore(const CellGenome& genome, std::span<const double> mixture_weights);
+
+  /// Sample `count` images from this cell's neighborhood mixture (center +
+  /// installed neighbor generators, weighted by the evolved mixture).
+  tensor::Tensor sample_from_mixture(std::size_t count);
+
+  /// Work counters for cost-model calibration probes.
+  double last_train_flops() const { return last_train_flops_; }
+  double last_update_bytes() const { return last_update_bytes_; }
+
+ private:
+  struct SubpopSlot {
+    std::optional<CellGenome> genome;  ///< empty until first exchange
+  };
+
+  /// Re-align subpopulation slots (and mixture size) with the grid's current
+  /// neighbor list — supports dynamic topology reconfiguration: genomes of
+  /// cells that remain neighbors are kept, new slots start empty, and the
+  /// mixture resets to uniform when membership changes.
+  void sync_topology();
+
+  void update_genomes(const std::vector<std::vector<std::uint8_t>>& gathered);
+  void train();
+  void mutate();
+  void evaluate_center_fitness();
+  double mixture_quality(const MixtureWeights& weights);
+
+  TrainingConfig config_;  // by value: outlives any caller-side copy
+  const Grid& grid_;
+  int cell_;
+  ExecContext context_;  // pointers inside must outlive the trainer
+  common::Rng rng_;
+
+  /// Owned subsample when data dieting is on (must precede loader_).
+  std::optional<data::Dataset> diet_;
+  data::DataLoader loader_;
+  std::size_t next_batch_ = 0;
+
+  nn::Sequential generator_;
+  nn::Sequential discriminator_;
+  nn::Adam g_optimizer_;
+  nn::Adam d_optimizer_;
+
+  // One scratch pair, re-loaded per use, keeps memory O(1) in neighbors.
+  nn::Sequential scratch_generator_;
+  nn::Sequential scratch_discriminator_;
+
+  std::vector<SubpopSlot> subpop_;  ///< slot i <-> subpop_ids_[i]
+  std::vector<int> subpop_ids_;     ///< neighbor cell ids, mirrors the grid
+  MixtureWeights mixture_;
+
+  double g_fitness_ = 0.0;
+  double d_fitness_ = 0.0;
+  GanLossKind current_loss_ = GanLossKind::kHeuristic;
+  std::uint32_t iteration_ = 0;
+
+  double last_train_flops_ = 0.0;
+  double last_update_bytes_ = 0.0;
+};
+
+}  // namespace cellgan::core

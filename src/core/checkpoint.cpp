@@ -1,0 +1,118 @@
+#include "core/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+
+#include "common/log.hpp"
+#include "common/serialize.hpp"
+
+namespace cellgan::core {
+
+namespace {
+constexpr std::uint32_t kMagic = 0xCE11'6A17;  // "cell gan"
+constexpr std::uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+}  // namespace
+
+std::vector<std::uint8_t> Checkpoint::serialize() const {
+  common::ByteWriter w;
+  w.write(kMagic);
+  w.write(kVersion);
+  w.write_vector(config.serialize());
+  w.write(iteration);
+  w.write<std::uint64_t>(centers.size());
+  for (const auto& genome : centers) w.write_vector(genome.serialize());
+  w.write<std::uint64_t>(mixtures.size());
+  for (const auto& weights : mixtures) w.write_vector(weights);
+  w.write(kMagic);  // trailing magic doubles as a truncation check
+  return w.take();
+}
+
+Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
+  common::ByteReader r(bytes);
+  CG_EXPECT(r.read<std::uint32_t>() == kMagic);
+  CG_EXPECT(r.read<std::uint32_t>() == kVersion);
+  Checkpoint out;
+  out.config = TrainingConfig::deserialize(r.read_vector<std::uint8_t>());
+  out.iteration = r.read<std::uint32_t>();
+  const auto cells = r.read<std::uint64_t>();
+  out.centers.reserve(cells);
+  for (std::uint64_t i = 0; i < cells; ++i) {
+    out.centers.push_back(CellGenome::deserialize(r.read_vector<std::uint8_t>()));
+  }
+  const auto mixtures = r.read<std::uint64_t>();
+  out.mixtures.reserve(mixtures);
+  for (std::uint64_t i = 0; i < mixtures; ++i) {
+    out.mixtures.push_back(r.read_vector<double>());
+  }
+  CG_EXPECT(r.read<std::uint32_t>() == kMagic);
+  CG_ENSURE(r.exhausted());
+  return out;
+}
+
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  const auto bytes = checkpoint.serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (!f) return false;
+    if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+      return false;
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    common::log_warn() << "checkpoint rename failed: " << ec.message();
+    return false;
+  }
+  return true;
+}
+
+Checkpoint checkpoint_from_results(
+    const TrainingConfig& config,
+    const std::vector<protocol::SlaveResult>& results) {
+  Checkpoint out;
+  out.config = config;
+  out.centers.reserve(results.size());
+  out.mixtures.reserve(results.size());
+  for (const auto& result : results) {
+    out.iteration = std::max(out.iteration, result.center.iteration);
+    out.centers.push_back(result.center);
+    out.mixtures.push_back(result.mixture_weights);
+  }
+  return out;
+}
+
+std::optional<Checkpoint> load_checkpoint(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return std::nullopt;
+  std::fseek(f.get(), 0, SEEK_END);
+  const long size = std::ftell(f.get());
+  if (size <= 0) return std::nullopt;
+  std::fseek(f.get(), 0, SEEK_SET);
+  std::vector<std::uint8_t> bytes(static_cast<std::size_t>(size));
+  if (std::fread(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
+    return std::nullopt;
+  }
+  // Cheap integrity checks before handing to the aborting deserializer.
+  if (bytes.size() < 8) return std::nullopt;
+  std::uint32_t head, tail;
+  std::memcpy(&head, bytes.data(), 4);
+  std::memcpy(&tail, bytes.data() + bytes.size() - 4, 4);
+  if (head != kMagic || tail != kMagic) {
+    common::log_warn() << "checkpoint " << path << " is corrupt or foreign";
+    return std::nullopt;
+  }
+  return Checkpoint::deserialize(bytes);
+}
+
+}  // namespace cellgan::core

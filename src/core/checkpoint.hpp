@@ -1,0 +1,45 @@
+// On-disk checkpoints of a training run.
+//
+// The paper's executions reserve 40 GB of temporary storage per job
+// (Table I, execution settings) for intermediate state on the shared
+// cluster; this module provides the corresponding capability: a versioned
+// binary snapshot of the whole grid (per-cell center genomes + mixture
+// weights + iteration counter + the configuration that produced them), so
+// interrupted runs can resume and final models can be shipped.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/genome.hpp"
+#include "core/mixture.hpp"
+#include "core/protocol.hpp"
+
+namespace cellgan::core {
+
+struct Checkpoint {
+  TrainingConfig config;
+  std::uint32_t iteration = 0;
+  std::vector<CellGenome> centers;              ///< indexed by cell id
+  std::vector<std::vector<double>> mixtures;    ///< per-cell mixture weights
+
+  std::vector<std::uint8_t> serialize() const;
+  static Checkpoint deserialize(std::span<const std::uint8_t> bytes);
+};
+
+/// Write a checkpoint file (atomic: temp file + rename). False on I/O error.
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Read a checkpoint file; nullopt on missing/corrupt file (corruption is
+/// detected by the length-prefixed format and a trailing magic).
+std::optional<Checkpoint> load_checkpoint(const std::string& path);
+
+/// Build a checkpoint from the results the master collected in a
+/// distributed run (the reduction's output), so distributed runs can be
+/// persisted and resumed by either trainer.
+Checkpoint checkpoint_from_results(const TrainingConfig& config,
+                                   const std::vector<protocol::SlaveResult>& results);
+
+}  // namespace cellgan::core

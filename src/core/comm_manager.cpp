@@ -1,0 +1,79 @@
+#include "core/comm_manager.hpp"
+
+#include "common/expect.hpp"
+
+namespace cellgan::core {
+
+void GenomeStore::publish(int cell, std::vector<std::uint8_t> bytes) {
+  CG_EXPECT(cell >= 0 && cell < static_cast<int>(store_.size()));
+  store_[cell] = std::move(bytes);
+}
+
+const std::vector<std::uint8_t>& GenomeStore::latest(int cell) const {
+  CG_EXPECT(cell >= 0 && cell < static_cast<int>(store_.size()));
+  return store_[cell];
+}
+
+LocalCommManager::LocalCommManager(GenomeStore& store, const Grid& grid, int cell,
+                                   const ExecContext& context)
+    : store_(store), grid_(grid), cell_(cell), context_(context) {
+  CG_EXPECT(static_cast<int>(store.size()) == grid.size());
+}
+
+std::vector<std::vector<std::uint8_t>> LocalCommManager::exchange(
+    std::span<const std::uint8_t> genome_bytes) {
+  store_.publish(cell_, {genome_bytes.begin(), genome_bytes.end()});
+  std::vector<std::vector<std::uint8_t>> out(store_.size());
+  double copied_bytes = 0.0;
+  for (const int neighbor : grid_.neighbors_of(cell_)) {
+    out[neighbor] = store_.latest(neighbor);  // copy, like a real transport
+    copied_bytes += static_cast<double>(out[neighbor].size());
+  }
+  if (context_.virtual_time()) {
+    const double cost =
+        context_.cost->seq_gather_seconds(context_.grid_cells, copied_bytes);
+    context_.charge(common::routine::kGather, 0.0, cost);
+  }
+  return out;
+}
+
+MpiCommManager::MpiCommManager(minimpi::Comm& local_comm) : local_comm_(local_comm) {}
+
+std::vector<std::vector<std::uint8_t>> MpiCommManager::exchange(
+    std::span<const std::uint8_t> genome_bytes) {
+  return local_comm_.allgather(genome_bytes);
+}
+
+namespace {
+// User tag for asynchronous genome publications on the LOCAL communicator.
+constexpr int kTagAsyncGenome = 100;
+}  // namespace
+
+AsyncMpiCommManager::AsyncMpiCommManager(minimpi::Comm& local_comm, const Grid& grid)
+    : local_comm_(local_comm),
+      grid_(grid),
+      latest_(static_cast<std::size_t>(grid.size())) {
+  CG_EXPECT(grid_.size() == local_comm_.size());
+}
+
+std::vector<std::vector<std::uint8_t>> AsyncMpiCommManager::exchange(
+    std::span<const std::uint8_t> genome_bytes) {
+  const int me = cell_id();
+  // Publish to the cells whose sub-populations include this one (with the
+  // default symmetric neighborhoods these are exactly our own neighbors).
+  for (const int target : grid_.influenced_by(me)) {
+    local_comm_.send(target, kTagAsyncGenome, genome_bytes);
+  }
+  // Drain everything that has (causally) arrived, newest-per-source wins.
+  while (auto m = local_comm_.try_recv_arrived(minimpi::kAnySource, kTagAsyncGenome)) {
+    latest_[m->source] = std::move(m->payload);
+  }
+  // Hand back copies so the caller's install step owns its bytes.
+  std::vector<std::vector<std::uint8_t>> out(latest_.size());
+  for (const int neighbor : grid_.neighbors_of(me)) {
+    out[neighbor] = latest_[neighbor];
+  }
+  return out;
+}
+
+}  // namespace cellgan::core

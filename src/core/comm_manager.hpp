@@ -1,0 +1,110 @@
+// The comm-manager class — the second of the paper's two new classes
+// (Section III.C): an abstract wrapper over every inter-process communication
+// the trainer needs, "defined in an abstract way without defining explicitly
+// how the communications are implemented". The grid class does not depend on
+// it, and trainers only see this interface, so the message transport is
+// swappable (the paper's motivation for decoupling).
+//
+// Two implementations:
+//  * MpiCommManager  — allgather over the LOCAL communicator (active slaves),
+//    exactly the paper's distributed exchange path.
+//  * LocalCommManager — in-process store for the single-core baseline; hands
+//    each cell only its neighbors' genomes and charges the calibrated
+//    in-process copy cost.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "core/exec_context.hpp"
+#include "core/grid.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cellgan::core {
+
+class CommManager {
+ public:
+  virtual ~CommManager() = default;
+
+  /// Grid cell this manager serves.
+  virtual int cell_id() const = 0;
+
+  /// Publish this cell's serialized center genome and collect the latest
+  /// genomes of other cells. Returns payloads indexed by cell id; entries
+  /// this transport does not deliver (e.g. non-neighbors in the local
+  /// implementation) are empty. Blocking in the MPI implementation
+  /// (collective over LOCAL).
+  virtual std::vector<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> genome_bytes) = 0;
+};
+
+/// Shared in-process genome store for LocalCommManager instances.
+class GenomeStore {
+ public:
+  explicit GenomeStore(std::size_t cells) : store_(cells) {}
+  std::size_t size() const { return store_.size(); }
+
+  void publish(int cell, std::vector<std::uint8_t> bytes);
+  /// Latest published genome of `cell` (empty if none yet).
+  const std::vector<std::uint8_t>& latest(int cell) const;
+
+ private:
+  std::vector<std::vector<std::uint8_t>> store_;
+};
+
+/// Single-process transport: reads neighbor genomes straight from the store.
+class LocalCommManager final : public CommManager {
+ public:
+  LocalCommManager(GenomeStore& store, const Grid& grid, int cell,
+                   const ExecContext& context);
+
+  int cell_id() const override { return cell_; }
+  std::vector<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> genome_bytes) override;
+
+ private:
+  GenomeStore& store_;
+  const Grid& grid_;
+  int cell_;
+  const ExecContext& context_;
+};
+
+/// MPI transport: local rank within the slaves-only communicator == cell id.
+/// Lockstep semantics — the per-epoch allgather synchronizes all slaves
+/// (the paper's implementation).
+class MpiCommManager final : public CommManager {
+ public:
+  explicit MpiCommManager(minimpi::Comm& local_comm);
+
+  int cell_id() const override { return local_comm_.rank(); }
+  std::vector<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> genome_bytes) override;
+
+ private:
+  minimpi::Comm& local_comm_;
+};
+
+/// Asynchronous MPI transport: publishes the genome to grid neighbors with
+/// point-to-point sends and polls (never blocks on) incoming genomes,
+/// keeping the newest per source — "newest available" cellular semantics.
+/// A slave is never delayed by a straggling neighbor; it simply trains
+/// against the freshest genome it has. Also moves (s-1) instead of (n-1)
+/// genomes per epoch.
+class AsyncMpiCommManager final : public CommManager {
+ public:
+  /// `grid` defines whom to publish to; must outlive the manager.
+  AsyncMpiCommManager(minimpi::Comm& local_comm, const Grid& grid);
+
+  int cell_id() const override { return local_comm_.rank(); }
+  std::vector<std::vector<std::uint8_t>> exchange(
+      std::span<const std::uint8_t> genome_bytes) override;
+
+ private:
+  minimpi::Comm& local_comm_;
+  const Grid& grid_;
+  /// Latest genome seen from each cell (empty until first arrival).
+  std::vector<std::vector<std::uint8_t>> latest_;
+};
+
+}  // namespace cellgan::core

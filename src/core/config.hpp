@@ -1,0 +1,86 @@
+// Training configuration — the C++ mirror of the paper's Table I.
+//
+// Defaults reproduce the paper's settings exactly; tests and wall-clock
+// benchmarks override toward smaller nets / fewer iterations. The config is
+// serializable because the master broadcasts it to every slave at startup
+// ("sharing the parameter configuration to be used in the execution with all
+// slave processes", Section III.B).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/gan_models.hpp"
+
+namespace cellgan::core {
+
+/// Which adversarial objective the cells train with. The first three pin one
+/// objective for the whole run (kHeuristic = Lipizzaner's default); kMustangs
+/// applies Mustangs-style loss-function mutation — each cell draws a fresh
+/// objective from {heuristic, minimax, least-squares} every epoch.
+enum class LossMode : std::uint32_t {
+  kHeuristic = 0,
+  kMinimax = 1,
+  kLeastSquares = 2,
+  kMustangs = 3,
+};
+
+const char* to_string(LossMode mode);
+
+/// How slaves exchange center genomes after each epoch.
+enum class ExchangeMode : std::uint32_t {
+  /// Collective allgather over the LOCAL communicator — the paper's
+  /// implementation. Synchronizes the whole grid every epoch.
+  kAllgather = 0,
+  /// Point-to-point publication to neighbors + non-blocking newest-available
+  /// reads: no epoch barrier, stragglers never stall the grid.
+  kAsyncNeighbors = 1,
+};
+
+const char* to_string(ExchangeMode mode);
+
+struct TrainingConfig {
+  // -- Network topology (Table I) -------------------------------------------
+  nn::GanArch arch = nn::GanArch::paper();
+
+  // -- Coevolutionary settings (Table I) -------------------------------------
+  std::uint32_t iterations = 200;
+  std::uint32_t population_per_cell = 1;
+  std::uint32_t tournament_size = 2;
+  std::uint32_t grid_rows = 2;
+  std::uint32_t grid_cols = 2;
+  double mixture_mutation_scale = 0.01;
+
+  // -- Hyperparameter mutation (Table I) --------------------------------------
+  double initial_learning_rate = 0.0002;  // Adam
+  double lr_mutation_sigma = 0.0001;      // "mutation rate"
+  double lr_mutation_probability = 0.5;
+
+  // -- Training settings (Table I) --------------------------------------------
+  std::uint32_t batch_size = 100;
+  std::uint32_t discriminator_skip_steps = 1;  // "Skip N disc. steps"
+
+  // -- Implementation knobs (not in Table I) ----------------------------------
+  std::uint32_t batches_per_iteration = 1;  ///< gradient batches per epoch/cell
+  std::uint32_t fitness_eval_samples = 100; ///< batch used for fitness evals
+  LossMode loss_mode = LossMode::kHeuristic;
+  ExchangeMode exchange_mode = ExchangeMode::kAllgather;
+  /// Data dieting [Toutouh et al., 2020, ref. 20 of the paper]: each cell
+  /// trains on an independent random subsample of this fraction of the
+  /// training set (1.0 = full data, Lipizzaner's default). Cuts per-cell
+  /// memory and adds data-level diversity across the grid.
+  double data_dieting_fraction = 1.0;
+  std::uint64_t seed = 42;
+
+  std::uint32_t grid_cells() const { return grid_rows * grid_cols; }
+
+  /// Tiny configuration for unit/integration tests and wall-clock benches.
+  static TrainingConfig tiny();
+
+  std::vector<std::uint8_t> serialize() const;
+  static TrainingConfig deserialize(std::span<const std::uint8_t> bytes);
+
+  friend bool operator==(const TrainingConfig&, const TrainingConfig&) = default;
+};
+
+}  // namespace cellgan::core

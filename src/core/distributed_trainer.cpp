@@ -1,0 +1,70 @@
+#include "core/distributed_trainer.hpp"
+
+#include <mutex>
+
+#include "common/timer.hpp"
+#include "core/slave.hpp"
+
+namespace cellgan::core {
+
+double DistributedOutcome::slave_routine_virtual_min(const std::string& routine) const {
+  if (ranks.size() <= 1) return 0.0;
+  double total = 0.0;
+  for (std::size_t r = 1; r < ranks.size(); ++r) {
+    total += ranks[r].profiler.cost(routine).virtual_s;
+  }
+  return total / static_cast<double>(ranks.size() - 1) / 60.0;
+}
+
+double DistributedOutcome::slave_routine_wall_s(const std::string& routine) const {
+  if (ranks.size() <= 1) return 0.0;
+  double total = 0.0;
+  for (std::size_t r = 1; r < ranks.size(); ++r) {
+    total += ranks[r].profiler.cost(routine).wall_s;
+  }
+  return total / static_cast<double>(ranks.size() - 1);
+}
+
+DistributedOutcome run_distributed(const TrainingConfig& config,
+                                   const data::Dataset& dataset,
+                                   const CostModel& cost_model) {
+  return run_distributed(config, dataset, cost_model, Master::Options{});
+}
+
+DistributedOutcome run_distributed(const TrainingConfig& config,
+                                   const data::Dataset& dataset,
+                                   const CostModel& cost_model,
+                                   Master::Options master_options) {
+  const int world_size = static_cast<int>(config.grid_cells()) + 1;
+  minimpi::Runtime runtime(world_size, cost_model.net_config(), config.seed);
+
+  DistributedOutcome outcome;
+  std::mutex outcome_mutex;
+  common::WallTimer wall;
+
+  auto rank_results = runtime.run([&](minimpi::Comm& world) {
+    // Communicator contexts (Section III.D): LOCAL excludes the master,
+    // GLOBAL includes everyone. Splits are collective over WORLD.
+    auto local = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+    auto global = world.split(0, world.rank());
+    CG_EXPECT(global.has_value());
+
+    if (world.rank() == 0) {
+      Master master(world, *global, config, cost_model, master_options);
+      MasterOutcome master_outcome = master.run();
+      std::lock_guard<std::mutex> lock(outcome_mutex);
+      outcome.master = std::move(master_outcome);
+    } else {
+      CG_EXPECT(local.has_value());
+      Slave slave(world, *local, *global, dataset, cost_model);
+      slave.run();
+    }
+  });
+
+  outcome.wall_s = wall.elapsed_s();
+  outcome.ranks = std::move(rank_results);
+  outcome.virtual_makespan_s = outcome.master.virtual_makespan_s;
+  return outcome;
+}
+
+}  // namespace cellgan::core

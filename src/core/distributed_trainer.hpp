@@ -1,0 +1,39 @@
+// Top-level wiring of the distributed run: an minimpi world of
+// grid_cells + 1 ranks, rank 0 the master, ranks 1..n the slaves; the
+// LOCAL (slaves only) and GLOBAL (all ranks) communicators are split from
+// WORLD exactly as Section III.D describes.
+#pragma once
+
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/master.hpp"
+#include "core/sequential_trainer.hpp"  // TrainOutcome
+#include "data/dataset.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::core {
+
+struct DistributedOutcome {
+  double wall_s = 0.0;
+  double virtual_makespan_s = 0.0;  ///< master clock at the end of the run
+  MasterOutcome master;
+  /// Per-rank profilers/clocks (index 0 = master, 1.. = slaves).
+  std::vector<minimpi::Runtime::RankResult> ranks;
+
+  /// Average of a routine's simulated minutes across slaves (the per-slave
+  /// view the paper's Table IV distributed column reports).
+  double slave_routine_virtual_min(const std::string& routine) const;
+  double slave_routine_wall_s(const std::string& routine) const;
+};
+
+/// Run the full master/slave training. `dataset` is shared read-only by all
+/// rank threads (each node in the paper loads its own copy; see DESIGN.md).
+DistributedOutcome run_distributed(const TrainingConfig& config,
+                                   const data::Dataset& dataset,
+                                   const CostModel& cost_model = {});
+DistributedOutcome run_distributed(const TrainingConfig& config,
+                                   const data::Dataset& dataset,
+                                   const CostModel& cost_model,
+                                   Master::Options master_options);
+
+}  // namespace cellgan::core

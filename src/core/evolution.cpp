@@ -1,0 +1,29 @@
+#include "core/evolution.hpp"
+
+#include <algorithm>
+
+#include "common/expect.hpp"
+
+namespace cellgan::core {
+
+std::size_t tournament_select(const std::vector<double>& fitnesses,
+                              std::size_t tournament_size, common::Rng& rng) {
+  CG_EXPECT(!fitnesses.empty());
+  CG_EXPECT(tournament_size >= 1);
+  std::size_t best = rng.uniform_int(fitnesses.size());
+  for (std::size_t i = 1; i < tournament_size; ++i) {
+    const std::size_t challenger = rng.uniform_int(fitnesses.size());
+    if (fitnesses[challenger] < fitnesses[best]) best = challenger;
+  }
+  return best;
+}
+
+double mutate_learning_rate(double learning_rate, double sigma, double probability,
+                            common::Rng& rng) {
+  CG_EXPECT(learning_rate > 0.0);
+  if (!rng.bernoulli(probability)) return learning_rate;
+  constexpr double kFloor = 1e-8;
+  return std::max(kFloor, learning_rate + rng.normal(0.0, sigma));
+}
+
+}  // namespace cellgan::core

@@ -1,0 +1,115 @@
+#include "core/gan_losses.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "tensor/flops.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::core {
+
+const char* to_string(GanLossKind kind) {
+  switch (kind) {
+    case GanLossKind::kHeuristic: return "heuristic";
+    case GanLossKind::kMinimax: return "minimax";
+    case GanLossKind::kLeastSquares: return "least-squares";
+  }
+  return "unknown";
+}
+
+namespace {
+
+float stable_sigmoid(float z) {
+  return z >= 0.0f ? 1.0f / (1.0f + std::exp(-z)) : std::exp(z) / (1.0f + std::exp(z));
+}
+
+}  // namespace
+
+std::pair<float, tensor::Tensor> generator_loss_grad(
+    GanLossKind kind, const tensor::Tensor& fake_logits) {
+  const std::size_t n = fake_logits.size();
+  CG_EXPECT(n > 0);
+  tensor::Tensor grad(fake_logits.rows(), fake_logits.cols());
+  tensor::count_flops(10ULL * n);
+  const float inv_n = 1.0f / static_cast<float>(n);
+  double loss = 0.0;
+  switch (kind) {
+    case GanLossKind::kHeuristic: {
+      // L = -log(sigma(z)); dL/dz = sigma(z) - 1.
+      for (std::size_t i = 0; i < n; ++i) {
+        const float z = fake_logits.data()[i];
+        loss += std::max(z, 0.0f) - z + std::log1p(std::exp(-std::abs(z)));
+        grad.data()[i] = (stable_sigmoid(z) - 1.0f) * inv_n;
+      }
+      break;
+    }
+    case GanLossKind::kMinimax: {
+      // L = log(1 - sigma(z)) = -softplus(z); dL/dz = -sigma(z).
+      // (Minimizing this loss maximizes D's fake-side error, the original
+      // saturating objective; its gradient vanishes where D is confident.)
+      for (std::size_t i = 0; i < n; ++i) {
+        const float z = fake_logits.data()[i];
+        loss += -(std::max(z, 0.0f) + std::log1p(std::exp(-std::abs(z))));
+        grad.data()[i] = -stable_sigmoid(z) * inv_n;
+      }
+      break;
+    }
+    case GanLossKind::kLeastSquares: {
+      // L = (z - 1)^2 ; dL/dz = 2 (z - 1).
+      for (std::size_t i = 0; i < n; ++i) {
+        const float z = fake_logits.data()[i];
+        loss += (z - 1.0f) * (z - 1.0f);
+        grad.data()[i] = 2.0f * (z - 1.0f) * inv_n;
+      }
+      break;
+    }
+  }
+  return {static_cast<float>(loss) * inv_n, std::move(grad)};
+}
+
+std::pair<float, tensor::Tensor> discriminator_real_loss_grad(
+    GanLossKind kind, const tensor::Tensor& real_logits) {
+  if (kind == GanLossKind::kLeastSquares) {
+    // L = (z - 1)^2 ; dL/dz = 2 (z - 1).
+    const std::size_t n = real_logits.size();
+    CG_EXPECT(n > 0);
+    tensor::Tensor grad(real_logits.rows(), real_logits.cols());
+    tensor::count_flops(6ULL * n);
+    double loss = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float z = real_logits.data()[i];
+      loss += (z - 1.0f) * (z - 1.0f);
+      grad.data()[i] = 2.0f * (z - 1.0f) * inv_n;
+    }
+    return {static_cast<float>(loss) * inv_n, std::move(grad)};
+  }
+  // Both BCE-family generator objectives share the standard BCE critic.
+  return tensor::bce_with_logits(
+      real_logits,
+      tensor::Tensor::full(real_logits.rows(), real_logits.cols(), 1.0f));
+}
+
+std::pair<float, tensor::Tensor> discriminator_fake_loss_grad(
+    GanLossKind kind, const tensor::Tensor& fake_logits) {
+  if (kind == GanLossKind::kLeastSquares) {
+    // L = z^2 ; dL/dz = 2 z.
+    const std::size_t n = fake_logits.size();
+    CG_EXPECT(n > 0);
+    tensor::Tensor grad(fake_logits.rows(), fake_logits.cols());
+    tensor::count_flops(4ULL * n);
+    double loss = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float z = fake_logits.data()[i];
+      loss += z * z;
+      grad.data()[i] = 2.0f * z * inv_n;
+    }
+    return {static_cast<float>(loss) * inv_n, std::move(grad)};
+  }
+  return tensor::bce_with_logits(
+      fake_logits,
+      tensor::Tensor::full(fake_logits.rows(), fake_logits.cols(), 0.0f));
+}
+
+}  // namespace cellgan::core

@@ -1,0 +1,46 @@
+// GAN objective variants — the Mustangs half of "Mustangs/Lipizzaner".
+//
+// Mustangs [Toutouh et al., GECCO 2019] extends Lipizzaner's spatial
+// coevolution with E-GAN-style loss-function diversity: each training step
+// may use the minimax, heuristic (non-saturating) or least-squares
+// objective. All operate on raw discriminator logits:
+//
+//   minimax    G: min E[ log(1 - sigma(D(G(z)))) ]      (original GAN)
+//   heuristic  G: min E[ -log(sigma(D(G(z)))) ]         (non-saturating)
+//   lsq        G: min E[ (D(G(z)) - 1)^2 ]              (LSGAN)
+//
+//   D (bce kinds):  min BCE(D(x),1) + BCE(D(G(z)),0)
+//   D (lsq):        min E[(D(x)-1)^2] + E[D(G(z))^2]
+//
+// Each helper returns (mean loss, dLoss/dlogits) so the training step can
+// backpropagate through the discriminator into the generator.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace cellgan::core {
+
+enum class GanLossKind : std::uint32_t {
+  kHeuristic = 0,     ///< non-saturating BCE (Lipizzaner's default)
+  kMinimax = 1,       ///< original saturating objective
+  kLeastSquares = 2,  ///< LSGAN quadratic objective
+};
+
+const char* to_string(GanLossKind kind);
+
+/// Generator-side loss over the logits D emitted for generated samples.
+std::pair<float, tensor::Tensor> generator_loss_grad(GanLossKind kind,
+                                                     const tensor::Tensor& fake_logits);
+
+/// Discriminator loss is separable into a real-batch and a fake-batch term;
+/// the halves are exposed individually so the training step can interleave
+/// forward/backward per batch without re-running forwards.
+std::pair<float, tensor::Tensor> discriminator_real_loss_grad(
+    GanLossKind kind, const tensor::Tensor& real_logits);
+std::pair<float, tensor::Tensor> discriminator_fake_loss_grad(
+    GanLossKind kind, const tensor::Tensor& fake_logits);
+
+}  // namespace cellgan::core

@@ -1,0 +1,84 @@
+#include "core/gan_trainer.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace cellgan::core {
+
+namespace {
+tensor::Tensor latent_batch(std::size_t batch_size, std::size_t latent_dim,
+                            common::Rng& rng) {
+  return tensor::Tensor::randn(batch_size, latent_dim, rng, 1.0f);
+}
+}  // namespace
+
+double train_discriminator_step(nn::Sequential& discriminator,
+                                nn::Optimizer& d_optimizer,
+                                nn::Sequential& generator,
+                                const tensor::Tensor& real_batch,
+                                std::size_t latent_dim, common::Rng& rng,
+                                GanLossKind loss_kind) {
+  const std::size_t batch = real_batch.rows();
+  const tensor::Tensor fake = generator.forward(latent_batch(batch, latent_dim, rng));
+
+  discriminator.zero_grad();
+  // Gradients accumulate across the real and fake backward passes.
+  const tensor::Tensor real_logits = discriminator.forward(real_batch);
+  auto [real_loss, d_real] = discriminator_real_loss_grad(loss_kind, real_logits);
+  discriminator.backward(d_real);
+  const tensor::Tensor fake_logits = discriminator.forward(fake);
+  auto [fake_loss, d_fake] = discriminator_fake_loss_grad(loss_kind, fake_logits);
+  discriminator.backward(d_fake);
+
+  d_optimizer.step(discriminator);
+  return static_cast<double>(real_loss) + fake_loss;
+}
+
+double train_generator_step(nn::Sequential& generator, nn::Optimizer& g_optimizer,
+                            nn::Sequential& discriminator, std::size_t batch_size,
+                            std::size_t latent_dim, common::Rng& rng,
+                            GanLossKind loss_kind) {
+  generator.zero_grad();
+  discriminator.zero_grad();  // D gradients are scratch here; never stepped
+
+  const tensor::Tensor fake =
+      generator.forward(latent_batch(batch_size, latent_dim, rng));
+  const tensor::Tensor logits = discriminator.forward(fake);
+  auto [loss, dlogits] = generator_loss_grad(loss_kind, logits);
+  const tensor::Tensor dfake = discriminator.backward(dlogits);
+  generator.backward(dfake);
+
+  g_optimizer.step(generator);
+  discriminator.zero_grad();  // drop the scratch gradients
+  return loss;
+}
+
+double evaluate_generator_loss(nn::Sequential& generator,
+                               nn::Sequential& discriminator, std::size_t batch_size,
+                               std::size_t latent_dim, common::Rng& rng) {
+  const tensor::Tensor fake =
+      generator.forward(latent_batch(batch_size, latent_dim, rng));
+  const tensor::Tensor logits = discriminator.forward(fake);
+  auto [loss, dlogits] =
+      tensor::bce_with_logits(logits, tensor::Tensor::full(batch_size, 1, 1.0f));
+  (void)dlogits;
+  return loss;
+}
+
+double evaluate_discriminator_loss(nn::Sequential& discriminator,
+                                   nn::Sequential& generator,
+                                   const tensor::Tensor& real_batch,
+                                   std::size_t latent_dim, common::Rng& rng) {
+  const std::size_t batch = real_batch.rows();
+  const tensor::Tensor fake = generator.forward(latent_batch(batch, latent_dim, rng));
+  const tensor::Tensor real_logits = discriminator.forward(real_batch);
+  auto [real_loss, d_real] =
+      tensor::bce_with_logits(real_logits, tensor::Tensor::full(batch, 1, 1.0f));
+  (void)d_real;
+  const tensor::Tensor fake_logits = discriminator.forward(fake);
+  auto [fake_loss, d_fake] =
+      tensor::bce_with_logits(fake_logits, tensor::Tensor::full(batch, 1, 0.0f));
+  (void)d_fake;
+  return static_cast<double>(real_loss) + fake_loss;
+}
+
+}  // namespace cellgan::core

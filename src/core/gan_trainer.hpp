@@ -1,0 +1,49 @@
+// Adversarial gradient steps and loss evaluations for one G/D pairing.
+//
+// Standard non-saturating GAN objective with BCE-with-logits:
+//   D minimizes  BCE(D(x_real), 1) + BCE(D(G(z)), 0)
+//   G minimizes  BCE(D(G(z)), 1)
+// Each function performs exactly one mini-batch update (or a pure
+// evaluation), so the cell trainer composes them freely under tournament
+// selection.
+#pragma once
+
+#include "common/rng.hpp"
+#include "core/gan_losses.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::core {
+
+/// One discriminator update on a real batch + an equal-size fake batch.
+/// Returns the discriminator loss before the step. `loss_kind` selects the
+/// objective (Mustangs loss diversity); the default reproduces Lipizzaner.
+double train_discriminator_step(nn::Sequential& discriminator,
+                                nn::Optimizer& d_optimizer,
+                                nn::Sequential& generator,
+                                const tensor::Tensor& real_batch,
+                                std::size_t latent_dim, common::Rng& rng,
+                                GanLossKind loss_kind = GanLossKind::kHeuristic);
+
+/// One generator update against a fixed discriminator. Returns the generator
+/// loss before the step.
+double train_generator_step(nn::Sequential& generator, nn::Optimizer& g_optimizer,
+                            nn::Sequential& discriminator, std::size_t batch_size,
+                            std::size_t latent_dim, common::Rng& rng,
+                            GanLossKind loss_kind = GanLossKind::kHeuristic);
+
+/// Generator loss (how badly G fools D) without any update. Fitness
+/// comparisons always use the heuristic objective so values are comparable
+/// across cells regardless of each cell's training loss.
+double evaluate_generator_loss(nn::Sequential& generator,
+                               nn::Sequential& discriminator, std::size_t batch_size,
+                               std::size_t latent_dim, common::Rng& rng);
+
+/// Discriminator loss on real + fake batches without any update.
+double evaluate_discriminator_loss(nn::Sequential& discriminator,
+                                   nn::Sequential& generator,
+                                   const tensor::Tensor& real_batch,
+                                   std::size_t latent_dim, common::Rng& rng);
+
+}  // namespace cellgan::core

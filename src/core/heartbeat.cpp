@@ -1,0 +1,74 @@
+#include "core/heartbeat.hpp"
+
+#include "common/log.hpp"
+
+namespace cellgan::core {
+
+HeartbeatMonitor::HeartbeatMonitor(minimpi::Comm& world, Options options)
+    : world_(world), options_(options) {
+  const int slaves = world_.size() - 1;
+  latest_.resize(slaves);
+  consecutive_misses_.assign(slaves, 0);
+}
+
+HeartbeatMonitor::~HeartbeatMonitor() { stop(); }
+
+void HeartbeatMonitor::start() {
+  CG_EXPECT(!running_.load());
+  running_.store(true);
+  thread_ = std::thread([this] { poll_loop(); });
+}
+
+void HeartbeatMonitor::stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+std::vector<protocol::StatusReply> HeartbeatMonitor::snapshot() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return latest_;
+}
+
+void HeartbeatMonitor::set_on_unresponsive(std::function<void(int)> callback) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  on_unresponsive_ = std::move(callback);
+}
+
+void HeartbeatMonitor::poll_loop() {
+  common::set_thread_log_label("heartbeat");
+  const int slaves = world_.size() - 1;
+  while (running_.load()) {
+    for (int s = 0; s < slaves; ++s) {
+      if (!running_.load()) break;
+      const int rank = s + 1;
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (latest_[s].state == protocol::SlaveState::kFinished) continue;
+      }
+      world_.send_oob(rank, protocol::kStatusRequest, {});
+      auto reply =
+          world_.recv_for(rank, protocol::kStatusReply, options_.reply_timeout_s);
+      std::function<void(int)> alarm;
+      if (reply) {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        latest_[s] = protocol::StatusReply::deserialize(reply->payload);
+        consecutive_misses_[s] = 0;
+      } else {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        if (++consecutive_misses_[s] == options_.miss_threshold) {
+          common::log_warn() << "slave rank " << rank << " unresponsive after "
+                             << options_.miss_threshold << " heartbeats";
+          alarm = on_unresponsive_;
+        }
+      }
+      if (alarm) alarm(rank);
+    }
+    cycles_.fetch_add(1);
+    // "Wait X seconds" between polling cycles (Fig. 3).
+    const auto interval =
+        std::chrono::duration<double>(options_.interval_s);
+    std::this_thread::sleep_for(interval);
+  }
+}
+
+}  // namespace cellgan::core

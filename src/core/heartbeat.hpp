@@ -1,0 +1,67 @@
+// Heartbeat monitor — the master's background control thread (Section III.B,
+// Fig. 3 left): periodically queries every slave's state "to determine if all
+// slaves are working properly, are on time, or are delayed", without
+// interfering with the main processing.
+//
+// The monitor runs on its own std::thread, polls each unfinished slave with
+// kStatusRequest and collects kStatusReply with a timeout. A slave that
+// misses `miss_threshold` consecutive polls is reported through the
+// on_unresponsive callback (used by the fault-injection example and tests).
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/protocol.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cellgan::core {
+
+class HeartbeatMonitor {
+ public:
+  struct Options {
+    double interval_s = 0.05;       ///< the paper's "wait X seconds"
+    double reply_timeout_s = 0.05;  ///< per-slave reply wait
+    int miss_threshold = 3;         ///< consecutive misses before alarm
+  };
+
+  /// `world` must outlive the monitor; slaves are world ranks 1..world.size()-1.
+  HeartbeatMonitor(minimpi::Comm& world, Options options);
+  ~HeartbeatMonitor();
+
+  HeartbeatMonitor(const HeartbeatMonitor&) = delete;
+  HeartbeatMonitor& operator=(const HeartbeatMonitor&) = delete;
+
+  /// Start the background thread.
+  void start();
+  /// Stop polling and join the thread (idempotent).
+  void stop();
+
+  /// Latest observed state of each slave (index 0 <-> world rank 1).
+  std::vector<protocol::StatusReply> snapshot() const;
+
+  /// Number of completed polling cycles so far.
+  std::uint64_t cycles() const { return cycles_.load(); }
+
+  /// Invoked (from the heartbeat thread) when a slave crosses the miss
+  /// threshold. Argument is the slave's world rank.
+  void set_on_unresponsive(std::function<void(int)> callback);
+
+ private:
+  void poll_loop();
+
+  minimpi::Comm& world_;
+  Options options_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> cycles_{0};
+  mutable std::mutex state_mutex_;
+  std::vector<protocol::StatusReply> latest_;
+  std::vector<int> consecutive_misses_;
+  std::function<void(int)> on_unresponsive_;
+};
+
+}  // namespace cellgan::core

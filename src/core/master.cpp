@@ -1,0 +1,99 @@
+#include "core/master.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace cellgan::core {
+
+Master::Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,
+               const CostModel& cost_model)
+    : Master(world, global, std::move(config), cost_model, Options{}) {}
+
+Master::Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,
+               const CostModel& cost_model, Options options)
+    : world_(world),
+      global_(global),
+      config_(std::move(config)),
+      cost_model_(cost_model),
+      options_(options) {
+  CG_EXPECT(world_.rank() == 0);
+  CG_EXPECT(world_.size() == static_cast<int>(config_.grid_cells()) + 1);
+}
+
+MasterOutcome Master::run() {
+  const int slaves = world_.size() - 1;
+  MasterOutcome outcome;
+
+  // 1. Gather information about the computing infrastructure.
+  outcome.node_names.resize(slaves);
+  for (int i = 0; i < slaves; ++i) {
+    const auto m = world_.recv(minimpi::kAnySource, protocol::kNodeName);
+    outcome.node_names[m.source - 1] =
+        std::string(m.payload.begin(), m.payload.end());
+  }
+  common::log_debug() << "master: " << slaves << " slaves reported in";
+
+  // 2./3. Decide placement (uniform: cell = rank - 1, the paper's uniform
+  // partitioning) and share the parameter configuration with all slaves.
+  auto config_bytes = config_.serialize();
+  world_.bcast(config_bytes, /*root=*/0);
+
+  // 4. Assign workload: run task messages flip slaves to Processing.
+  for (int rank = 1; rank <= slaves; ++rank) {
+    protocol::RunTask task;
+    task.cell_id = static_cast<std::uint32_t>(rank - 1);
+    task.seed = config_.seed;
+    const auto bytes = task.serialize();
+    world_.send(rank, protocol::kRunTask, bytes);
+  }
+
+  // 5. Monitor execution in the background while slaves train.
+  HeartbeatMonitor heartbeat(world_, options_.heartbeat);
+  if (options_.enable_heartbeat) heartbeat.start();
+
+  // 6. Wait for every slave to report Finished (any order).
+  for (int i = 0; i < slaves; ++i) {
+    const auto m = world_.recv(minimpi::kAnySource, protocol::kFinished);
+    common::log_debug() << "master: slave rank " << m.source << " finished";
+  }
+  if (options_.enable_heartbeat) heartbeat.stop();
+  outcome.heartbeat_cycles = heartbeat.cycles();
+
+  // 7. Release the slaves into the result gather.
+  for (int rank = 1; rank <= slaves; ++rank) {
+    world_.send(rank, protocol::kShutdown, {});
+  }
+
+  // 8. Gather results over GLOBAL and run the reduction. The per-slave
+  // processing is serialized at the master; its calibrated cost is the
+  // management overhead of Table III.
+  const auto gathered = global_.gather({}, /*root=*/0);
+  outcome.results.resize(slaves);
+  common::WallTimer reduction_wall;
+  for (int rank = 1; rank <= slaves; ++rank) {
+    auto result = protocol::SlaveResult::deserialize(gathered[rank]);
+    CG_EXPECT(result.cell_id < static_cast<std::uint32_t>(slaves));
+    outcome.results[result.cell_id] = std::move(result);
+  }
+  // The serialized reduction runs on the master's node, whose speed varies
+  // run to run on the best-effort cluster like everyone else's.
+  const double mgmt_s = static_cast<double>(slaves) *
+                        cost_model_.mgmt_seconds_per_slave(config_.iterations) *
+                        cost_model_.node_factor(world_.jitter_rng());
+  world_.clock().advance(mgmt_s);
+  world_.profiler().add(common::routine::kManagement, reduction_wall.elapsed_s(),
+                        mgmt_s);
+
+  auto best = std::min_element(
+      outcome.results.begin(), outcome.results.end(),
+      [](const protocol::SlaveResult& a, const protocol::SlaveResult& b) {
+        return a.center.g_fitness < b.center.g_fitness;
+      });
+  outcome.best_cell = static_cast<int>(best - outcome.results.begin());
+  outcome.virtual_makespan_s = world_.clock().now();
+  return outcome;
+}
+
+}  // namespace cellgan::core

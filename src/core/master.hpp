@@ -1,0 +1,56 @@
+// The master process (Section III.B, Fig. 3 left column).
+//
+// Responsibilities, in order: gather infrastructure info (node names),
+// decide slave placement, broadcast the parameter configuration, send run
+// task messages (Inactive -> Processing), monitor execution through the
+// background heartbeat thread, collect per-slave results, run the reduction
+// that returns the best generative model, and shut the slaves down.
+//
+// Result collection uses the GLOBAL communicator's gather (the paper's
+// stated use for GLOBAL); the serialized per-slave reduction work is charged
+// to the `management` routine — the overhead that makes the 4x4 speedup
+// sublinear in Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/heartbeat.hpp"
+#include "core/protocol.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cellgan::core {
+
+struct MasterOutcome {
+  std::vector<std::string> node_names;           ///< per slave, rank order
+  std::vector<protocol::SlaveResult> results;    ///< indexed by cell id
+  int best_cell = 0;                             ///< argmin generator fitness
+  double virtual_makespan_s = 0.0;               ///< master clock at the end
+  std::uint64_t heartbeat_cycles = 0;
+};
+
+class Master {
+ public:
+  struct Options {
+    bool enable_heartbeat = true;
+    HeartbeatMonitor::Options heartbeat;
+  };
+
+  Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,
+         const CostModel& cost_model);
+  Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,
+         const CostModel& cost_model, Options options);
+
+  MasterOutcome run();
+
+ private:
+  minimpi::Comm& world_;
+  minimpi::Comm& global_;
+  TrainingConfig config_;
+  const CostModel& cost_model_;
+  Options options_;
+};
+
+}  // namespace cellgan::core

@@ -1,0 +1,97 @@
+#include "core/mixture.hpp"
+
+#include <algorithm>
+
+#include "common/serialize.hpp"
+
+namespace cellgan::core {
+
+MixtureWeights::MixtureWeights(std::size_t size)
+    : weights_(size, size > 0 ? 1.0 / static_cast<double>(size) : 0.0) {
+  CG_EXPECT(size > 0);
+}
+
+void MixtureWeights::set_weights(std::vector<double> w) {
+  CG_EXPECT(w.size() == weights_.size());
+  for (const double v : w) CG_EXPECT(v >= 0.0);
+  weights_ = std::move(w);
+  normalize();
+}
+
+void MixtureWeights::normalize() {
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  if (total <= 0.0) {
+    // Degenerate after clamping: fall back to uniform.
+    std::fill(weights_.begin(), weights_.end(), 1.0 / static_cast<double>(size()));
+    return;
+  }
+  for (auto& w : weights_) w /= total;
+}
+
+MixtureWeights MixtureWeights::mutated(double scale, common::Rng& rng) const {
+  MixtureWeights copy = *this;
+  for (auto& w : copy.weights_) w = std::max(0.0, w + rng.normal(0.0, scale));
+  copy.normalize();
+  return copy;
+}
+
+std::size_t MixtureWeights::sample_index(common::Rng& rng) const {
+  const double u = rng.uniform();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    acc += weights_[i];
+    if (u < acc) return i;
+  }
+  return weights_.size() - 1;  // guard against rounding at u ~ 1
+}
+
+std::vector<std::uint8_t> MixtureWeights::serialize() const {
+  common::ByteWriter w;
+  w.write_vector(weights_);
+  return w.take();
+}
+
+MixtureWeights MixtureWeights::deserialize(std::span<const std::uint8_t> bytes) {
+  common::ByteReader r(bytes);
+  auto values = r.read_vector<double>();
+  MixtureWeights out(values.size());
+  out.set_weights(std::move(values));
+  return out;
+}
+
+tensor::Tensor sample_mixture(const MixtureWeights& weights,
+                              std::vector<nn::Sequential*> generators,
+                              std::size_t latent_dim, std::size_t count,
+                              common::Rng& rng) {
+  CG_EXPECT(weights.size() == generators.size());
+  CG_EXPECT(!generators.empty() && count > 0);
+
+  // Assign each sample to a generator, then batch per generator so each
+  // network runs one forward pass.
+  std::vector<std::vector<std::size_t>> rows_of(generators.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    rows_of[weights.sample_index(rng)].push_back(i);
+  }
+
+  tensor::Tensor out;
+  bool out_ready = false;
+  for (std::size_t g = 0; g < generators.size(); ++g) {
+    if (rows_of[g].empty()) continue;
+    tensor::Tensor z =
+        tensor::Tensor::randn(rows_of[g].size(), latent_dim, rng, 1.0f);
+    const tensor::Tensor images = generators[g]->forward(z);
+    if (!out_ready) {
+      out = tensor::Tensor(count, images.cols());
+      out_ready = true;
+    }
+    for (std::size_t k = 0; k < rows_of[g].size(); ++k) {
+      auto src = images.row_span(k);
+      auto dst = out.row_span(rows_of[g][k]);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+}  // namespace cellgan::core

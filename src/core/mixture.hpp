@@ -1,0 +1,54 @@
+// Neighborhood generator mixtures.
+//
+// Lipizzaner's final product is not a single generator but the sub-population
+// of a neighborhood combined with mixture weights: samples are drawn from
+// generator i with probability w_i. Weights evolve by Gaussian mutation
+// (Table I: mixture mutation scale 0.01) under (1+1)-ES selection on the
+// mixture's quality.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::core {
+
+class MixtureWeights {
+ public:
+  /// Uniform weights over `size` generators.
+  explicit MixtureWeights(std::size_t size);
+
+  std::size_t size() const { return weights_.size(); }
+  double weight(std::size_t i) const { return weights_[i]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Replace weights (renormalized; non-negative required).
+  void set_weights(std::vector<double> w);
+
+  /// Gaussian-perturb every weight with stddev `scale`, clamp at zero,
+  /// renormalize. Returns the mutated copy (callers keep the original for
+  /// (1+1)-ES selection).
+  MixtureWeights mutated(double scale, common::Rng& rng) const;
+
+  /// Sample a generator index from the weight distribution.
+  std::size_t sample_index(common::Rng& rng) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static MixtureWeights deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  void normalize();
+  std::vector<double> weights_;
+};
+
+/// Draw `count` samples from the weighted ensemble: each row comes from the
+/// generator selected by the mixture distribution, fed with a fresh latent
+/// vector z ~ N(0,1)^latent_dim.
+tensor::Tensor sample_mixture(const MixtureWeights& weights,
+                              std::vector<nn::Sequential*> generators,
+                              std::size_t latent_dim, std::size_t count,
+                              common::Rng& rng);
+
+}  // namespace cellgan::core

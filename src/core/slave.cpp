@@ -1,0 +1,141 @@
+#include "core/slave.hpp"
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "core/comm_manager.hpp"
+#include "core/grid.hpp"
+
+namespace cellgan::core {
+
+Slave::Slave(minimpi::Comm& world, minimpi::Comm& local, minimpi::Comm& global,
+             const data::Dataset& dataset, const CostModel& cost_model)
+    : Slave(world, local, global, dataset, cost_model, Options{}) {}
+
+Slave::Slave(minimpi::Comm& world, minimpi::Comm& local, minimpi::Comm& global,
+             const data::Dataset& dataset, const CostModel& cost_model,
+             Options options)
+    : world_(world),
+      local_(local),
+      global_(global),
+      dataset_(dataset),
+      cost_model_(cost_model),
+      options_(std::move(options)) {
+  CG_EXPECT(world_.rank() >= 1);
+}
+
+protocol::SlaveResult Slave::run() {
+  // Fig. 3: announce which node this slave landed on.
+  const std::string node_name = "node-" + std::to_string(world_.rank());
+  world_.send(0, protocol::kNodeName,
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(node_name.data()),
+                  node_name.size()));
+
+  // Receive the shared parameter configuration (WORLD broadcast) and this
+  // slave's workload assignment.
+  std::vector<std::uint8_t> config_bytes;
+  world_.bcast(config_bytes, /*root=*/0);
+  const TrainingConfig config = TrainingConfig::deserialize(config_bytes);
+
+  const auto task_msg = world_.recv(0, protocol::kRunTask);
+  const protocol::RunTask task = protocol::RunTask::deserialize(task_msg.payload);
+  cell_id_ = task.cell_id;
+  CG_EXPECT(static_cast<int>(cell_id_) == local_.rank());
+  state_.store(protocol::SlaveState::kProcessing);
+
+  // Assemble the execution grid from the configuration (Fig. 3 "assemble
+  // execution grid") and launch the execution thread for the training.
+  Grid grid(static_cast<int>(config.grid_rows), static_cast<int>(config.grid_cols));
+  ExecContext context;
+  context.mode = ExecMode::Distributed;
+  context.grid_cells = grid.size();
+  context.cost = &cost_model_;
+  context.clock = &world_.clock();
+  context.profiler = &world_.profiler();
+  context.jitter_rng = &world_.jitter_rng();
+  // Which node did this slave land on? Drawn once per run (best-effort
+  // cluster model); scales every compute charge below.
+  context.node_factor = cost_model_.node_factor(world_.jitter_rng());
+
+  common::Rng master_rng(task.seed);
+  protocol::SlaveResult result;
+  std::atomic<bool> training_done{false};
+
+  std::thread execution_thread([&] {
+    common::set_thread_log_label("rank " + std::to_string(world_.rank()) + " exec");
+    CellTrainer cell(config, grid, static_cast<int>(cell_id_), dataset_,
+                     master_rng.fork(cell_id_), context);
+    // Exchange transport per configuration: the paper's collective allgather
+    // or the asynchronous neighbors-only publication.
+    MpiCommManager allgather_manager(local_);
+    AsyncMpiCommManager async_manager(local_, grid);
+    CommManager& comm_manager =
+        config.exchange_mode == ExchangeMode::kAsyncNeighbors
+            ? static_cast<CommManager&>(async_manager)
+            : static_cast<CommManager&>(allgather_manager);
+    std::vector<std::vector<std::uint8_t>> gathered(grid.size());
+    for (std::uint32_t iter = 0; iter < config.iterations; ++iter) {
+      cell.step(gathered);
+      iteration_.store(cell.iteration());
+      {
+        // Gather: exchange center genomes with the LOCAL communicator. Both
+        // measured and simulated cost come from the actual messages.
+        common::WallTimer gather_wall;
+        const double vt_before = world_.clock().now();
+        gathered = comm_manager.exchange(cell.export_genome());
+        world_.profiler().add(common::routine::kGather, gather_wall.elapsed_s(),
+                              world_.clock().now() - vt_before);
+      }
+      if (options_.on_iteration) options_.on_iteration(iter);
+    }
+    result.cell_id = cell_id_;
+    result.center = cell.center_genome();
+    result.mixture_weights = cell.mixture().weights();
+    training_done.store(true);
+  });
+
+  // Main thread: communication interface with the master.
+  main_thread_loop(training_done);
+  execution_thread.join();
+
+  // Last iteration done: Processing -> Finished (Fig. 2).
+  state_.store(protocol::SlaveState::kFinished);
+  result.virtual_time_s = world_.clock().now();
+  world_.send(0, protocol::kFinished, {});
+
+  // Keep serving control messages until the master releases us, then join
+  // the GLOBAL result gather.
+  for (;;) {
+    auto m = world_.recv(0, minimpi::kAnyTag);
+    if (m.tag == protocol::kShutdown) break;
+    if (m.tag == protocol::kStatusRequest) {
+      protocol::StatusReply reply{state_.load(), iteration_.load(), cell_id_};
+      const auto bytes = reply.serialize();
+      world_.send_oob(0, protocol::kStatusReply, bytes);
+    }
+  }
+  const auto result_bytes = result.serialize();
+  global_.gather(result_bytes, /*root=*/0);
+  return result;
+}
+
+void Slave::main_thread_loop(std::atomic<bool>& training_done) {
+  while (!training_done.load()) {
+    auto m = world_.recv_for(0, minimpi::kAnyTag, options_.poll_timeout_s);
+    if (!m) continue;
+    if (m->tag == protocol::kStatusRequest) {
+      if (options_.mute_heartbeat != nullptr && options_.mute_heartbeat->load()) {
+        continue;  // simulate an unresponsive slave
+      }
+      protocol::StatusReply reply{state_.load(), iteration_.load(), cell_id_};
+      const auto bytes = reply.serialize();
+      world_.send_oob(0, protocol::kStatusReply, bytes);
+    } else {
+      common::log_warn() << "slave: unexpected tag " << m->tag
+                         << " while processing";
+    }
+  }
+}
+
+}  // namespace cellgan::core

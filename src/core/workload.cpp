@@ -1,0 +1,20 @@
+#include "core/workload.hpp"
+
+#include <cmath>
+
+#include "common/expect.hpp"
+#include "data/synthetic_mnist.hpp"
+
+namespace cellgan::core {
+
+data::Dataset make_matched_dataset(const TrainingConfig& config, std::size_t samples,
+                                   std::uint64_t seed) {
+  const auto side = static_cast<std::size_t>(
+      std::lround(std::sqrt(static_cast<double>(config.arch.image_dim))));
+  CG_EXPECT(side * side == config.arch.image_dim);
+  // The glyphs are vector shapes, so any resolution (including larger than
+  // MNIST's 28x28) is rendered natively rather than rescaled.
+  return data::make_synthetic_digits(samples, side, seed);
+}
+
+}  // namespace cellgan::core

@@ -1,0 +1,15 @@
+// Convenience for tests, examples and benchmarks: build a synthetic dataset
+// whose image dimension matches the configured architecture (the procedural
+// renderer always draws 28x28; reduced architectures get area-averaged
+// images so the full code path still runs on real structured data).
+#pragma once
+
+#include "core/config.hpp"
+#include "data/dataset.hpp"
+
+namespace cellgan::core {
+
+data::Dataset make_matched_dataset(const TrainingConfig& config, std::size_t samples,
+                                   std::uint64_t seed);
+
+}  // namespace cellgan::core

@@ -1,0 +1,43 @@
+#include "data/dataloader.hpp"
+
+#include <algorithm>
+
+namespace cellgan::data {
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size)
+    : dataset_(dataset), batch_size_(batch_size) {
+  CG_EXPECT(batch_size_ > 0);
+  CG_EXPECT(dataset_.size() >= batch_size_);
+  order_.resize(dataset_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+std::size_t DataLoader::batches_per_epoch() const {
+  return dataset_.size() / batch_size_;
+}
+
+void DataLoader::reshuffle(common::Rng& rng) { rng.shuffle(order_); }
+
+tensor::Tensor DataLoader::batch(std::size_t index) const {
+  CG_EXPECT(index < batches_per_epoch());
+  tensor::Tensor out(batch_size_, dataset_.images.cols());
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    auto src = dataset_.images.row_span(order_[index * batch_size_ + i]);
+    auto dst = out.row_span(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> DataLoader::batch_labels(std::size_t index) const {
+  CG_EXPECT(index < batches_per_epoch());
+  std::vector<std::uint32_t> out(batch_size_);
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    out[i] = dataset_.labels[order_[index * batch_size_ + i]];
+  }
+  return out;
+}
+
+}  // namespace cellgan::data

@@ -1,0 +1,38 @@
+// Shuffling mini-batch iterator over a Dataset (batch size 100 in Table I).
+//
+// Deterministic: the shuffle order is drawn from the Rng passed to
+// reshuffle(), so two loaders over the same data with equal-seeded
+// generators produce identical batch streams.
+#pragma once
+
+#include "common/rng.hpp"
+#include "data/dataset.hpp"
+
+namespace cellgan::data {
+
+class DataLoader {
+ public:
+  /// Keeps a reference to `dataset`; caller guarantees it outlives the loader.
+  DataLoader(const Dataset& dataset, std::size_t batch_size);
+
+  std::size_t batch_size() const { return batch_size_; }
+  /// Number of full batches per epoch (the tail partial batch is dropped,
+  /// matching the usual GAN training loop).
+  std::size_t batches_per_epoch() const;
+
+  /// Draw a new epoch order.
+  void reshuffle(common::Rng& rng);
+
+  /// Materialize batch `index` (0-based within the current epoch order).
+  tensor::Tensor batch(std::size_t index) const;
+
+  /// Labels aligned with batch(index) rows.
+  std::vector<std::uint32_t> batch_labels(std::size_t index) const;
+
+ private:
+  const Dataset& dataset_;
+  std::size_t batch_size_;
+  std::vector<std::uint32_t> order_;
+};
+
+}  // namespace cellgan::data

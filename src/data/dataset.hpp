@@ -1,0 +1,49 @@
+// Labeled image dataset.
+//
+// Images are stored as an (n x 784) tensor with pixel values in [-1, 1]
+// (matching the generator's tanh output range, as in Lipizzaner's MNIST
+// pipeline). Labels are digit classes 0..9.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::data {
+
+inline constexpr std::size_t kImageSide = 28;
+inline constexpr std::size_t kImageDim = kImageSide * kImageSide;
+inline constexpr std::size_t kNumClasses = 10;
+
+struct Dataset {
+  tensor::Tensor images;               // n x 784, values in [-1, 1]
+  std::vector<std::uint32_t> labels;   // n entries, 0..9
+
+  std::size_t size() const { return images.rows(); }
+
+  /// Copy of samples [begin, end).
+  Dataset slice(std::size_t begin, std::size_t end) const;
+
+  /// Uniform random subsample of `count` items (without replacement).
+  Dataset subsample(std::size_t count, common::Rng& rng) const;
+
+  /// Per-class counts (histogram over labels).
+  std::vector<std::size_t> class_histogram() const;
+};
+
+/// Load MNIST from IDX files when they exist at `dir` (train-images-idx3-ubyte
+/// etc.); otherwise synthesize a procedural stand-in with the same shape
+/// (see synthetic_mnist.hpp and DESIGN.md §1). Returns {train, test}.
+std::pair<Dataset, Dataset> load_mnist_or_synthetic(const std::string& dir,
+                                                    std::size_t synthetic_train,
+                                                    std::size_t synthetic_test,
+                                                    std::uint64_t seed);
+
+/// Area-average the square images of a dataset down to new_side x new_side
+/// (used to feed reduced architectures in tests and wall-clock benchmarks).
+Dataset downsampled(const Dataset& dataset, std::size_t new_side);
+
+}  // namespace cellgan::data

@@ -1,0 +1,92 @@
+#include "data/idx.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "common/log.hpp"
+
+namespace cellgan::data {
+
+namespace {
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // idx3, ubyte
+constexpr std::uint32_t kLabelsMagic = 0x00000801;  // idx1, ubyte
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool read_u32_be(std::FILE* f, std::uint32_t& value) {
+  std::uint8_t b[4];
+  if (std::fread(b, 1, 4, f) != 4) return false;
+  value = (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+          (std::uint32_t{b[2]} << 8) | std::uint32_t{b[3]};
+  return true;
+}
+
+bool write_u32_be(std::FILE* f, std::uint32_t value) {
+  const std::uint8_t b[4] = {static_cast<std::uint8_t>(value >> 24),
+                             static_cast<std::uint8_t>(value >> 16),
+                             static_cast<std::uint8_t>(value >> 8),
+                             static_cast<std::uint8_t>(value)};
+  return std::fwrite(b, 1, 4, f) == 4;
+}
+
+}  // namespace
+
+bool read_idx_images(const std::string& path, IdxImages& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::uint32_t magic = 0;
+  if (!read_u32_be(f.get(), magic) || magic != kImagesMagic) {
+    common::log_warn() << "idx: bad image magic in " << path;
+    return false;
+  }
+  if (!read_u32_be(f.get(), out.count) || !read_u32_be(f.get(), out.rows) ||
+      !read_u32_be(f.get(), out.cols)) {
+    return false;
+  }
+  const std::size_t total =
+      std::size_t{out.count} * out.rows * out.cols;
+  out.pixels.resize(total);
+  return std::fread(out.pixels.data(), 1, total, f.get()) == total;
+}
+
+bool read_idx_labels(const std::string& path, std::vector<std::uint8_t>& out) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) return false;
+  std::uint32_t magic = 0, count = 0;
+  if (!read_u32_be(f.get(), magic) || magic != kLabelsMagic) {
+    common::log_warn() << "idx: bad label magic in " << path;
+    return false;
+  }
+  if (!read_u32_be(f.get(), count)) return false;
+  out.resize(count);
+  return std::fread(out.data(), 1, count, f.get()) == count;
+}
+
+bool write_idx_images(const std::string& path, const IdxImages& images) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_u32_be(f.get(), kImagesMagic) || !write_u32_be(f.get(), images.count) ||
+      !write_u32_be(f.get(), images.rows) || !write_u32_be(f.get(), images.cols)) {
+    return false;
+  }
+  return std::fwrite(images.pixels.data(), 1, images.pixels.size(), f.get()) ==
+         images.pixels.size();
+}
+
+bool write_idx_labels(const std::string& path, const std::vector<std::uint8_t>& labels) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  if (!write_u32_be(f.get(), kLabelsMagic) ||
+      !write_u32_be(f.get(), static_cast<std::uint32_t>(labels.size()))) {
+    return false;
+  }
+  return std::fwrite(labels.data(), 1, labels.size(), f.get()) == labels.size();
+}
+
+}  // namespace cellgan::data

@@ -1,0 +1,32 @@
+// IDX file format (the MNIST distribution format): big-endian magic +
+// dimension sizes, then raw unsigned bytes. Reader and writer are both
+// provided so the loader can be round-trip tested without shipping the
+// (non-redistributable here) original files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cellgan::data {
+
+struct IdxImages {
+  std::uint32_t count = 0;
+  std::uint32_t rows = 0;
+  std::uint32_t cols = 0;
+  std::vector<std::uint8_t> pixels;  // count*rows*cols bytes, row-major
+};
+
+/// Read an idx3-ubyte image file. Returns false (and logs) on open/parse error.
+bool read_idx_images(const std::string& path, IdxImages& out);
+
+/// Read an idx1-ubyte label file.
+bool read_idx_labels(const std::string& path, std::vector<std::uint8_t>& out);
+
+/// Write an idx3-ubyte image file. Returns false on I/O error.
+bool write_idx_images(const std::string& path, const IdxImages& images);
+
+/// Write an idx1-ubyte label file.
+bool write_idx_labels(const std::string& path, const std::vector<std::uint8_t>& labels);
+
+}  // namespace cellgan::data

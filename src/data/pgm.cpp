@@ -1,0 +1,81 @@
+#include "data/pgm.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "data/dataset.hpp"
+
+namespace cellgan::data {
+
+namespace {
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+std::uint8_t to_byte(float v) {
+  const float clamped = std::clamp((v + 1.0f) * 0.5f, 0.0f, 1.0f);
+  return static_cast<std::uint8_t>(clamped * 255.0f + 0.5f);
+}
+}  // namespace
+
+bool write_pgm(const std::string& path, std::span<const float> image) {
+  return write_pgm_grid(path, image, 1, 1);
+}
+
+bool write_pgm_grid_sized(const std::string& path, std::span<const float> images,
+                          std::size_t count, std::size_t tiles_per_row,
+                          std::size_t side) {
+  CG_EXPECT(count > 0 && tiles_per_row > 0 && side > 0);
+  const std::size_t dim = side * side;
+  CG_EXPECT(images.size() == count * dim);
+  const std::size_t tile_rows = (count + tiles_per_row - 1) / tiles_per_row;
+  const std::size_t width = tiles_per_row * side;
+  const std::size_t height = tile_rows * side;
+  std::vector<std::uint8_t> canvas(width * height, 0);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t tile_r = i / tiles_per_row;
+    const std::size_t tile_c = i % tiles_per_row;
+    for (std::size_t y = 0; y < side; ++y) {
+      for (std::size_t x = 0; x < side; ++x) {
+        canvas[(tile_r * side + y) * width + tile_c * side + x] =
+            to_byte(images[i * dim + y * side + x]);
+      }
+    }
+  }
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) return false;
+  std::fprintf(f.get(), "P5\n%zu %zu\n255\n", width, height);
+  return std::fwrite(canvas.data(), 1, canvas.size(), f.get()) == canvas.size();
+}
+
+bool write_pgm_grid(const std::string& path, std::span<const float> images,
+                    std::size_t count, std::size_t tiles_per_row) {
+  return write_pgm_grid_sized(path, images, count, tiles_per_row, kImageSide);
+}
+
+std::string ascii_art_sized(std::span<const float> image, std::size_t side) {
+  CG_EXPECT(image.size() == side * side);
+  static constexpr const char kRamp[] = " .:-=+*#%@";
+  std::string out;
+  out.reserve(side * (side + 1));
+  for (std::size_t y = 0; y < side; ++y) {
+    for (std::size_t x = 0; x < side; ++x) {
+      const float v = std::clamp((image[y * side + x] + 1.0f) * 0.5f, 0.0f, 1.0f);
+      out.push_back(kRamp[static_cast<std::size_t>(v * 9.0f)]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::string ascii_art(std::span<const float> image) {
+  return ascii_art_sized(image, kImageSide);
+}
+
+}  // namespace cellgan::data

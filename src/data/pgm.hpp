@@ -1,0 +1,29 @@
+// PGM (portable graymap) export, used by the examples to dump generated
+// samples in a format viewable without any image library.
+#pragma once
+
+#include <span>
+#include <string>
+
+namespace cellgan::data {
+
+/// Write one 28x28 image (784 floats in [-1,1]) as a binary PGM file.
+bool write_pgm(const std::string& path, std::span<const float> image);
+
+/// Tile `count` images (each 784 floats in [-1,1], contiguous) into a grid of
+/// `tiles_per_row` columns and write as one PGM.
+bool write_pgm_grid(const std::string& path, std::span<const float> images,
+                    std::size_t count, std::size_t tiles_per_row);
+
+/// Arbitrary-resolution variant: each image is side x side floats.
+bool write_pgm_grid_sized(const std::string& path, std::span<const float> images,
+                          std::size_t count, std::size_t tiles_per_row,
+                          std::size_t side);
+
+/// Render an image as ASCII art (for terminal quickstart output).
+std::string ascii_art(std::span<const float> image);
+
+/// Arbitrary-resolution ASCII art.
+std::string ascii_art_sized(std::span<const float> image, std::size_t side);
+
+}  // namespace cellgan::data

@@ -1,0 +1,183 @@
+#include "data/synthetic_mnist.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+namespace cellgan::data {
+
+namespace {
+
+struct Vec2 {
+  float x, y;
+};
+
+// Glyph skeletons: polylines in the unit square, origin top-left, y down.
+// Circles/arcs are approximated by dense polylines built at startup.
+using Polyline = std::vector<Vec2>;
+
+Polyline arc(float cx, float cy, float rx, float ry, float a0, float a1, int segments = 16) {
+  Polyline p;
+  p.reserve(segments + 1);
+  for (int i = 0; i <= segments; ++i) {
+    const float t = a0 + (a1 - a0) * static_cast<float>(i) / static_cast<float>(segments);
+    p.push_back({cx + rx * std::cos(t), cy + ry * std::sin(t)});
+  }
+  return p;
+}
+
+constexpr float kPi = 3.14159265358979323846f;
+
+std::vector<Polyline> glyph_for_digit(std::uint32_t digit) {
+  switch (digit) {
+    case 0:
+      return {arc(0.5f, 0.5f, 0.26f, 0.36f, 0.0f, 2.0f * kPi, 28)};
+    case 1:
+      return {{{0.38f, 0.28f}, {0.54f, 0.14f}, {0.54f, 0.86f}},
+              {{0.38f, 0.86f}, {0.70f, 0.86f}}};
+    case 2:
+      return {arc(0.5f, 0.32f, 0.24f, 0.18f, -kPi, 0.0f, 12),
+              {{0.74f, 0.32f}, {0.70f, 0.50f}, {0.30f, 0.84f}},
+              {{0.30f, 0.84f}, {0.76f, 0.84f}}};
+    case 3:
+      return {arc(0.46f, 0.32f, 0.24f, 0.18f, -kPi * 0.9f, kPi * 0.45f, 14),
+              arc(0.46f, 0.68f, 0.26f, 0.20f, -kPi * 0.45f, kPi * 0.9f, 14)};
+    case 4:
+      return {{{0.62f, 0.86f}, {0.62f, 0.14f}, {0.26f, 0.62f}, {0.78f, 0.62f}}};
+    case 5:
+      return {{{0.72f, 0.16f}, {0.34f, 0.16f}, {0.32f, 0.48f}},
+              arc(0.48f, 0.66f, 0.25f, 0.21f, -kPi * 0.5f, kPi * 0.8f, 16)};
+    case 6:
+      return {{{0.62f, 0.14f}, {0.38f, 0.44f}, {0.30f, 0.64f}},
+              arc(0.50f, 0.66f, 0.21f, 0.20f, 0.0f, 2.0f * kPi, 20)};
+    case 7:
+      return {{{0.26f, 0.16f}, {0.74f, 0.16f}, {0.44f, 0.86f}}};
+    case 8:
+      return {arc(0.5f, 0.32f, 0.19f, 0.17f, 0.0f, 2.0f * kPi, 20),
+              arc(0.5f, 0.68f, 0.23f, 0.19f, 0.0f, 2.0f * kPi, 20)};
+    case 9:
+      return {arc(0.50f, 0.34f, 0.21f, 0.20f, 0.0f, 2.0f * kPi, 20),
+              {{0.70f, 0.36f}, {0.62f, 0.60f}, {0.42f, 0.86f}}};
+    default:
+      CG_EXPECT(false && "digit must be 0..9");
+      return {};
+  }
+}
+
+/// Squared distance from point p to segment ab.
+float dist2_point_segment(Vec2 p, Vec2 a, Vec2 b) {
+  const float abx = b.x - a.x, aby = b.y - a.y;
+  const float apx = p.x - a.x, apy = p.y - a.y;
+  const float len2 = abx * abx + aby * aby;
+  float t = len2 > 0.0f ? (apx * abx + apy * aby) / len2 : 0.0f;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float dx = apx - t * abx, dy = apy - t * aby;
+  return dx * dx + dy * dy;
+}
+
+struct Affine {
+  // [x', y']^T = M [x-0.5, y-0.5]^T + [0.5+tx, 0.5+ty]
+  float m00, m01, m10, m11, tx, ty;
+
+  Vec2 apply(Vec2 p) const {
+    const float cx = p.x - 0.5f, cy = p.y - 0.5f;
+    return {m00 * cx + m01 * cy + 0.5f + tx, m10 * cx + m11 * cy + 0.5f + ty};
+  }
+};
+
+Affine random_affine(common::Rng& rng, const SyntheticMnistOptions& o) {
+  const float theta = static_cast<float>(rng.normal(0.0, o.rotation_jitter_rad));
+  const float s = 1.0f + static_cast<float>(rng.normal(0.0, o.scale_jitter));
+  const float shear = static_cast<float>(rng.normal(0.0, o.shear_jitter));
+  const float c = std::cos(theta), sn = std::sin(theta);
+  Affine a;
+  a.m00 = s * c + shear * -sn;
+  a.m01 = s * -sn + shear * c;
+  a.m10 = s * sn;
+  a.m11 = s * c;
+  a.tx = static_cast<float>(rng.normal(0.0, o.translation_jitter));
+  a.ty = static_cast<float>(rng.normal(0.0, o.translation_jitter));
+  return a;
+}
+
+}  // namespace
+
+void render_digit_sized(std::uint32_t digit, common::Rng& rng,
+                        const SyntheticMnistOptions& options, std::size_t side,
+                        std::span<float> out) {
+  CG_EXPECT(digit < kNumClasses);
+  CG_EXPECT(side >= 4);
+  CG_EXPECT(out.size() == side * side);
+
+  const Affine affine = random_affine(rng, options);
+  std::vector<Polyline> glyph = glyph_for_digit(digit);
+  for (auto& polyline : glyph) {
+    for (auto& p : polyline) p = affine.apply(p);
+  }
+
+  const float half_width = std::max(
+      0.02f, options.stroke_width_mean +
+                 static_cast<float>(rng.normal(0.0, options.stroke_width_jitter)));
+  const float inv_falloff = 1.0f / (0.35f * half_width);
+
+  for (std::size_t py = 0; py < side; ++py) {
+    for (std::size_t px = 0; px < side; ++px) {
+      const Vec2 p{(static_cast<float>(px) + 0.5f) / side,
+                   (static_cast<float>(py) + 0.5f) / side};
+      float d2_min = 1e9f;
+      for (const auto& polyline : glyph) {
+        for (std::size_t i = 0; i + 1 < polyline.size(); ++i) {
+          d2_min = std::min(d2_min, dist2_point_segment(p, polyline[i], polyline[i + 1]));
+        }
+      }
+      const float d = std::sqrt(d2_min);
+      // 1 inside the stroke, soft linear falloff at the boundary.
+      float intensity = std::clamp(1.0f - (d - half_width) * inv_falloff, 0.0f, 1.0f);
+      intensity += static_cast<float>(rng.normal(0.0, options.pixel_noise));
+      intensity = std::clamp(intensity, 0.0f, 1.0f);
+      out[py * side + px] = 2.0f * intensity - 1.0f;  // [0,1] -> [-1,1]
+    }
+  }
+}
+
+void render_digit(std::uint32_t digit, common::Rng& rng,
+                  const SyntheticMnistOptions& options, std::span<float> out) {
+  render_digit_sized(digit, rng, options, kImageSide, out);
+}
+
+Dataset make_synthetic_digits(std::size_t count, std::size_t side,
+                              std::uint64_t seed,
+                              const SyntheticMnistOptions& options) {
+  Dataset ds;
+  ds.images = tensor::Tensor(count, side * side);
+  ds.labels.resize(count);
+  common::Rng rng(seed);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto digit = static_cast<std::uint32_t>(i % kNumClasses);
+    ds.labels[i] = digit;
+    render_digit_sized(digit, rng, options, side, ds.images.row_span(i));
+  }
+  // Shuffle sample order so batches are label-mixed even without a shuffling
+  // loader on top.
+  std::vector<std::uint32_t> perm(count);
+  for (std::size_t i = 0; i < count; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  rng.shuffle(perm);
+  Dataset shuffled;
+  shuffled.images = tensor::Tensor(count, side * side);
+  shuffled.labels.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto src = perm[i];
+    auto dst_row = shuffled.images.row_span(i);
+    auto src_row = ds.images.row_span(src);
+    std::copy(src_row.begin(), src_row.end(), dst_row.begin());
+    shuffled.labels[i] = ds.labels[src];
+  }
+  return shuffled;
+}
+
+Dataset make_synthetic_mnist(std::size_t count, std::uint64_t seed,
+                             const SyntheticMnistOptions& options) {
+  return make_synthetic_digits(count, kImageSide, seed, options);
+}
+
+}  // namespace cellgan::data

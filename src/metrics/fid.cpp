@@ -1,0 +1,34 @@
+#include "metrics/fid.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "metrics/stats.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::metrics {
+
+double fid_from_features(const tensor::Tensor& real_features,
+                         const tensor::Tensor& fake_features) {
+  CG_EXPECT(real_features.cols() == fake_features.cols());
+  const tensor::Tensor mu_r = column_mean(real_features);
+  const tensor::Tensor mu_f = column_mean(fake_features);
+  const tensor::Tensor cov_r = covariance(real_features);
+  const tensor::Tensor cov_f = covariance(fake_features);
+
+  const tensor::Tensor s = psd_sqrt(cov_r);
+  const tensor::Tensor inner = tensor::matmul(tensor::matmul(s, cov_f), s);
+  const EigenResult eig = symmetric_eigen(inner);
+  double trace_sqrt = 0.0;
+  for (const double w : eig.eigenvalues) trace_sqrt += std::sqrt(std::max(w, 0.0));
+
+  return squared_distance(mu_r, mu_f) + trace(cov_r) + trace(cov_f) - 2.0 * trace_sqrt;
+}
+
+double fid_score(Classifier& classifier, const tensor::Tensor& real_images,
+                 const tensor::Tensor& fake_images) {
+  return fid_from_features(classifier.features(real_images),
+                           classifier.features(fake_images));
+}
+
+}  // namespace cellgan::metrics

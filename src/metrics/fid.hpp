@@ -1,0 +1,21 @@
+// Fréchet distance between Gaussian fits of classifier features:
+//   FID = |mu_r - mu_f|^2 + Tr(C_r + C_f - 2 (C_r C_f)^{1/2})
+// The matrix square root is computed as S = sqrt(C_r), then
+// Tr((C_r C_f)^{1/2}) = sum_i sqrt(lambda_i(S C_f S)) with S C_f S symmetric
+// PSD, using the Jacobi eigensolver in stats.hpp. Lower is better.
+#pragma once
+
+#include "metrics/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::metrics {
+
+/// FID between feature distributions of two image sets (rows = samples).
+double fid_score(Classifier& classifier, const tensor::Tensor& real_images,
+                 const tensor::Tensor& fake_images);
+
+/// FID from precomputed feature matrices (n x d each, n >= 2).
+double fid_from_features(const tensor::Tensor& real_features,
+                         const tensor::Tensor& fake_features);
+
+}  // namespace cellgan::metrics

@@ -1,0 +1,33 @@
+#include "metrics/inception_score.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cellgan::metrics {
+
+double inception_score_from_probs(const tensor::Tensor& probs) {
+  CG_EXPECT(probs.rows() > 0);
+  const std::size_t n = probs.rows(), k = probs.cols();
+  std::vector<double> marginal(k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = probs.row_span(i);
+    for (std::size_t j = 0; j < k; ++j) marginal[j] += row[j];
+  }
+  for (auto& v : marginal) v /= static_cast<double>(n);
+
+  double kl_sum = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = probs.row_span(i);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double p = std::max(static_cast<double>(row[j]), 1e-12);
+      kl_sum += p * (std::log(p) - std::log(std::max(marginal[j], 1e-12)));
+    }
+  }
+  return std::exp(kl_sum / static_cast<double>(n));
+}
+
+double inception_score(Classifier& classifier, const tensor::Tensor& images) {
+  return inception_score_from_probs(classifier.predict_probs(images));
+}
+
+}  // namespace cellgan::metrics

@@ -1,0 +1,20 @@
+// Inception score analogue over the in-domain classifier:
+//   IS = exp( E_x[ KL( p(y|x) || p(y) ) ] )
+// High when samples are individually confident (low-entropy posteriors) and
+// collectively diverse (high-entropy marginal) — exactly the property the
+// paper uses to pick the best neighborhood's generative mixture.
+#pragma once
+
+#include "metrics/classifier.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::metrics {
+
+/// Score a batch of generated images (n x 784, values in [-1,1]).
+/// Range [1, num_classes]; higher is better.
+double inception_score(Classifier& classifier, const tensor::Tensor& images);
+
+/// Score precomputed posteriors (n x num_classes) directly.
+double inception_score_from_probs(const tensor::Tensor& probs);
+
+}  // namespace cellgan::metrics

@@ -1,0 +1,41 @@
+#include "metrics/mode_coverage.hpp"
+
+#include <cmath>
+
+namespace cellgan::metrics {
+
+ModeReport mode_report(Classifier& classifier, const tensor::Tensor& images,
+                       double min_share) {
+  const auto labels = classifier.predict_labels(images);
+  ModeReport report;
+  report.class_counts.assign(data::kNumClasses, 0);
+  for (const auto y : labels) ++report.class_counts[y];
+
+  const double n = static_cast<double>(labels.size());
+  for (const auto count : report.class_counts) {
+    if (static_cast<double>(count) / n >= min_share) ++report.modes_covered;
+  }
+  double tvd = 0.0;
+  for (const auto count : report.class_counts) {
+    tvd += std::abs(static_cast<double>(count) / n - 1.0 / data::kNumClasses);
+  }
+  report.tvd_from_uniform = 0.5 * tvd;
+  return report;
+}
+
+double total_variation(const std::vector<std::size_t>& a,
+                       const std::vector<std::size_t>& b) {
+  CG_EXPECT(a.size() == b.size());
+  double total_a = 0.0, total_b = 0.0;
+  for (const auto v : a) total_a += static_cast<double>(v);
+  for (const auto v : b) total_b += static_cast<double>(v);
+  CG_EXPECT(total_a > 0.0 && total_b > 0.0);
+  double tvd = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    tvd += std::abs(static_cast<double>(a[i]) / total_a -
+                    static_cast<double>(b[i]) / total_b);
+  }
+  return 0.5 * tvd;
+}
+
+}  // namespace cellgan::metrics

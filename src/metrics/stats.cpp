@@ -1,0 +1,137 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/ops.hpp"
+
+namespace cellgan::metrics {
+
+tensor::Tensor column_mean(const tensor::Tensor& samples) {
+  CG_EXPECT(samples.rows() > 0);
+  tensor::Tensor mean = tensor::col_sum(samples);
+  const float inv_n = 1.0f / static_cast<float>(samples.rows());
+  for (auto& v : mean.data()) v *= inv_n;
+  return mean;
+}
+
+tensor::Tensor covariance(const tensor::Tensor& samples) {
+  const std::size_t n = samples.rows(), d = samples.cols();
+  CG_EXPECT(n >= 2);
+  const tensor::Tensor mu = column_mean(samples);
+  tensor::Tensor centered(n, d);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto src = samples.row_span(i);
+    auto dst = centered.row_span(i);
+    for (std::size_t j = 0; j < d; ++j) dst[j] = src[j] - mu.data()[j];
+  }
+  tensor::Tensor cov = tensor::matmul_tn(centered, centered);
+  const float scale = 1.0f / static_cast<float>(n - 1);
+  for (auto& v : cov.data()) v *= scale;
+  return cov;
+}
+
+EigenResult symmetric_eigen(const tensor::Tensor& a, int max_sweeps) {
+  CG_EXPECT(a.rows() == a.cols());
+  const std::size_t d = a.rows();
+  // Work in double for numerical robustness on ill-conditioned covariances.
+  std::vector<double> m(d * d);
+  for (std::size_t i = 0; i < d * d; ++i) m[i] = a.data()[i];
+  std::vector<double> v(d * d, 0.0);
+  for (std::size_t i = 0; i < d; ++i) v[i * d + i] = 1.0;
+
+  auto off_diagonal_norm = [&] {
+    double s = 0.0;
+    for (std::size_t i = 0; i < d; ++i) {
+      for (std::size_t j = i + 1; j < d; ++j) s += m[i * d + j] * m[i * d + j];
+    }
+    return std::sqrt(2.0 * s);
+  };
+
+  for (int sweep = 0; sweep < max_sweeps && off_diagonal_norm() > 1e-12; ++sweep) {
+    for (std::size_t p = 0; p < d; ++p) {
+      for (std::size_t q = p + 1; q < d; ++q) {
+        const double apq = m[p * d + q];
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = m[p * d + p];
+        const double aqq = m[q * d + q];
+        const double tau = (aqq - app) / (2.0 * apq);
+        const double t = (tau >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = t * c;
+        // Rotate rows/columns p and q of M (symmetric update).
+        for (std::size_t k = 0; k < d; ++k) {
+          const double mkp = m[k * d + p];
+          const double mkq = m[k * d + q];
+          m[k * d + p] = c * mkp - s * mkq;
+          m[k * d + q] = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < d; ++k) {
+          const double mpk = m[p * d + k];
+          const double mqk = m[q * d + k];
+          m[p * d + k] = c * mpk - s * mqk;
+          m[q * d + k] = s * mpk + c * mqk;
+        }
+        // Accumulate eigenvectors.
+        for (std::size_t k = 0; k < d; ++k) {
+          const double vkp = v[k * d + p];
+          const double vkq = v[k * d + q];
+          v[k * d + p] = c * vkp - s * vkq;
+          v[k * d + q] = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Extract and sort ascending by eigenvalue.
+  std::vector<std::size_t> order(d);
+  for (std::size_t i = 0; i < d; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return m[x * d + x] < m[y * d + y];
+  });
+
+  EigenResult result;
+  result.eigenvalues.resize(d);
+  result.eigenvectors = tensor::Tensor(d, d);
+  for (std::size_t i = 0; i < d; ++i) {
+    result.eigenvalues[i] = m[order[i] * d + order[i]];
+    for (std::size_t k = 0; k < d; ++k) {
+      result.eigenvectors.at(k, i) = static_cast<float>(v[k * d + order[i]]);
+    }
+  }
+  return result;
+}
+
+tensor::Tensor psd_sqrt(const tensor::Tensor& a) {
+  const EigenResult eig = symmetric_eigen(a);
+  const std::size_t d = a.rows();
+  // sqrt(A) = V diag(sqrt(max(w,0))) V^T
+  tensor::Tensor scaled(d, d);  // V * diag(sqrt(w))
+  for (std::size_t i = 0; i < d; ++i) {
+    const float root = static_cast<float>(std::sqrt(std::max(eig.eigenvalues[i], 0.0)));
+    for (std::size_t k = 0; k < d; ++k) {
+      scaled.at(k, i) = eig.eigenvectors.at(k, i) * root;
+    }
+  }
+  return tensor::matmul_nt(scaled, eig.eigenvectors);  // (V sqrt(w)) V^T
+}
+
+double squared_distance(const tensor::Tensor& a, const tensor::Tensor& b) {
+  CG_EXPECT(a.same_shape(b));
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double diff = static_cast<double>(a.data()[i]) - b.data()[i];
+    acc += diff * diff;
+  }
+  return acc;
+}
+
+double trace(const tensor::Tensor& a) {
+  CG_EXPECT(a.rows() == a.cols());
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) acc += a.at(i, i);
+  return acc;
+}
+
+}  // namespace cellgan::metrics

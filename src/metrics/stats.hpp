@@ -1,0 +1,37 @@
+// Small dense linear-algebra statistics used by the FID metric:
+// sample mean / covariance of feature matrices and a Jacobi eigensolver for
+// symmetric matrices (needed for the matrix square root inside FID).
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace cellgan::metrics {
+
+/// Column means of an (n x d) sample matrix -> 1 x d.
+tensor::Tensor column_mean(const tensor::Tensor& samples);
+
+/// Unbiased sample covariance (d x d) of an (n x d) matrix. Requires n >= 2.
+tensor::Tensor covariance(const tensor::Tensor& samples);
+
+/// Eigen decomposition of a symmetric matrix by cyclic Jacobi rotations.
+/// Returns eigenvalues (ascending) and the orthonormal eigenvector matrix V
+/// with columns as eigenvectors (A = V diag(w) V^T).
+struct EigenResult {
+  std::vector<double> eigenvalues;
+  tensor::Tensor eigenvectors;  // d x d, column i <-> eigenvalue i
+};
+EigenResult symmetric_eigen(const tensor::Tensor& a, int max_sweeps = 64);
+
+/// Symmetric positive-semidefinite square root via eigen decomposition.
+/// Negative eigenvalues from numerical noise are clamped to zero.
+tensor::Tensor psd_sqrt(const tensor::Tensor& a);
+
+/// Squared L2 distance between two equal-length vectors (1 x d tensors).
+double squared_distance(const tensor::Tensor& a, const tensor::Tensor& b);
+
+/// Trace of a square matrix.
+double trace(const tensor::Tensor& a);
+
+}  // namespace cellgan::metrics

@@ -1,0 +1,61 @@
+#include "minimpi/cart.hpp"
+
+#include <algorithm>
+
+namespace cellgan::minimpi {
+
+namespace {
+int wrap(int v, int n) {
+  const int m = v % n;
+  return m < 0 ? m + n : m;
+}
+}  // namespace
+
+CartTopology::CartTopology(int rows, int cols) : rows_(rows), cols_(cols) {
+  CG_EXPECT(rows >= 1 && cols >= 1);
+}
+
+GridCoord CartTopology::coords_of(int rank) const {
+  CG_EXPECT(rank >= 0 && rank < size());
+  return GridCoord{rank / cols_, rank % cols_};
+}
+
+int CartTopology::rank_of(GridCoord coord) const {
+  return wrap(coord.row, rows_) * cols_ + wrap(coord.col, cols_);
+}
+
+int CartTopology::north_of(int rank) const {
+  const GridCoord c = coords_of(rank);
+  return rank_of({c.row - 1, c.col});
+}
+
+int CartTopology::south_of(int rank) const {
+  const GridCoord c = coords_of(rank);
+  return rank_of({c.row + 1, c.col});
+}
+
+int CartTopology::west_of(int rank) const {
+  const GridCoord c = coords_of(rank);
+  return rank_of({c.row, c.col - 1});
+}
+
+int CartTopology::east_of(int rank) const {
+  const GridCoord c = coords_of(rank);
+  return rank_of({c.row, c.col + 1});
+}
+
+std::vector<int> CartTopology::neighborhood_of(int rank) const {
+  std::vector<int> out{rank, north_of(rank), south_of(rank), west_of(rank),
+                       east_of(rank)};
+  // Keep first occurrences only, preserving the C,N,S,W,E order.
+  std::vector<int> unique;
+  unique.reserve(out.size());
+  for (const int r : out) {
+    if (std::find(unique.begin(), unique.end(), r) == unique.end()) {
+      unique.push_back(r);
+    }
+  }
+  return unique;
+}
+
+}  // namespace cellgan::minimpi

@@ -1,0 +1,47 @@
+// Cartesian (toroidal grid) topology helper — the MPI_CART_CREATE analogue
+// the paper suggests for mapping slave ranks onto grid coordinates.
+//
+// Ranks are laid out row-major on a rows x cols grid; both dimensions wrap
+// (the training grid is a torus). Neighbor queries return the five-cell
+// neighborhood used by Lipizzaner: center, north, south, west, east.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/expect.hpp"
+
+namespace cellgan::minimpi {
+
+struct GridCoord {
+  int row = 0;
+  int col = 0;
+  friend bool operator==(const GridCoord&, const GridCoord&) = default;
+};
+
+class CartTopology {
+ public:
+  CartTopology(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int size() const { return rows_ * cols_; }
+
+  GridCoord coords_of(int rank) const;
+  int rank_of(GridCoord coord) const;  // wraps out-of-range coordinates
+
+  int north_of(int rank) const;
+  int south_of(int rank) const;
+  int west_of(int rank) const;
+  int east_of(int rank) const;
+
+  /// {center, north, south, west, east} — distinct ranks only (on degenerate
+  /// grids such as 1xN some directions alias and duplicates are dropped).
+  std::vector<int> neighborhood_of(int rank) const;
+
+ private:
+  int rows_;
+  int cols_;
+};
+
+}  // namespace cellgan::minimpi

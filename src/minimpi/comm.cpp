@@ -1,0 +1,247 @@
+#include "minimpi/comm.hpp"
+
+#include <algorithm>
+
+namespace cellgan::minimpi {
+
+namespace {
+// Internal tags live below the user range (user tags must be >= 0).
+constexpr int kTagBarrierUp = -2;
+constexpr int kTagBarrierDown = -3;
+constexpr int kTagBcast = -4;
+constexpr int kTagGather = -5;
+constexpr int kTagAllgather = -6;
+}  // namespace
+
+Comm::Comm(Runtime& runtime, int context_id, int local_rank)
+    : runtime_(&runtime), context_id_(context_id), local_rank_(local_rank) {}
+
+int Comm::size() const {
+  return static_cast<int>(runtime_->context(context_id_).members.size());
+}
+
+int Comm::world_rank_of(int local_rank) const {
+  const auto& members = runtime_->context(context_id_).members;
+  CG_EXPECT(local_rank >= 0 && local_rank < static_cast<int>(members.size()));
+  return members[local_rank];
+}
+
+common::VirtualClock& Comm::clock() {
+  return runtime_->rank_state(world_rank_of(local_rank_)).clock;
+}
+
+common::Profiler& Comm::profiler() {
+  return runtime_->rank_state(world_rank_of(local_rank_)).profiler;
+}
+
+common::Rng& Comm::jitter_rng() {
+  return runtime_->rank_state(world_rank_of(local_rank_)).jitter_rng;
+}
+
+void Comm::send(int dst, int tag, std::span<const std::uint8_t> bytes) {
+  CommContext& ctx = runtime_->context(context_id_);
+  CG_EXPECT(dst >= 0 && dst < static_cast<int>(ctx.members.size()));
+  const NetModel& net = runtime_->net();
+  common::VirtualClock& my_clock = clock();
+  // Sender is busy for the serialization/transfer cost, then the message
+  // travels one latency. Self-sends skip the wire.
+  double arrival = 0.0;
+  if (net.enabled()) {
+    if (dst != local_rank_) {
+      my_clock.advance(net.send_cost_s(bytes.size()));
+      arrival = my_clock.now() + net.latency_s();
+    } else {
+      arrival = my_clock.now();
+    }
+  }
+  Message m;
+  m.source = local_rank_;
+  m.tag = tag;
+  m.arrival_vt = arrival;
+  m.payload.assign(bytes.begin(), bytes.end());
+  ctx.mailboxes[dst]->push(std::move(m));
+}
+
+void Comm::send_oob(int dst, int tag, std::span<const std::uint8_t> bytes) {
+  CommContext& ctx = runtime_->context(context_id_);
+  CG_EXPECT(dst >= 0 && dst < static_cast<int>(ctx.members.size()));
+  Message m;
+  m.source = local_rank_;
+  m.tag = tag;
+  m.arrival_vt = 0.0;
+  m.payload.assign(bytes.begin(), bytes.end());
+  ctx.mailboxes[dst]->push(std::move(m));
+}
+
+Message Comm::recv(int src, int tag) {
+  Message m = runtime_->context(context_id_).mailboxes[local_rank_]->pop(src, tag);
+  const NetModel& net = runtime_->net();
+  if (net.enabled()) {
+    common::VirtualClock& my_clock = clock();
+    my_clock.wait_until(m.arrival_vt);
+    my_clock.advance(net.recv_cost_s(m.payload.size()));
+  }
+  return m;
+}
+
+std::optional<Message> Comm::recv_for(int src, int tag, double timeout_s) {
+  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->pop_for(src, tag,
+                                                                          timeout_s);
+  if (m && runtime_->net().enabled()) {
+    clock().wait_until(m->arrival_vt);
+    clock().advance(runtime_->net().recv_cost_s(m->payload.size()));
+  }
+  return m;
+}
+
+std::optional<Message> Comm::try_recv(int src, int tag) {
+  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->try_pop(src, tag);
+  if (m && runtime_->net().enabled()) {
+    clock().wait_until(m->arrival_vt);
+    clock().advance(runtime_->net().recv_cost_s(m->payload.size()));
+  }
+  return m;
+}
+
+std::optional<Message> Comm::try_recv_arrived(int src, int tag) {
+  const NetModel& net = runtime_->net();
+  if (!net.enabled()) {
+    return runtime_->context(context_id_).mailboxes[local_rank_]->try_pop(src, tag);
+  }
+  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->try_pop_arrived(
+      src, tag, clock().now());
+  if (m) clock().advance(net.recv_cost_s(m->payload.size()));
+  return m;
+}
+
+bool Comm::probe(int src, int tag) {
+  return runtime_->context(context_id_).mailboxes[local_rank_]->probe(src, tag);
+}
+
+void Comm::barrier() {
+  // Flat fan-in to rank 0, fan-out back. Linear is fine at these sizes and
+  // keeps the virtual-time trace easy to reason about.
+  const int n = size();
+  if (n == 1) return;
+  if (local_rank_ == 0) {
+    double latest = clock().now();
+    for (int r = 1; r < n; ++r) {
+      const Message m = recv(kAnySource, kTagBarrierUp);
+      latest = std::max(latest, m.arrival_vt);
+    }
+    clock().wait_until(latest);
+    for (int r = 1; r < n; ++r) send(r, kTagBarrierDown, {});
+  } else {
+    send(0, kTagBarrierUp, {});
+    recv(0, kTagBarrierDown);
+  }
+}
+
+void Comm::bcast(std::vector<std::uint8_t>& bytes, int root) {
+  if (size() == 1) return;
+  if (local_rank_ == root) {
+    for (int r = 0; r < size(); ++r) {
+      if (r != root) send(r, kTagBcast, bytes);
+    }
+  } else {
+    bytes = recv(root, kTagBcast).payload;
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> Comm::gather(std::span<const std::uint8_t> bytes,
+                                                    int root) {
+  std::vector<std::vector<std::uint8_t>> out;
+  if (local_rank_ == root) {
+    out.resize(size());
+    out[root].assign(bytes.begin(), bytes.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == root) continue;
+      Message m = recv(r, kTagGather);
+      out[r] = std::move(m.payload);
+    }
+  } else {
+    send(root, kTagGather, bytes);
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> Comm::allgather(
+    std::span<const std::uint8_t> bytes) {
+  // Every rank contributes its block and receives everyone else's. The
+  // simulated cost follows a ring-style overlapped exchange: each rank is
+  // busy for (n-1) block transfers — linear in communicator size, the
+  // gather-scaling behaviour observed on the paper's cluster — and send /
+  // receive phases overlap, so a rank's exchange completes one latency after
+  // its (or the slowest peer's) transfer work ends. Payload movement itself
+  // is direct exchange for simplicity; only the clock model is ring-like.
+  const int n = size();
+  std::vector<std::vector<std::uint8_t>> out(n);
+  out[local_rank_].assign(bytes.begin(), bytes.end());
+  if (n == 1) return out;
+
+  CommContext& ctx = runtime_->context(context_id_);
+  const NetModel& net = runtime_->net();
+  double completes_at = 0.0;
+  if (net.enabled()) {
+    common::VirtualClock& my_clock = clock();
+    my_clock.advance(static_cast<double>(n - 1) * net.send_cost_s(bytes.size()));
+    completes_at = my_clock.now() + net.latency_s();
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == local_rank_) continue;
+    Message m;
+    m.source = local_rank_;
+    m.tag = kTagAllgather;
+    m.arrival_vt = completes_at;
+    m.payload.assign(bytes.begin(), bytes.end());
+    ctx.mailboxes[r]->push(std::move(m));
+  }
+  for (int r = 0; r < n; ++r) {
+    if (r == local_rank_) continue;
+    Message m = recv(r, kTagAllgather);
+    out[r] = std::move(m.payload);
+  }
+  return out;
+}
+
+double Comm::allreduce_sum(double value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  auto all = allgather(std::span<const std::uint8_t>(p, sizeof(double)));
+  double total = 0.0;
+  for (const auto& payload : all) {
+    double v;
+    CG_EXPECT(payload.size() == sizeof(double));
+    std::memcpy(&v, payload.data(), sizeof(double));
+    total += v;
+  }
+  return total;
+}
+
+double Comm::allreduce_max(double value) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+  auto all = allgather(std::span<const std::uint8_t>(p, sizeof(double)));
+  double best = value;
+  for (const auto& payload : all) {
+    double v;
+    CG_EXPECT(payload.size() == sizeof(double));
+    std::memcpy(&v, payload.data(), sizeof(double));
+    best = std::max(best, v);
+  }
+  return best;
+}
+
+std::optional<Comm> Comm::split(int color, int key) {
+  const int new_context =
+      runtime_->split_context(context_id_, local_rank_, color, key);
+  if (new_context < 0) return std::nullopt;
+  // Find our local rank in the new context.
+  const auto& members = runtime_->context(new_context).members;
+  const int my_world = world_rank_of(local_rank_);
+  for (int r = 0; r < static_cast<int>(members.size()); ++r) {
+    if (members[r] == my_world) return Comm(*runtime_, new_context, r);
+  }
+  CG_EXPECT(false && "split produced a context not containing the caller");
+  return std::nullopt;
+}
+
+}  // namespace cellgan::minimpi

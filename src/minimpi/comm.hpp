@@ -1,0 +1,103 @@
+// Communicator handle: the rank-local view of one communication context.
+//
+// Mirrors the MPI surface the paper's comm-manager uses: point-to-point
+// send/recv with tags, probe, barrier, broadcast, gather, allgather,
+// allreduce, and split() to derive the LOCAL (active slaves) and GLOBAL
+// (slaves + master) contexts from WORLD. All collectives are implemented on
+// top of the p2p layer, so simulated time emerges from the same message
+// trace in both modes.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/expect.hpp"
+#include "minimpi/message.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::minimpi {
+
+class Comm {
+ public:
+  Comm(Runtime& runtime, int context_id, int local_rank);
+
+  int rank() const { return local_rank_; }
+  int size() const;
+  Runtime& runtime() { return *runtime_; }
+
+  /// The calling rank's virtual clock / profiler / jitter stream.
+  common::VirtualClock& clock();
+  common::Profiler& profiler();
+  common::Rng& jitter_rng();
+
+  // ---- point-to-point -----------------------------------------------------
+
+  /// Buffered send (never blocks). `dst` is a local rank in this communicator.
+  void send(int dst, int tag, std::span<const std::uint8_t> bytes);
+
+  /// Out-of-band send: no virtual-time cost and an arrival stamp of zero, so
+  /// the receive never drags the receiver's clock. For control-plane traffic
+  /// (heartbeats, status queries) that in the real system rides a background
+  /// thread without blocking training.
+  void send_oob(int dst, int tag, std::span<const std::uint8_t> bytes);
+  /// Convenience: send a trivially-copyable value.
+  template <typename T>
+  void send_value(int dst, int tag, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&value);
+    send(dst, tag, std::span<const std::uint8_t>(p, sizeof(T)));
+  }
+
+  /// Blocking receive matching (src, tag); wildcards kAnySource / kAnyTag.
+  Message recv(int src, int tag);
+  /// Timed receive (real time); nullopt on timeout.
+  std::optional<Message> recv_for(int src, int tag, double timeout_s);
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int src, int tag);
+  /// Non-blocking receive that only yields messages already arrived in
+  /// simulated time (all messages, when the net model is off). The basis of
+  /// asynchronous neighbor exchange: polling never advances the clock.
+  std::optional<Message> try_recv_arrived(int src, int tag);
+  /// Non-destructive check.
+  bool probe(int src, int tag);
+
+  template <typename T>
+  static T value_of(const Message& m) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    CG_EXPECT(m.payload.size() == sizeof(T));
+    std::memcpy(&out, m.payload.data(), sizeof(T));
+    return out;
+  }
+
+  // ---- collectives ----------------------------------------------------------
+  // Every member must call in matching order (standard MPI contract).
+
+  void barrier();
+  /// Root's buffer is distributed to everyone; non-roots receive into `bytes`.
+  void bcast(std::vector<std::uint8_t>& bytes, int root);
+  /// Returns, at root, payloads indexed by source rank (empty elsewhere).
+  std::vector<std::vector<std::uint8_t>> gather(std::span<const std::uint8_t> bytes,
+                                                int root);
+  /// Every rank contributes `bytes`; everyone receives all payloads by rank.
+  std::vector<std::vector<std::uint8_t>> allgather(std::span<const std::uint8_t> bytes);
+  double allreduce_sum(double value);
+  double allreduce_max(double value);
+
+  /// MPI_Comm_split: ranks with equal color form a new communicator ordered
+  /// by (key, rank). color < 0 opts out (returns nullopt).
+  std::optional<Comm> split(int color, int key);
+
+ private:
+  int world_rank_of(int local_rank) const;
+
+  Runtime* runtime_;
+  int context_id_;
+  int local_rank_;
+};
+
+}  // namespace cellgan::minimpi

@@ -1,0 +1,52 @@
+// Per-rank, per-communicator message queue.
+//
+// FIFO per (source, tag) — the MPI non-overtaking guarantee — implemented by
+// scanning the arrival-ordered queue for the first envelope matching the
+// receive filter. Blocking, timed and non-blocking receives are provided;
+// the timed variant backs the heartbeat protocol's "wait X seconds" poll.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "minimpi/message.hpp"
+
+namespace cellgan::minimpi {
+
+class Mailbox {
+ public:
+  /// Enqueue (thread-safe); wakes blocked receivers.
+  void push(Message message);
+
+  /// Block until a message matching (source, tag) is available and remove it.
+  /// kAnySource / kAnyTag act as wildcards.
+  Message pop(int source, int tag);
+
+  /// Like pop() but gives up after `timeout_s` real seconds.
+  std::optional<Message> pop_for(int source, int tag, double timeout_s);
+
+  /// Non-blocking: remove and return a matching message if one is queued.
+  std::optional<Message> try_pop(int source, int tag);
+
+  /// Non-blocking, causality-respecting: like try_pop but only yields a
+  /// message whose simulated arrival time is <= `now_vt` — a rank polling
+  /// its mailbox must not see messages "from the future". Pass +inf (or use
+  /// try_pop) when virtual time is off.
+  std::optional<Message> try_pop_arrived(int source, int tag, double now_vt);
+
+  /// Non-destructive check for a matching message.
+  bool probe(int source, int tag);
+
+  std::size_t size() const;
+
+ private:
+  std::optional<Message> extract_locked(int source, int tag);
+
+  mutable std::mutex mutex_;
+  std::condition_variable available_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace cellgan::minimpi

@@ -1,0 +1,26 @@
+// Message envelope passed between ranks.
+//
+// `arrival_vt` is the simulated arrival time stamped by the sender from its
+// own virtual clock plus the NetModel transfer cost; a receiver's clock jumps
+// to at least this value when it consumes the message (LogP-style
+// store-and-forward accounting). In purely real-time runs it is 0 and
+// harmless.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cellgan::minimpi {
+
+/// Matches any source / any tag in recv filters.
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = kAnySource;  ///< local rank within the communicator
+  int tag = 0;
+  double arrival_vt = 0.0;  ///< simulated arrival time (seconds)
+  std::vector<std::uint8_t> payload;
+};
+
+}  // namespace cellgan::minimpi

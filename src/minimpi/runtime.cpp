@@ -1,0 +1,136 @@
+#include "minimpi/runtime.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "common/log.hpp"
+#include "minimpi/comm.hpp"
+
+namespace cellgan::minimpi {
+
+Runtime::Runtime(int world_size, NetModelConfig net_config, std::uint64_t seed)
+    : world_size_(world_size), net_(net_config) {
+  CG_EXPECT(world_size >= 1);
+  rank_states_.reserve(world_size_);
+  common::Rng seeder(seed);
+  for (int r = 0; r < world_size_; ++r) {
+    auto state = std::make_unique<RankState>();
+    state->jitter_rng = seeder.fork(static_cast<std::uint64_t>(r));
+    rank_states_.push_back(std::move(state));
+  }
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  std::vector<int> world_members(world_size_);
+  for (int r = 0; r < world_size_; ++r) world_members[r] = r;
+  create_context_locked(std::move(world_members));
+}
+
+Runtime::~Runtime() = default;
+
+RankState& Runtime::rank_state(int world_rank) {
+  CG_EXPECT(world_rank >= 0 && world_rank < world_size_);
+  return *rank_states_[world_rank];
+}
+
+CommContext& Runtime::context(int context_id) {
+  std::lock_guard<std::mutex> lock(contexts_mutex_);
+  CG_EXPECT(context_id >= 0 && context_id < static_cast<int>(contexts_.size()));
+  return *contexts_[context_id];
+}
+
+int Runtime::create_context_locked(std::vector<int> members) {
+  auto ctx = std::make_unique<CommContext>();
+  ctx->members = std::move(members);
+  ctx->mailboxes.reserve(ctx->members.size());
+  for (std::size_t i = 0; i < ctx->members.size(); ++i) {
+    ctx->mailboxes.push_back(std::make_unique<Mailbox>());
+  }
+  contexts_.push_back(std::move(ctx));
+  return static_cast<int>(contexts_.size()) - 1;
+}
+
+std::vector<Runtime::RankResult> Runtime::run(
+    const std::function<void(Comm&)>& rank_main) {
+  std::vector<std::thread> threads;
+  threads.reserve(world_size_);
+  for (int r = 0; r < world_size_; ++r) {
+    threads.emplace_back([this, r, &rank_main] {
+      common::set_thread_log_label("rank " + std::to_string(r));
+      Comm comm(*this, /*context_id=*/0, /*local_rank=*/r);
+      try {
+        rank_main(comm);
+      } catch (const std::exception& e) {
+        // Fail-stop, like an MPI job: one rank's failure kills the world.
+        common::log_error() << "rank " << r << " terminated with exception: " << e.what();
+        std::abort();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  std::vector<RankResult> results;
+  results.reserve(world_size_);
+  for (int r = 0; r < world_size_; ++r) {
+    RankResult result;
+    result.virtual_time_s = rank_states_[r]->clock.now();
+    result.profiler = rank_states_[r]->profiler;
+    results.push_back(std::move(result));
+  }
+  return results;
+}
+
+int Runtime::split_context(int parent_context, int caller_local_rank, int color,
+                           int key) {
+  std::unique_lock<std::mutex> lock(contexts_mutex_);
+  CG_EXPECT(parent_context >= 0 && parent_context < static_cast<int>(contexts_.size()));
+  CommContext& parent = *contexts_[parent_context];
+  const int n = static_cast<int>(parent.members.size());
+  CG_EXPECT(caller_local_rank >= 0 && caller_local_rank < n);
+
+  auto& rounds = split_round_[parent_context];
+  if (static_cast<int>(rounds.size()) < n) rounds.resize(n, 0);
+  const int round = rounds[caller_local_rank]++;
+
+  const auto group_key = std::make_pair(parent_context, round);
+  SplitGroup& group = splits_[group_key];
+  if (group.colors.empty()) {
+    group.colors.assign(n, -2);
+    group.keys.assign(n, 0);
+  }
+  group.colors[caller_local_rank] = color;
+  group.keys[caller_local_rank] = key;
+  ++group.arrived;
+
+  if (group.arrived == n) {
+    // Last to arrive builds all the new contexts.
+    std::map<int, std::vector<std::pair<std::pair<int, int>, int>>> by_color;
+    for (int r = 0; r < n; ++r) {
+      if (group.colors[r] >= 0) {
+        by_color[group.colors[r]].push_back({{group.keys[r], r}, r});
+      }
+    }
+    for (auto& [c, entries] : by_color) {
+      std::sort(entries.begin(), entries.end());
+      std::vector<int> members;
+      members.reserve(entries.size());
+      for (const auto& [sort_key, parent_rank] : entries) {
+        members.push_back(parent.members[parent_rank]);
+      }
+      const int ctx_id = create_context_locked(std::move(members));
+      for (const auto& [sort_key, parent_rank] : entries) {
+        group.context_of_member[parent_rank] = ctx_id;
+      }
+    }
+    group.built = true;
+    split_cv_.notify_all();
+  } else {
+    split_cv_.wait(lock, [&group] { return group.built; });
+  }
+
+  if (color < 0) return -1;
+  auto it = group.context_of_member.find(caller_local_rank);
+  CG_ENSURE(it != group.context_of_member.end());
+  return it->second;
+}
+
+}  // namespace cellgan::minimpi

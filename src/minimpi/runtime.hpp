@@ -1,0 +1,100 @@
+// Thread-per-rank execution harness — the substitute for `mpirun`.
+//
+// Runtime spawns `world_size` threads, hands each a Comm bound to the WORLD
+// communicator, and joins them. Per-rank state (virtual clock, profiler,
+// jitter RNG) lives in the Runtime and is returned to the caller when the
+// program ends, which is how the scaling benchmarks read off per-rank
+// simulated times. Communicator splits are coordinated through the Runtime
+// (all members rendezvous, groups are formed by color, ordered by key) —
+// the semantics of MPI_Comm_split.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "common/profiler.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "minimpi/mailbox.hpp"
+#include "minimpi/netmodel.hpp"
+
+namespace cellgan::minimpi {
+
+class Comm;
+
+/// Everything a rank owns besides its mailboxes.
+struct RankState {
+  common::VirtualClock clock;
+  common::Profiler profiler;
+  common::Rng jitter_rng{0};
+};
+
+/// One communicator's shared plumbing: membership and per-member mailboxes.
+struct CommContext {
+  std::vector<int> members;  ///< world rank of each local rank
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+};
+
+class Runtime {
+ public:
+  /// `seed` keys the per-rank jitter streams (straggler noise); repeated
+  /// runs with different seeds give the +-std columns of the benchmarks.
+  explicit Runtime(int world_size, NetModelConfig net_config = {},
+                   std::uint64_t seed = 0x5eedULL);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  int world_size() const { return world_size_; }
+  const NetModel& net() const { return net_; }
+
+  struct RankResult {
+    double virtual_time_s = 0.0;
+    common::Profiler profiler;
+  };
+
+  /// Run `rank_main` on world_size threads. Blocks until all ranks return.
+  /// An exception escaping any rank aborts the program (matching the
+  /// fail-stop behaviour of an MPI job). Returns per-rank results.
+  std::vector<RankResult> run(const std::function<void(Comm&)>& rank_main);
+
+  // -- internal API used by Comm ------------------------------------------
+
+  RankState& rank_state(int world_rank);
+  CommContext& context(int context_id);
+
+  /// Collective split: blocks until every member of `parent_context` has
+  /// called, then returns the id of the new context for this caller, or -1
+  /// if color < 0 (caller excluded). Thread-safe.
+  int split_context(int parent_context, int caller_local_rank, int color, int key);
+
+ private:
+  int create_context_locked(std::vector<int> members);
+
+  int world_size_;
+  NetModel net_;
+  std::vector<std::unique_ptr<RankState>> rank_states_;
+
+  std::mutex contexts_mutex_;
+  std::vector<std::unique_ptr<CommContext>> contexts_;
+
+  // Split rendezvous state, keyed by (parent context, per-context sequence#).
+  struct SplitGroup {
+    std::vector<int> colors;  // indexed by parent-local rank; -2 = not arrived
+    std::vector<int> keys;
+    int arrived = 0;
+    bool built = false;
+    std::map<int, int> context_of_member;  // parent-local rank -> new context id
+  };
+  std::map<std::pair<int, int>, SplitGroup> splits_;
+  std::map<int, std::vector<int>> split_round_;  // per parent ctx, per local rank
+  std::condition_variable split_cv_;
+};
+
+/// Bound (context, rank) pair — the object user code sends/receives through.
+/// See comm.hpp.
+
+}  // namespace cellgan::minimpi

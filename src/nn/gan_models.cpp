@@ -1,0 +1,60 @@
+#include "nn/gan_models.hpp"
+
+#include <memory>
+
+#include "nn/activations.hpp"
+#include "nn/init.hpp"
+#include "nn/linear.hpp"
+
+namespace cellgan::nn {
+
+GanArch GanArch::paper() { return GanArch{64, 256, 2, 784}; }
+
+GanArch GanArch::tiny() { return GanArch{8, 16, 2, 64}; }
+
+namespace {
+std::size_t mlp_parameter_count(std::size_t in, std::size_t hidden,
+                                std::size_t hidden_layers, std::size_t out) {
+  std::size_t total = (in + 1) * hidden;
+  for (std::size_t i = 1; i < hidden_layers; ++i) total += (hidden + 1) * hidden;
+  total += (hidden + 1) * out;
+  return total;
+}
+}  // namespace
+
+std::size_t GanArch::generator_parameter_count() const {
+  return mlp_parameter_count(latent_dim, hidden_dim, hidden_layers, image_dim);
+}
+
+std::size_t GanArch::discriminator_parameter_count() const {
+  return mlp_parameter_count(image_dim, hidden_dim, hidden_layers, 1);
+}
+
+Sequential make_generator(const GanArch& arch, common::Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Linear>(arch.latent_dim, arch.hidden_dim));
+  net.add(std::make_unique<Tanh>());
+  for (std::size_t i = 1; i < arch.hidden_layers; ++i) {
+    net.add(std::make_unique<Linear>(arch.hidden_dim, arch.hidden_dim));
+    net.add(std::make_unique<Tanh>());
+  }
+  net.add(std::make_unique<Linear>(arch.hidden_dim, arch.image_dim));
+  net.add(std::make_unique<Tanh>());
+  xavier_uniform_init(net, rng);
+  return net;
+}
+
+Sequential make_discriminator(const GanArch& arch, common::Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Linear>(arch.image_dim, arch.hidden_dim));
+  net.add(std::make_unique<Tanh>());
+  for (std::size_t i = 1; i < arch.hidden_layers; ++i) {
+    net.add(std::make_unique<Linear>(arch.hidden_dim, arch.hidden_dim));
+    net.add(std::make_unique<Tanh>());
+  }
+  net.add(std::make_unique<Linear>(arch.hidden_dim, 1));
+  xavier_uniform_init(net, rng);
+  return net;
+}
+
+}  // namespace cellgan::nn

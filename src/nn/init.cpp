@@ -1,0 +1,34 @@
+#include "nn/init.hpp"
+
+#include <cmath>
+
+#include "nn/linear.hpp"
+
+namespace cellgan::nn {
+
+void xavier_uniform_init(Sequential& net, common::Rng& rng) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    auto* linear = dynamic_cast<Linear*>(&net.layer(i));
+    if (linear == nullptr) continue;
+    const double fan_in = static_cast<double>(linear->in_features());
+    const double fan_out = static_cast<double>(linear->out_features());
+    const double a = std::sqrt(6.0 / (fan_in + fan_out));
+    for (auto& w : linear->weight().data()) {
+      w = static_cast<float>(rng.uniform(-a, a));
+    }
+    linear->bias().fill(0.0f);
+  }
+}
+
+void normal_init(Sequential& net, common::Rng& rng, float stddev) {
+  for (std::size_t i = 0; i < net.num_layers(); ++i) {
+    auto* linear = dynamic_cast<Linear*>(&net.layer(i));
+    if (linear == nullptr) continue;
+    for (auto& w : linear->weight().data()) {
+      w = static_cast<float>(rng.normal(0.0, stddev));
+    }
+    linear->bias().fill(0.0f);
+  }
+}
+
+}  // namespace cellgan::nn

@@ -1,0 +1,16 @@
+// Weight initialization schemes.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+
+namespace cellgan::nn {
+
+/// Xavier/Glorot uniform on every Linear layer: W ~ U(-a, a) with
+/// a = sqrt(6 / (fan_in + fan_out)); biases zero.
+void xavier_uniform_init(Sequential& net, common::Rng& rng);
+
+/// N(0, stddev) on weights, zero biases (DCGAN-style).
+void normal_init(Sequential& net, common::Rng& rng, float stddev = 0.02f);
+
+}  // namespace cellgan::nn

@@ -1,0 +1,35 @@
+#include "nn/linear.hpp"
+
+#include "tensor/ops.hpp"
+
+namespace cellgan::nn {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features)
+    : weight_(in_features, out_features),
+      bias_(1, out_features),
+      grad_weight_(in_features, out_features),
+      grad_bias_(1, out_features) {}
+
+tensor::Tensor Linear::forward(const tensor::Tensor& input) {
+  CG_EXPECT(input.cols() == weight_.rows());
+  cached_input_ = input;
+  tensor::Tensor out = tensor::matmul(input, weight_);
+  tensor::add_row_bias(out, bias_);
+  return out;
+}
+
+tensor::Tensor Linear::backward(const tensor::Tensor& grad_output) {
+  CG_EXPECT(grad_output.rows() == cached_input_.rows());
+  CG_EXPECT(grad_output.cols() == weight_.cols());
+  // dW += x^T dy ; db += colsum(dy) ; dx = dy W^T
+  tensor::axpy(1.0f, tensor::matmul_tn(cached_input_, grad_output), grad_weight_);
+  tensor::axpy(1.0f, tensor::col_sum(grad_output), grad_bias_);
+  return tensor::matmul_nt(grad_output, weight_);
+}
+
+void Linear::zero_grad() {
+  grad_weight_.fill(0.0f);
+  grad_bias_.fill(0.0f);
+}
+
+}  // namespace cellgan::nn

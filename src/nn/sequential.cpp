@@ -1,0 +1,72 @@
+#include "nn/sequential.hpp"
+
+#include <algorithm>
+
+namespace cellgan::nn {
+
+Sequential& Sequential::add(LayerPtr layer) {
+  CG_EXPECT(layer != nullptr);
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+tensor::Tensor Sequential::forward(const tensor::Tensor& input) {
+  tensor::Tensor x = input;
+  for (auto& layer : layers_) x = layer->forward(x);
+  return x;
+}
+
+tensor::Tensor Sequential::backward(const tensor::Tensor& grad_output) {
+  tensor::Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<tensor::Tensor*> Sequential::parameters() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) {
+    for (auto* p : layer->parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<tensor::Tensor*> Sequential::gradients() {
+  std::vector<tensor::Tensor*> out;
+  for (auto& layer : layers_) {
+    for (auto* g : layer->gradients()) out.push_back(g);
+  }
+  return out;
+}
+
+void Sequential::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::size_t Sequential::parameter_count() {
+  std::size_t total = 0;
+  for (auto* p : parameters()) total += p->size();
+  return total;
+}
+
+std::vector<float> Sequential::flatten_parameters() {
+  std::vector<float> flat;
+  flat.reserve(parameter_count());
+  for (auto* p : parameters()) {
+    auto d = p->data();
+    flat.insert(flat.end(), d.begin(), d.end());
+  }
+  return flat;
+}
+
+void Sequential::load_parameters(std::span<const float> flat) {
+  std::size_t offset = 0;
+  for (auto* p : parameters()) {
+    CG_EXPECT(offset + p->size() <= flat.size());
+    std::copy(flat.begin() + offset, flat.begin() + offset + p->size(),
+              p->data().begin());
+    offset += p->size();
+  }
+  CG_EXPECT(offset == flat.size());
+}
+
+}  // namespace cellgan::nn

@@ -1,0 +1,19 @@
+#include "tensor/flops.hpp"
+
+namespace cellgan::tensor {
+
+namespace {
+thread_local std::uint64_t t_flops = 0;
+}  // namespace
+
+void count_flops(std::uint64_t n) { t_flops += n; }
+
+std::uint64_t thread_flops() { return t_flops; }
+
+std::uint64_t exchange_thread_flops() {
+  const std::uint64_t value = t_flops;
+  t_flops = 0;
+  return value;
+}
+
+}  // namespace cellgan::tensor

@@ -1,0 +1,23 @@
+// Floating-point operation accounting.
+//
+// Every tensor kernel reports the flops it executes to a thread-local
+// counter. The minimpi NetModel converts the flops a rank performed into
+// simulated compute time (flops / calibrated_rate * memory_penalty), which is
+// how the Table III/IV virtual-time reproduction stays tied to the *actual*
+// arithmetic the training code performs rather than to hand-waved estimates.
+#pragma once
+
+#include <cstdint>
+
+namespace cellgan::tensor {
+
+/// Add `n` floating point operations to the calling thread's counter.
+void count_flops(std::uint64_t n);
+
+/// Current value of the calling thread's counter.
+std::uint64_t thread_flops();
+
+/// Reset the calling thread's counter to zero and return the previous value.
+std::uint64_t exchange_thread_flops();
+
+}  // namespace cellgan::tensor

@@ -1,0 +1,293 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/thread_pool.hpp"
+#include "tensor/flops.hpp"
+
+namespace cellgan::tensor {
+
+namespace {
+
+// Row-blocked inner kernel: for each row i of A, accumulate A(i,l) * B(l, :)
+// into C(i, :). Streaming over B rows keeps the access pattern sequential.
+void gemm_rows(const float* a, const float* b, float* c, std::size_t row_begin,
+               std::size_t row_end, std::size_t k, std::size_t n) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * n;
+    std::fill(ci, ci + n, 0.0f);
+    const float* ai = a + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float ail = ai[l];
+      if (ail == 0.0f) continue;
+      const float* bl = b + l * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.cols() == b.rows());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  auto& pool = common::global_pool();
+  if (pool.size() > 1 && m >= 2 * pool.size()) {
+    // Flops must be charged on the caller's thread-local counter: worker
+    // threads would otherwise swallow them.
+    count_flops(2ULL * m * k * n);
+    const float* ap = a.data().data();
+    const float* bp = b.data().data();
+    float* cp = c.data().data();
+    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
+      gemm_rows(ap, bp, cp, begin, end, k, n);
+    });
+  } else {
+    count_flops(2ULL * m * k * n);
+    gemm_rows(a.data().data(), b.data().data(), c.data().data(), 0, m, k, n);
+  }
+  return c;
+}
+
+Tensor matmul_tn(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.rows() == b.rows());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  count_flops(2ULL * m * k * n);
+  float* cp = c.data().data();
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  // C(i,j) = sum_l A(l,i) * B(l,j): accumulate outer products row by row;
+  // all accesses stay sequential in l.
+  for (std::size_t l = 0; l < k; ++l) {
+    const float* al = ap + l * m;
+    const float* bl = bp + l * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float ali = al[i];
+      if (ali == 0.0f) continue;
+      float* ci = cp + i * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ali * bl[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_nt(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.cols() == b.cols());
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  count_flops(2ULL * m * k * n);
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* ai = ap + i * k;
+    float* ci = cp + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* bj = bp + j * k;
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      ci[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.same_shape(b));
+  Tensor c(a.rows(), a.cols());
+  count_flops(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  return c;
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.same_shape(b));
+  Tensor c(a.rows(), a.cols());
+  count_flops(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  return c;
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  CG_EXPECT(a.same_shape(b));
+  Tensor c(a.rows(), a.cols());
+  count_flops(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  return c;
+}
+
+Tensor scale(const Tensor& a, float s) {
+  Tensor c(a.rows(), a.cols());
+  count_flops(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * s;
+  return c;
+}
+
+void axpy(float alpha, const Tensor& x, Tensor& y) {
+  CG_EXPECT(x.same_shape(y));
+  count_flops(2ULL * x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y.data()[i] += alpha * x.data()[i];
+}
+
+void add_row_bias(Tensor& a, const Tensor& bias) {
+  CG_EXPECT(bias.rows() == 1 && bias.cols() == a.cols());
+  count_flops(a.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row_span(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) row[c] += bias.data()[c];
+  }
+}
+
+Tensor col_sum(const Tensor& a) {
+  Tensor out(1, a.cols());
+  count_flops(a.size());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row_span(r);
+    for (std::size_t c = 0; c < a.cols(); ++c) out.data()[c] += row[c];
+  }
+  return out;
+}
+
+Tensor tanh_forward(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  count_flops(8ULL * x.size());  // tanh ~ several flops; fixed estimate
+  for (std::size_t i = 0; i < x.size(); ++i) y.data()[i] = std::tanh(x.data()[i]);
+  return y;
+}
+
+Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
+  CG_EXPECT(dy.same_shape(y));
+  Tensor dx(y.rows(), y.cols());
+  count_flops(3ULL * y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float yi = y.data()[i];
+    dx.data()[i] = dy.data()[i] * (1.0f - yi * yi);
+  }
+  return dx;
+}
+
+Tensor sigmoid_forward(const Tensor& x) {
+  Tensor y(x.rows(), x.cols());
+  count_flops(8ULL * x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    y.data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                            : std::exp(v) / (1.0f + std::exp(v));
+  }
+  return y;
+}
+
+Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
+  CG_EXPECT(dy.same_shape(y));
+  Tensor dx(y.rows(), y.cols());
+  count_flops(3ULL * y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    const float yi = y.data()[i];
+    dx.data()[i] = dy.data()[i] * yi * (1.0f - yi);
+  }
+  return dx;
+}
+
+Tensor leaky_relu_forward(const Tensor& x, float negative_slope) {
+  Tensor y(x.rows(), x.cols());
+  count_flops(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const float v = x.data()[i];
+    y.data()[i] = v >= 0.0f ? v : negative_slope * v;
+  }
+  return y;
+}
+
+Tensor leaky_relu_backward(const Tensor& dy, const Tensor& x, float negative_slope) {
+  CG_EXPECT(dy.same_shape(x));
+  Tensor dx(x.rows(), x.cols());
+  count_flops(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    dx.data()[i] = dy.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
+  }
+  return dx;
+}
+
+float sum(const Tensor& a) {
+  count_flops(a.size());
+  double acc = 0.0;
+  for (const float v : a.data()) acc += v;
+  return static_cast<float>(acc);
+}
+
+float mean(const Tensor& a) {
+  CG_EXPECT(a.size() > 0);
+  return sum(a) / static_cast<float>(a.size());
+}
+
+std::pair<float, Tensor> bce_with_logits(const Tensor& logits, const Tensor& target) {
+  CG_EXPECT(logits.same_shape(target));
+  Tensor dz(logits.rows(), logits.cols());
+  count_flops(12ULL * logits.size());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(logits.size());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float z = logits.data()[i];
+    const float y = target.data()[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|))
+    loss += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::abs(z)));
+    const float sig = z >= 0.0f ? 1.0f / (1.0f + std::exp(-z))
+                                : std::exp(z) / (1.0f + std::exp(z));
+    dz.data()[i] = (sig - y) * inv_n;
+  }
+  return {static_cast<float>(loss) * inv_n, std::move(dz)};
+}
+
+Tensor softmax(const Tensor& logits) {
+  Tensor probs(logits.rows(), logits.cols());
+  count_flops(10ULL * logits.size());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto in = logits.row_span(r);
+    auto out = probs.row_span(r);
+    float mx = in[0];
+    for (const float v : in) mx = std::max(mx, v);
+    float denom = 0.0f;
+    for (std::size_t c = 0; c < in.size(); ++c) {
+      out[c] = std::exp(in[c] - mx);
+      denom += out[c];
+    }
+    for (auto& v : out) v /= denom;
+  }
+  return probs;
+}
+
+std::pair<float, Tensor> softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<std::uint32_t>& labels) {
+  CG_EXPECT(labels.size() == logits.rows());
+  Tensor dz = softmax(logits);
+  count_flops(4ULL * logits.size());
+  double loss = 0.0;
+  const float inv_b = 1.0f / static_cast<float>(logits.rows());
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    const std::uint32_t y = labels[r];
+    CG_EXPECT(y < logits.cols());
+    auto row = dz.row_span(r);
+    loss -= std::log(std::max(row[y], 1e-12f));
+    row[y] -= 1.0f;
+    for (auto& v : row) v *= inv_b;
+  }
+  return {static_cast<float>(loss) * inv_b, std::move(dz)};
+}
+
+std::vector<std::uint32_t> argmax_rows(const Tensor& a) {
+  std::vector<std::uint32_t> out(a.rows());
+  for (std::size_t r = 0; r < a.rows(); ++r) {
+    auto row = a.row_span(r);
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    out[r] = static_cast<std::uint32_t>(best);
+  }
+  return out;
+}
+
+}  // namespace cellgan::tensor

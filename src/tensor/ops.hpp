@@ -1,0 +1,70 @@
+// Tensor kernels used by the neural network layers.
+//
+// GEMM variants cover forward (A*B), weight gradients (A^T*B) and input
+// gradients (A*B^T) so layers never materialize transposes. Kernels report
+// their flop counts (see flops.hpp) and parallelize across the process
+// thread pool — the shared-memory level of the paper's two-level model.
+#pragma once
+
+#include <utility>
+
+#include "tensor/tensor.hpp"
+
+namespace cellgan::tensor {
+
+// ---- GEMM -----------------------------------------------------------------
+
+/// C = A(mxk) * B(kxn)
+Tensor matmul(const Tensor& a, const Tensor& b);
+/// C = A^T(m<-k) * B : a is (k x m), b is (k x n), result (m x n).
+Tensor matmul_tn(const Tensor& a, const Tensor& b);
+/// C = A(m x k) * B^T : b is (n x k), result (m x n).
+Tensor matmul_nt(const Tensor& a, const Tensor& b);
+
+// ---- Elementwise ------------------------------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor scale(const Tensor& a, float s);
+/// y += alpha * x
+void axpy(float alpha, const Tensor& x, Tensor& y);
+/// Each row of `a` += bias (bias is 1 x cols).
+void add_row_bias(Tensor& a, const Tensor& bias);
+/// 1 x cols vector of column sums (bias gradient).
+Tensor col_sum(const Tensor& a);
+
+// ---- Activations ------------------------------------------------------------
+
+Tensor tanh_forward(const Tensor& x);
+/// dx = dy * (1 - y^2), where y = tanh(x) from the forward pass.
+Tensor tanh_backward(const Tensor& dy, const Tensor& y);
+Tensor sigmoid_forward(const Tensor& x);
+/// dx = dy * y * (1 - y).
+Tensor sigmoid_backward(const Tensor& dy, const Tensor& y);
+Tensor leaky_relu_forward(const Tensor& x, float negative_slope);
+Tensor leaky_relu_backward(const Tensor& dy, const Tensor& x, float negative_slope);
+
+// ---- Reductions -------------------------------------------------------------
+
+float sum(const Tensor& a);
+float mean(const Tensor& a);
+
+// ---- Losses -----------------------------------------------------------------
+
+/// Binary cross-entropy with logits, numerically stable.
+/// Returns (loss_mean, dloss/dlogits). `target` is the same shape as logits.
+std::pair<float, Tensor> bce_with_logits(const Tensor& logits, const Tensor& target);
+
+/// Row-wise softmax cross-entropy against integer labels.
+/// Returns (loss_mean, dloss/dlogits).
+std::pair<float, Tensor> softmax_cross_entropy(const Tensor& logits,
+                                               const std::vector<std::uint32_t>& labels);
+
+/// Row-wise softmax probabilities.
+Tensor softmax(const Tensor& logits);
+
+/// Index of the max entry of each row.
+std::vector<std::uint32_t> argmax_rows(const Tensor& a);
+
+}  // namespace cellgan::tensor

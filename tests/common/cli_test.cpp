@@ -1,0 +1,97 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellgan::common {
+namespace {
+
+CliParser make_parser() {
+  CliParser cli("test program");
+  cli.add_flag("name", "default", "a string flag");
+  cli.add_flag("count", "5", "an int flag");
+  cli.add_flag("rate", "0.25", "a double flag");
+  cli.add_flag("verbose", "false", "a bool flag");
+  return cli;
+}
+
+TEST(CliTest, DefaultsApplyWithoutArgs) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get("name"), "default");
+  EXPECT_EQ(cli.get_int("count"), 5);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 0.25);
+  EXPECT_FALSE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, SpaceSeparatedValues) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--name", "alice", "--count", "42"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get("name"), "alice");
+  EXPECT_EQ(cli.get_int("count"), 42);
+}
+
+TEST(CliTest, EqualsSeparatedValues) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--rate=1.5", "--verbose=true"};
+  ASSERT_TRUE(cli.parse(3, argv));
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), 1.5);
+  EXPECT_TRUE(cli.get_bool("verbose"));
+}
+
+TEST(CliTest, BoolAcceptsManySpellings) {
+  for (const char* spelling : {"1", "true", "yes", "on"}) {
+    CliParser cli = make_parser();
+    const std::string arg = std::string("--verbose=") + spelling;
+    const char* argv[] = {"prog", arg.c_str()};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_bool("verbose")) << spelling;
+  }
+}
+
+TEST(CliTest, UnknownFlagFails) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_FALSE(cli.parse(3, argv));
+}
+
+TEST(CliTest, MissingValueFails) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--name"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, HelpReturnsFalse) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, PositionalArgumentRejected) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "stray"};
+  EXPECT_FALSE(cli.parse(2, argv));
+}
+
+TEST(CliTest, NegativeNumbersParse) {
+  CliParser cli = make_parser();
+  const char* argv[] = {"prog", "--count", "-3", "--rate", "-0.5"};
+  ASSERT_TRUE(cli.parse(5, argv));
+  EXPECT_EQ(cli.get_int("count"), -3);
+  EXPECT_DOUBLE_EQ(cli.get_double("rate"), -0.5);
+}
+
+TEST(CliDeathTest, DuplicateFlagRegistrationAborts) {
+  CliParser cli("dup");
+  cli.add_flag("x", "1", "first");
+  EXPECT_DEATH(cli.add_flag("x", "2", "second"), "precondition");
+}
+
+TEST(CliDeathTest, GetUnregisteredAborts) {
+  CliParser cli("none");
+  EXPECT_DEATH((void)cli.get("missing"), "precondition");
+}
+
+}  // namespace
+}  // namespace cellgan::common

@@ -1,0 +1,110 @@
+#include "common/profiler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cellgan::common {
+namespace {
+
+TEST(ProfilerTest, AccumulatesWallAndVirtual) {
+  Profiler p;
+  p.add("train", 1.0, 2.0);
+  p.add("train", 0.5, 1.0);
+  const RoutineCost cost = p.cost("train");
+  EXPECT_DOUBLE_EQ(cost.wall_s, 1.5);
+  EXPECT_DOUBLE_EQ(cost.virtual_s, 3.0);
+  EXPECT_EQ(cost.calls, 2u);
+}
+
+TEST(ProfilerTest, UnknownBucketIsZero) {
+  Profiler p;
+  const RoutineCost cost = p.cost("nope");
+  EXPECT_DOUBLE_EQ(cost.wall_s, 0.0);
+  EXPECT_EQ(cost.calls, 0u);
+  EXPECT_FALSE(p.has("nope"));
+}
+
+TEST(ProfilerTest, TotalsSumAcrossBuckets) {
+  Profiler p;
+  p.add("a", 1.0, 10.0);
+  p.add("b", 2.0, 20.0);
+  EXPECT_DOUBLE_EQ(p.total_wall_s(), 3.0);
+  EXPECT_DOUBLE_EQ(p.total_virtual_s(), 30.0);
+}
+
+TEST(ProfilerTest, MergeSumsBuckets) {
+  Profiler a, b;
+  a.add("train", 1.0, 5.0);
+  b.add("train", 2.0, 7.0);
+  b.add("gather", 0.5, 0.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.cost("train").wall_s, 3.0);
+  EXPECT_DOUBLE_EQ(a.cost("train").virtual_s, 12.0);
+  EXPECT_DOUBLE_EQ(a.cost("gather").wall_s, 0.5);
+  EXPECT_EQ(a.cost("train").calls, 2u);
+}
+
+TEST(ProfilerTest, NamesAreSorted) {
+  Profiler p;
+  p.add("zeta", 1.0);
+  p.add("alpha", 1.0);
+  p.add("mid", 1.0);
+  const auto names = p.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "mid");
+  EXPECT_EQ(names[2], "zeta");
+}
+
+TEST(ProfilerTest, ClearEmpties) {
+  Profiler p;
+  p.add("x", 1.0);
+  p.clear();
+  EXPECT_FALSE(p.has("x"));
+  EXPECT_DOUBLE_EQ(p.total_wall_s(), 0.0);
+}
+
+TEST(ProfilerTest, CopySemantics) {
+  Profiler a;
+  a.add("x", 1.0, 2.0);
+  Profiler b(a);
+  a.add("x", 1.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.cost("x").wall_s, 1.0);
+  EXPECT_DOUBLE_EQ(a.cost("x").wall_s, 2.0);
+}
+
+TEST(ProfilerTest, ConcurrentAddsAreAllCounted) {
+  Profiler p;
+  constexpr int kThreads = 4;
+  constexpr int kAddsPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&p] {
+      for (int i = 0; i < kAddsPerThread; ++i) p.add("shared", 0.001, 0.002);
+    });
+  }
+  for (auto& t : threads) t.join();
+  const RoutineCost cost = p.cost("shared");
+  EXPECT_EQ(cost.calls, static_cast<std::uint64_t>(kThreads * kAddsPerThread));
+  EXPECT_NEAR(cost.wall_s, 0.001 * kThreads * kAddsPerThread, 1e-9);
+}
+
+TEST(ProfileScopeTest, AddsElapsedOnDestruction) {
+  Profiler p;
+  {
+    ProfileScope scope(p, "scoped");
+  }
+  EXPECT_TRUE(p.has("scoped"));
+  EXPECT_EQ(p.cost("scoped").calls, 1u);
+  EXPECT_GE(p.cost("scoped").wall_s, 0.0);
+}
+
+TEST(ProfilerDeathTest, NegativeTimeAborts) {
+  Profiler p;
+  EXPECT_DEATH(p.add("bad", -1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace cellgan::common

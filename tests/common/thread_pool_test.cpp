@@ -1,0 +1,84 @@
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace cellgan::common {
+namespace {
+
+TEST(ThreadPoolTest, InlinePoolRunsEverything) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.size(), 1u);
+  std::vector<int> hits(100, 0);
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ZeroElementsIsNoop) {
+  ThreadPool pool(2);
+  bool called = false;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+/// Each index must be visited exactly once for any (threads, n) combination.
+class ThreadPoolSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(ThreadPoolSweep, EachIndexVisitedExactlyOnce) {
+  const auto [threads, n] = GetParam();
+  ThreadPool pool(threads);
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t begin, std::size_t end) {
+    ASSERT_LE(begin, end);
+    ASSERT_LE(end, n);
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ThreadPoolSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 3, 8),
+                       ::testing::Values<std::size_t>(1, 2, 7, 64, 1000)));
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<std::size_t> sum{0};
+    pool.parallel_for(50, [&](std::size_t begin, std::size_t end) {
+      std::size_t local = 0;
+      for (std::size_t i = begin; i < end; ++i) local += i;
+      sum.fetch_add(local);
+    });
+    EXPECT_EQ(sum.load(), 50u * 49u / 2u);
+  }
+}
+
+TEST(ThreadPoolTest, WorkSmallerThanPoolStillCorrect) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.parallel_for(3, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(GlobalPoolTest, DefaultIsInline) {
+  EXPECT_GE(global_pool().size(), 1u);
+}
+
+TEST(GlobalPoolTest, ResizeTakesEffect) {
+  set_global_pool_threads(2);
+  EXPECT_EQ(global_pool().size(), 2u);
+  set_global_pool_threads(1);
+  EXPECT_EQ(global_pool().size(), 1u);
+}
+
+}  // namespace
+}  // namespace cellgan::common

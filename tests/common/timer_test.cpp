@@ -1,0 +1,80 @@
+#include "common/timer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cellgan::common {
+namespace {
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndGrows) {
+  WallTimer timer;
+  const double t1 = timer.elapsed_s();
+  EXPECT_GE(t1, 0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(timer.elapsed_s(), t1);
+}
+
+TEST(WallTimerTest, ResetRestarts) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  timer.reset();
+  EXPECT_LT(timer.elapsed_s(), 0.005);
+}
+
+TEST(VirtualClockTest, StartsAtZero) {
+  VirtualClock clock;
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClockTest, AdvanceAccumulates) {
+  VirtualClock clock;
+  clock.advance(1.5);
+  clock.advance(2.5);
+  EXPECT_DOUBLE_EQ(clock.now(), 4.0);
+}
+
+TEST(VirtualClockTest, WaitUntilOnlyMovesForward) {
+  VirtualClock clock;
+  clock.advance(10.0);
+  clock.wait_until(5.0);  // in the past: no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 10.0);
+  clock.wait_until(12.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 12.0);
+}
+
+TEST(VirtualClockTest, ZeroAdvanceAllowed) {
+  VirtualClock clock;
+  clock.advance(0.0);
+  EXPECT_DOUBLE_EQ(clock.now(), 0.0);
+}
+
+TEST(VirtualClockDeathTest, NegativeAdvanceAborts) {
+  VirtualClock clock;
+  EXPECT_DEATH(clock.advance(-1.0), "precondition");
+}
+
+TEST(VirtualClockTest, CopyTakesSnapshot) {
+  VirtualClock a;
+  a.advance(3.0);
+  VirtualClock b(a);
+  a.advance(1.0);
+  EXPECT_DOUBLE_EQ(b.now(), 3.0);
+  EXPECT_DOUBLE_EQ(a.now(), 4.0);
+}
+
+TEST(VirtualClockTest, ConcurrentAdvancesAllLand) {
+  VirtualClock clock;
+  std::thread t1([&] {
+    for (int i = 0; i < 1000; ++i) clock.advance(0.001);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < 1000; ++i) clock.advance(0.001);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_NEAR(clock.now(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cellgan::common

@@ -1,0 +1,191 @@
+#include "core/comm_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::core {
+namespace {
+
+TEST(GenomeStoreTest, PublishAndLatest) {
+  GenomeStore store(3);
+  EXPECT_TRUE(store.latest(0).empty());
+  store.publish(1, {1, 2, 3});
+  EXPECT_EQ(store.latest(1), (std::vector<std::uint8_t>{1, 2, 3}));
+  store.publish(1, {4});
+  EXPECT_EQ(store.latest(1), (std::vector<std::uint8_t>{4}));
+}
+
+TEST(GenomeStoreDeathTest, OutOfRangeAborts) {
+  GenomeStore store(2);
+  EXPECT_DEATH(store.publish(2, {}), "precondition");
+  EXPECT_DEATH((void)store.latest(-1), "precondition");
+}
+
+TEST(LocalCommManagerTest, ReturnsNeighborsOnly) {
+  Grid grid(3, 3);
+  GenomeStore store(grid.size());
+  ExecContext context;
+  // Pre-publish everyone's genome.
+  for (int cell = 0; cell < grid.size(); ++cell) {
+    store.publish(cell, {static_cast<std::uint8_t>(cell)});
+  }
+  LocalCommManager comm(store, grid, 4, context);
+  const auto gathered = comm.exchange({});
+  ASSERT_EQ(gathered.size(), 9u);
+  for (int cell = 0; cell < grid.size(); ++cell) {
+    if (grid.is_neighbor(4, cell)) {
+      ASSERT_EQ(gathered[cell].size(), 1u) << "cell " << cell;
+      EXPECT_EQ(gathered[cell][0], static_cast<std::uint8_t>(cell));
+    } else {
+      EXPECT_TRUE(gathered[cell].empty()) << "cell " << cell;
+    }
+  }
+}
+
+TEST(LocalCommManagerTest, ExchangePublishesOwnGenome) {
+  Grid grid(2, 2);
+  GenomeStore store(grid.size());
+  ExecContext context;
+  LocalCommManager comm(store, grid, 0, context);
+  const std::vector<std::uint8_t> mine{7, 7};
+  (void)comm.exchange(mine);
+  EXPECT_EQ(store.latest(0), mine);
+}
+
+TEST(LocalCommManagerTest, ChargesGatherWhenCostModelEnabled) {
+  Grid grid(3, 3);
+  GenomeStore store(grid.size());
+  for (int cell = 0; cell < grid.size(); ++cell) {
+    store.publish(cell, std::vector<std::uint8_t>(100, 1));
+  }
+  WorkloadProbe probe;
+  probe.train_flops = 1.0;
+  probe.update_bytes = 1.0;
+  probe.mutate_calls = 1.0;
+  probe.genome_bytes = 100.0;
+  const CostModel cost = CostModel::calibrated(CostProfile::table3(), probe);
+  common::VirtualClock clock;
+  common::Profiler profiler;
+  ExecContext context;
+  context.mode = ExecMode::SingleCore;
+  context.grid_cells = 9;
+  context.cost = &cost;
+  context.clock = &clock;
+  context.profiler = &profiler;
+
+  LocalCommManager comm(store, grid, 0, context);
+  (void)comm.exchange(std::vector<std::uint8_t>(100, 2));
+  EXPECT_GT(clock.now(), 0.0);
+  EXPECT_GT(profiler.cost(common::routine::kGather).virtual_s, 0.0);
+}
+
+TEST(MpiCommManagerTest, ExchangeMatchesAllgatherSemantics) {
+  minimpi::Runtime runtime(4);
+  runtime.run([](minimpi::Comm& world) {
+    MpiCommManager comm(world);
+    EXPECT_EQ(comm.cell_id(), world.rank());
+    const std::vector<std::uint8_t> mine{static_cast<std::uint8_t>(world.rank())};
+    const auto gathered = comm.exchange(mine);
+    ASSERT_EQ(gathered.size(), 4u);
+    for (int cell = 0; cell < 4; ++cell) {
+      ASSERT_EQ(gathered[cell].size(), 1u);
+      EXPECT_EQ(gathered[cell][0], static_cast<std::uint8_t>(cell));
+    }
+  });
+}
+
+TEST(MpiCommManagerTest, RepeatedExchangesSeeLatestGenomes) {
+  minimpi::Runtime runtime(3);
+  runtime.run([](minimpi::Comm& world) {
+    MpiCommManager comm(world);
+    for (std::uint8_t round = 0; round < 5; ++round) {
+      const std::vector<std::uint8_t> mine{
+          static_cast<std::uint8_t>(world.rank() * 10 + round)};
+      const auto gathered = comm.exchange(mine);
+      for (int cell = 0; cell < 3; ++cell) {
+        ASSERT_EQ(gathered[cell][0],
+                  static_cast<std::uint8_t>(cell * 10 + round));
+      }
+    }
+  });
+}
+
+TEST(AsyncMpiCommManagerTest, PublishedGenomesAreVisibleNextRound) {
+  Grid grid(2, 2);
+  minimpi::Runtime runtime(4);
+  runtime.run([&grid](minimpi::Comm& world) {
+    AsyncMpiCommManager comm(world, grid);
+    // Round 0: everyone publishes (sends enqueue synchronously); the first
+    // read may legitimately see nothing — it must not block either way.
+    const std::vector<std::uint8_t> mine{static_cast<std::uint8_t>(world.rank())};
+    (void)comm.exchange(mine);
+    // Once every rank has demonstrably published...
+    world.barrier();
+    // ...the next exchange must deliver every neighbor's genome, and only
+    // neighbors' (non-neighbor slots stay empty).
+    const auto gathered = comm.exchange(mine);
+    for (int cell = 0; cell < 4; ++cell) {
+      if (grid.is_neighbor(world.rank(), cell)) {
+        ASSERT_FALSE(gathered[cell].empty()) << "neighbor " << cell;
+        EXPECT_EQ(gathered[cell][0], static_cast<std::uint8_t>(cell));
+      } else {
+        EXPECT_TRUE(gathered[cell].empty()) << "cell " << cell;
+      }
+    }
+  });
+}
+
+TEST(AsyncMpiCommManagerTest, NewestGenomeWins) {
+  Grid grid(1, 2);  // two cells, mutual neighbors
+  minimpi::Runtime runtime(2);
+  runtime.run([&grid](minimpi::Comm& world) {
+    AsyncMpiCommManager comm(world, grid);
+    if (world.rank() == 0) {
+      // Publish three generations before rank 1 reads anything.
+      for (std::uint8_t version = 1; version <= 3; ++version) {
+        (void)comm.exchange(std::vector<std::uint8_t>{version});
+      }
+      world.send_value<int>(1, 7, 1);  // signal: publications done
+      (void)world.recv(1, 8);
+    } else {
+      (void)world.recv(0, 7);
+      const auto gathered = comm.exchange(std::vector<std::uint8_t>{9});
+      ASSERT_FALSE(gathered[0].empty());
+      EXPECT_EQ(gathered[0][0], 3);  // newest, older ones discarded
+      world.send_value<int>(0, 8, 1);
+    }
+  });
+}
+
+TEST(AsyncMpiCommManagerTest, VirtualTimeRespectsCausality) {
+  // A message sent "late" in virtual time must be invisible to a receiver
+  // whose clock has not reached the arrival stamp.
+  Grid grid(1, 2);
+  minimpi::NetModelConfig net;
+  net.enabled = true;
+  net.latency_s = 100.0;  // arrival far in the receiver's future
+  net.bandwidth_Bps = 1e12;
+  minimpi::Runtime runtime(2, net);
+  runtime.run([&grid](minimpi::Comm& world) {
+    AsyncMpiCommManager comm(world, grid);
+    if (world.rank() == 0) {
+      (void)comm.exchange(std::vector<std::uint8_t>{42});
+      world.send_oob(1, 7, {});  // real-time signal, no virtual effect
+      (void)world.recv(1, 8);
+    } else {
+      (void)world.recv(0, 7);
+      auto gathered = comm.exchange(std::vector<std::uint8_t>{1});
+      EXPECT_TRUE(gathered[0].empty()) << "message from the future was seen";
+      // Advance past the arrival stamp: now it must be delivered.
+      world.clock().advance(200.0);
+      gathered = comm.exchange(std::vector<std::uint8_t>{2});
+      ASSERT_FALSE(gathered[0].empty());
+      EXPECT_EQ(gathered[0][0], 42);
+      world.send_oob(0, 8, {});
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cellgan::core

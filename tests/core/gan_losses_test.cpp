@@ -1,0 +1,152 @@
+#include "core/gan_losses.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.hpp"
+
+namespace cellgan::core {
+namespace {
+
+/// Central-difference gradient of a (loss, grad) functional at `logits`.
+tensor::Tensor numeric_gradient(
+    const std::function<float(const tensor::Tensor&)>& loss_of, tensor::Tensor logits,
+    float eps = 1e-3f) {
+  tensor::Tensor grad(logits.rows(), logits.cols());
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float original = logits.data()[i];
+    logits.data()[i] = original + eps;
+    const float up = loss_of(logits);
+    logits.data()[i] = original - eps;
+    const float down = loss_of(logits);
+    logits.data()[i] = original;
+    grad.data()[i] = (up - down) / (2.0f * eps);
+  }
+  return grad;
+}
+
+class LossKindSweep : public ::testing::TestWithParam<GanLossKind> {};
+
+TEST_P(LossKindSweep, GeneratorGradientMatchesFiniteDifference) {
+  common::Rng rng(1);
+  const tensor::Tensor logits = tensor::Tensor::randn(6, 1, rng);
+  auto [loss, grad] = generator_loss_grad(GetParam(), logits);
+  (void)loss;
+  const tensor::Tensor numeric = numeric_gradient(
+      [&](const tensor::Tensor& z) { return generator_loss_grad(GetParam(), z).first; },
+      logits);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad.data()[i], numeric.data()[i], 2e-2f) << "index " << i;
+  }
+}
+
+TEST_P(LossKindSweep, DiscriminatorRealGradientMatchesFiniteDifference) {
+  common::Rng rng(2);
+  const tensor::Tensor logits = tensor::Tensor::randn(6, 1, rng);
+  auto [loss, grad] = discriminator_real_loss_grad(GetParam(), logits);
+  (void)loss;
+  const tensor::Tensor numeric = numeric_gradient(
+      [&](const tensor::Tensor& z) {
+        return discriminator_real_loss_grad(GetParam(), z).first;
+      },
+      logits);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad.data()[i], numeric.data()[i], 2e-2f) << "index " << i;
+  }
+}
+
+TEST_P(LossKindSweep, DiscriminatorFakeGradientMatchesFiniteDifference) {
+  common::Rng rng(3);
+  const tensor::Tensor logits = tensor::Tensor::randn(6, 1, rng);
+  auto [loss, grad] = discriminator_fake_loss_grad(GetParam(), logits);
+  (void)loss;
+  const tensor::Tensor numeric = numeric_gradient(
+      [&](const tensor::Tensor& z) {
+        return discriminator_fake_loss_grad(GetParam(), z).first;
+      },
+      logits);
+  for (std::size_t i = 0; i < grad.size(); ++i) {
+    EXPECT_NEAR(grad.data()[i], numeric.data()[i], 2e-2f) << "index " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, LossKindSweep,
+                         ::testing::Values(GanLossKind::kHeuristic,
+                                           GanLossKind::kMinimax,
+                                           GanLossKind::kLeastSquares));
+
+TEST(GanLossesTest, HeuristicGradientPushesLogitsUp) {
+  // dL/dz = sigma(z) - 1 < 0 everywhere: gradient descent raises z.
+  const tensor::Tensor logits(1, 3, {-3.0f, 0.0f, 3.0f});
+  auto [loss, grad] = generator_loss_grad(GanLossKind::kHeuristic, logits);
+  (void)loss;
+  for (const float g : grad.data()) EXPECT_LT(g, 0.0f);
+}
+
+TEST(GanLossesTest, MinimaxSaturatesWhereDiscriminatorIsConfident) {
+  // The saturating objective's hallmark: near-zero gradient at very negative
+  // logits (D confidently rejects fakes), strong gradient at positive logits.
+  const tensor::Tensor logits(1, 2, {-8.0f, 8.0f});
+  auto [loss, grad] = generator_loss_grad(GanLossKind::kMinimax, logits);
+  (void)loss;
+  EXPECT_NEAR(grad.data()[0], 0.0f, 1e-3f);
+  EXPECT_LT(grad.data()[1], -0.4f);
+  // While the heuristic keeps learning exactly there.
+  auto [h_loss, h_grad] = generator_loss_grad(GanLossKind::kHeuristic, logits);
+  (void)h_loss;
+  EXPECT_LT(h_grad.data()[0], -0.4f);
+}
+
+TEST(GanLossesTest, LeastSquaresZeroAtTarget) {
+  const tensor::Tensor at_target = tensor::Tensor::full(4, 1, 1.0f);
+  auto [loss, grad] = generator_loss_grad(GanLossKind::kLeastSquares, at_target);
+  EXPECT_NEAR(loss, 0.0f, 1e-6f);
+  for (const float g : grad.data()) EXPECT_NEAR(g, 0.0f, 1e-6f);
+}
+
+TEST(GanLossesTest, LeastSquaresDiscriminatorTargets) {
+  // Real logits want 1, fake logits want 0.
+  auto [rl, rg] = discriminator_real_loss_grad(GanLossKind::kLeastSquares,
+                                               tensor::Tensor::full(2, 1, 1.0f));
+  EXPECT_NEAR(rl, 0.0f, 1e-6f);
+  (void)rg;
+  auto [fl, fg] = discriminator_fake_loss_grad(GanLossKind::kLeastSquares,
+                                               tensor::Tensor::full(2, 1, 0.0f));
+  EXPECT_NEAR(fl, 0.0f, 1e-6f);
+  (void)fg;
+}
+
+TEST(GanLossesTest, BceKindsShareTheDiscriminatorObjective) {
+  common::Rng rng(4);
+  const tensor::Tensor logits = tensor::Tensor::randn(5, 1, rng);
+  auto [h, hg] = discriminator_real_loss_grad(GanLossKind::kHeuristic, logits);
+  auto [m, mg] = discriminator_real_loss_grad(GanLossKind::kMinimax, logits);
+  EXPECT_FLOAT_EQ(h, m);
+  for (std::size_t i = 0; i < hg.size(); ++i) {
+    EXPECT_FLOAT_EQ(hg.data()[i], mg.data()[i]);
+  }
+}
+
+TEST(GanLossesTest, NamesAreStable) {
+  EXPECT_STREQ(to_string(GanLossKind::kHeuristic), "heuristic");
+  EXPECT_STREQ(to_string(GanLossKind::kMinimax), "minimax");
+  EXPECT_STREQ(to_string(GanLossKind::kLeastSquares), "least-squares");
+}
+
+TEST(GanLossesTest, AllLossesAreFiniteOnExtremeLogits) {
+  const tensor::Tensor extreme(1, 4, {-500.0f, -1.0f, 1.0f, 500.0f});
+  for (const GanLossKind kind :
+       {GanLossKind::kHeuristic, GanLossKind::kMinimax, GanLossKind::kLeastSquares}) {
+    auto [gl, gg] = generator_loss_grad(kind, extreme);
+    EXPECT_TRUE(std::isfinite(gl)) << to_string(kind);
+    for (const float g : gg.data()) EXPECT_TRUE(std::isfinite(g));
+    auto [dl, dg] = discriminator_fake_loss_grad(kind, extreme);
+    EXPECT_TRUE(std::isfinite(dl)) << to_string(kind);
+    for (const float g : dg.data()) EXPECT_TRUE(std::isfinite(g));
+  }
+}
+
+}  // namespace
+}  // namespace cellgan::core

@@ -1,0 +1,118 @@
+#include "core/gan_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload.hpp"
+#include "nn/gan_models.hpp"
+#include "nn/optimizer.hpp"
+
+namespace cellgan::core {
+namespace {
+
+struct GanFixture : public ::testing::Test {
+  void SetUp() override {
+    TrainingConfig config = TrainingConfig::tiny();
+    dataset = make_matched_dataset(config, 200, 3);
+    generator = nn::make_generator(arch, rng);
+    discriminator = nn::make_discriminator(arch, rng);
+  }
+
+  common::Rng rng{11};
+  nn::GanArch arch = nn::GanArch::tiny();
+  data::Dataset dataset;
+  nn::Sequential generator;
+  nn::Sequential discriminator;
+};
+
+TEST_F(GanFixture, DiscriminatorStepReturnsFiniteLossAndUpdates) {
+  nn::Adam d_opt(1e-3);
+  const tensor::Tensor real = dataset.images.slice_rows(0, 16);
+  const auto before = discriminator.flatten_parameters();
+  const double loss = train_discriminator_step(discriminator, d_opt, generator,
+                                               real, arch.latent_dim, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_GT(loss, 0.0);
+  EXPECT_NE(discriminator.flatten_parameters(), before);
+}
+
+TEST_F(GanFixture, DiscriminatorStepDoesNotTouchGenerator) {
+  nn::Adam d_opt(1e-3);
+  const tensor::Tensor real = dataset.images.slice_rows(0, 16);
+  const auto g_before = generator.flatten_parameters();
+  (void)train_discriminator_step(discriminator, d_opt, generator, real,
+                                 arch.latent_dim, rng);
+  EXPECT_EQ(generator.flatten_parameters(), g_before);
+}
+
+TEST_F(GanFixture, GeneratorStepUpdatesOnlyGenerator) {
+  nn::Adam g_opt(1e-3);
+  const auto g_before = generator.flatten_parameters();
+  const auto d_before = discriminator.flatten_parameters();
+  const double loss = train_generator_step(generator, g_opt, discriminator, 16,
+                                           arch.latent_dim, rng);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NE(generator.flatten_parameters(), g_before);
+  EXPECT_EQ(discriminator.flatten_parameters(), d_before);
+}
+
+TEST_F(GanFixture, DiscriminatorLearnsToSeparate) {
+  // Repeated D updates against a frozen generator must reduce D loss.
+  nn::Adam d_opt(2e-3);
+  const tensor::Tensor real = dataset.images.slice_rows(0, 32);
+  const double initial = evaluate_discriminator_loss(discriminator, generator,
+                                                     real, arch.latent_dim, rng);
+  for (int i = 0; i < 60; ++i) {
+    (void)train_discriminator_step(discriminator, d_opt, generator, real,
+                                   arch.latent_dim, rng);
+  }
+  const double trained = evaluate_discriminator_loss(discriminator, generator,
+                                                     real, arch.latent_dim, rng);
+  EXPECT_LT(trained, initial * 0.8);
+}
+
+TEST_F(GanFixture, GeneratorLearnsToFoolFrozenDiscriminator) {
+  // Make D mildly informed first, then let G chase it.
+  nn::Adam d_opt(2e-3);
+  const tensor::Tensor real = dataset.images.slice_rows(0, 32);
+  for (int i = 0; i < 20; ++i) {
+    (void)train_discriminator_step(discriminator, d_opt, generator, real,
+                                   arch.latent_dim, rng);
+  }
+  const double initial = evaluate_generator_loss(generator, discriminator, 64,
+                                                 arch.latent_dim, rng);
+  nn::Adam g_opt(2e-3);
+  for (int i = 0; i < 80; ++i) {
+    (void)train_generator_step(generator, g_opt, discriminator, 32,
+                               arch.latent_dim, rng);
+  }
+  const double trained = evaluate_generator_loss(generator, discriminator, 64,
+                                                 arch.latent_dim, rng);
+  EXPECT_LT(trained, initial);
+}
+
+TEST_F(GanFixture, EvaluationsDoNotMutateNetworks) {
+  const auto g_before = generator.flatten_parameters();
+  const auto d_before = discriminator.flatten_parameters();
+  const tensor::Tensor real = dataset.images.slice_rows(0, 8);
+  (void)evaluate_generator_loss(generator, discriminator, 8, arch.latent_dim, rng);
+  (void)evaluate_discriminator_loss(discriminator, generator, real,
+                                    arch.latent_dim, rng);
+  EXPECT_EQ(generator.flatten_parameters(), g_before);
+  EXPECT_EQ(discriminator.flatten_parameters(), d_before);
+}
+
+TEST_F(GanFixture, UntrainedLossesNearChanceLevel) {
+  // With random nets, D's two-sided BCE should be near 2*ln2 and G's near ln2.
+  const tensor::Tensor real = dataset.images.slice_rows(0, 32);
+  const double d_loss = evaluate_discriminator_loss(discriminator, generator,
+                                                    real, arch.latent_dim, rng);
+  const double g_loss = evaluate_generator_loss(generator, discriminator, 64,
+                                                arch.latent_dim, rng);
+  EXPECT_NEAR(d_loss, 2.0 * std::log(2.0), 0.7);
+  EXPECT_NEAR(g_loss, std::log(2.0), 0.5);
+}
+
+}  // namespace
+}  // namespace cellgan::core

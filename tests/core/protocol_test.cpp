@@ -1,0 +1,86 @@
+#include "core/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cellgan::core::protocol {
+namespace {
+
+TEST(ProtocolTest, RunTaskRoundtrip) {
+  RunTask task;
+  task.cell_id = 13;
+  task.seed = 0xfeedfaceULL;
+  const RunTask loaded = RunTask::deserialize(task.serialize());
+  EXPECT_EQ(loaded.cell_id, 13u);
+  EXPECT_EQ(loaded.seed, 0xfeedfaceULL);
+}
+
+TEST(ProtocolTest, StatusReplyRoundtrip) {
+  StatusReply reply;
+  reply.state = SlaveState::kProcessing;
+  reply.iteration = 57;
+  reply.cell_id = 3;
+  const StatusReply loaded = StatusReply::deserialize(reply.serialize());
+  EXPECT_EQ(loaded.state, SlaveState::kProcessing);
+  EXPECT_EQ(loaded.iteration, 57u);
+  EXPECT_EQ(loaded.cell_id, 3u);
+}
+
+TEST(ProtocolTest, SlaveResultRoundtrip) {
+  SlaveResult result;
+  result.cell_id = 5;
+  result.virtual_time_s = 123.5;
+  result.mixture_weights = {0.5, 0.25, 0.25};
+  result.center.generator_params = {1.0f, 2.0f};
+  result.center.discriminator_params = {3.0f};
+  result.center.g_fitness = 0.7;
+  const SlaveResult loaded = SlaveResult::deserialize(result.serialize());
+  EXPECT_EQ(loaded.cell_id, 5u);
+  EXPECT_DOUBLE_EQ(loaded.virtual_time_s, 123.5);
+  EXPECT_EQ(loaded.mixture_weights, result.mixture_weights);
+  EXPECT_EQ(loaded.center.generator_params, result.center.generator_params);
+  EXPECT_DOUBLE_EQ(loaded.center.g_fitness, 0.7);
+}
+
+TEST(ProtocolTest, StateNamesMatchFig2) {
+  EXPECT_STREQ(to_string(SlaveState::kInactive), "inactive");
+  EXPECT_STREQ(to_string(SlaveState::kProcessing), "processing");
+  EXPECT_STREQ(to_string(SlaveState::kFinished), "finished");
+}
+
+TEST(ProtocolTest, TagsAreDistinct) {
+  const int tags[] = {kNodeName, kRunTask, kStatusRequest,
+                      kStatusReply, kFinished, kShutdown};
+  for (std::size_t i = 0; i < std::size(tags); ++i) {
+    EXPECT_GE(tags[i], 0) << "user tags must be non-negative";
+    for (std::size_t j = i + 1; j < std::size(tags); ++j) {
+      EXPECT_NE(tags[i], tags[j]);
+    }
+  }
+}
+
+TEST(ProtocolTest, ConfigRoundtripThroughBroadcastBytes) {
+  TrainingConfig config = TrainingConfig::tiny();
+  config.grid_rows = 4;
+  config.grid_cols = 4;
+  config.iterations = 77;
+  config.initial_learning_rate = 0.00042;
+  const TrainingConfig loaded = TrainingConfig::deserialize(config.serialize());
+  EXPECT_EQ(loaded, config);
+}
+
+TEST(ProtocolTest, PaperDefaultsSurviveSerialization) {
+  const TrainingConfig config;  // Table I defaults
+  const TrainingConfig loaded = TrainingConfig::deserialize(config.serialize());
+  EXPECT_EQ(loaded.arch.latent_dim, 64u);
+  EXPECT_EQ(loaded.iterations, 200u);
+  EXPECT_EQ(loaded.tournament_size, 2u);
+  EXPECT_DOUBLE_EQ(loaded.mixture_mutation_scale, 0.01);
+  EXPECT_DOUBLE_EQ(loaded.initial_learning_rate, 0.0002);
+  EXPECT_DOUBLE_EQ(loaded.lr_mutation_sigma, 0.0001);
+  EXPECT_DOUBLE_EQ(loaded.lr_mutation_probability, 0.5);
+  EXPECT_EQ(loaded.batch_size, 100u);
+  EXPECT_EQ(loaded.discriminator_skip_steps, 1u);
+}
+
+}  // namespace
+}  // namespace cellgan::core::protocol

@@ -1,0 +1,97 @@
+#include "data/idx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+namespace cellgan::data {
+namespace {
+
+class IdxTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cellgan_idx_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(IdxTest, ImageRoundtrip) {
+  IdxImages images;
+  images.count = 3;
+  images.rows = 4;
+  images.cols = 5;
+  images.pixels.resize(60);
+  for (std::size_t i = 0; i < images.pixels.size(); ++i) {
+    images.pixels[i] = static_cast<std::uint8_t>(i * 4);
+  }
+  ASSERT_TRUE(write_idx_images(path("imgs"), images));
+
+  IdxImages loaded;
+  ASSERT_TRUE(read_idx_images(path("imgs"), loaded));
+  EXPECT_EQ(loaded.count, 3u);
+  EXPECT_EQ(loaded.rows, 4u);
+  EXPECT_EQ(loaded.cols, 5u);
+  EXPECT_EQ(loaded.pixels, images.pixels);
+}
+
+TEST_F(IdxTest, LabelRoundtrip) {
+  const std::vector<std::uint8_t> labels{0, 1, 2, 9, 5};
+  ASSERT_TRUE(write_idx_labels(path("labels"), labels));
+  std::vector<std::uint8_t> loaded;
+  ASSERT_TRUE(read_idx_labels(path("labels"), loaded));
+  EXPECT_EQ(loaded, labels);
+}
+
+TEST_F(IdxTest, MissingFileFails) {
+  IdxImages images;
+  EXPECT_FALSE(read_idx_images(path("nope"), images));
+  std::vector<std::uint8_t> labels;
+  EXPECT_FALSE(read_idx_labels(path("nope"), labels));
+}
+
+TEST_F(IdxTest, WrongMagicRejected) {
+  // A labels file read as images must fail the magic check.
+  ASSERT_TRUE(write_idx_labels(path("mixed"), {1, 2, 3}));
+  IdxImages images;
+  EXPECT_FALSE(read_idx_images(path("mixed"), images));
+  // And vice versa.
+  IdxImages imgs;
+  imgs.count = 1;
+  imgs.rows = 1;
+  imgs.cols = 1;
+  imgs.pixels = {7};
+  ASSERT_TRUE(write_idx_images(path("mixed2"), imgs));
+  std::vector<std::uint8_t> labels;
+  EXPECT_FALSE(read_idx_labels(path("mixed2"), labels));
+}
+
+TEST_F(IdxTest, TruncatedFileFails) {
+  IdxImages images;
+  images.count = 10;
+  images.rows = 28;
+  images.cols = 28;
+  images.pixels.resize(10 * 28 * 28, 1);
+  ASSERT_TRUE(write_idx_images(path("full"), images));
+  // Truncate the file to half size.
+  const auto full_size = std::filesystem::file_size(path("full"));
+  std::filesystem::resize_file(path("full"), full_size / 2);
+  IdxImages loaded;
+  EXPECT_FALSE(read_idx_images(path("full"), loaded));
+}
+
+TEST_F(IdxTest, EmptyLabelsRoundtrip) {
+  ASSERT_TRUE(write_idx_labels(path("empty"), {}));
+  std::vector<std::uint8_t> loaded{1, 2, 3};
+  ASSERT_TRUE(read_idx_labels(path("empty"), loaded));
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace cellgan::data

@@ -1,0 +1,112 @@
+#include "data/pgm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace cellgan::data {
+namespace {
+
+class PgmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("cellgan_pgm_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string path(const char* name) const { return (dir_ / name).string(); }
+  std::filesystem::path dir_;
+};
+
+TEST_F(PgmTest, SingleImageHeaderAndSize) {
+  const Dataset ds = make_synthetic_mnist(1, 1);
+  ASSERT_TRUE(write_pgm(path("one.pgm"), ds.images.row_span(0)));
+  std::ifstream in(path("one.pgm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P5");
+  EXPECT_EQ(w, kImageSide);
+  EXPECT_EQ(h, kImageSide);
+  EXPECT_EQ(maxval, 255u);
+  const auto total = std::filesystem::file_size(path("one.pgm"));
+  EXPECT_GE(total, kImageDim);  // header + pixels
+}
+
+TEST_F(PgmTest, GridTilesImages) {
+  const Dataset ds = make_synthetic_mnist(6, 2);
+  ASSERT_TRUE(write_pgm_grid(path("grid.pgm"), ds.images.data(), 6, 3));
+  std::ifstream in(path("grid.pgm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(w, 3 * kImageSide);
+  EXPECT_EQ(h, 2 * kImageSide);
+}
+
+TEST_F(PgmTest, RaggedLastRowStillWorks) {
+  const Dataset ds = make_synthetic_mnist(5, 3);
+  ASSERT_TRUE(write_pgm_grid(path("ragged.pgm"), ds.images.data(), 5, 3));
+  std::ifstream in(path("ragged.pgm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(w, 3 * kImageSide);
+  EXPECT_EQ(h, 2 * kImageSide);  // ceil(5/3) = 2 tile rows
+}
+
+TEST_F(PgmTest, UnwritablePathFails) {
+  const Dataset ds = make_synthetic_mnist(1, 1);
+  EXPECT_FALSE(write_pgm("/nonexistent_dir_xyz/out.pgm", ds.images.row_span(0)));
+}
+
+TEST_F(PgmTest, SizedGridSupportsArbitraryResolutions) {
+  const Dataset ds = make_synthetic_digits(4, 32, 9);
+  ASSERT_TRUE(write_pgm_grid_sized(path("hi.pgm"), ds.images.data(), 4, 2, 32));
+  std::ifstream in(path("hi.pgm"), std::ios::binary);
+  std::string magic;
+  std::size_t w = 0, h = 0;
+  in >> magic >> w >> h;
+  EXPECT_EQ(w, 64u);
+  EXPECT_EQ(h, 64u);
+}
+
+TEST(AsciiArtTest, SizedVariantMatchesResolution) {
+  const Dataset ds = make_synthetic_digits(1, 16, 10);
+  const std::string art = ascii_art_sized(ds.images.row_span(0), 16);
+  EXPECT_EQ(art.size(), 16u * 17u);
+}
+
+TEST(AsciiArtTest, ShapeAndCharset) {
+  const Dataset ds = make_synthetic_mnist(1, 4);
+  const std::string art = ascii_art(ds.images.row_span(0));
+  EXPECT_EQ(art.size(), kImageSide * (kImageSide + 1));
+  std::size_t newlines = 0;
+  for (const char c : art) {
+    if (c == '\n') {
+      ++newlines;
+    } else {
+      EXPECT_NE(std::string(" .:-=+*#%@").find(c), std::string::npos)
+          << "unexpected char '" << c << "'";
+    }
+  }
+  EXPECT_EQ(newlines, kImageSide);
+}
+
+TEST(AsciiArtTest, InkShowsUp) {
+  const Dataset ds = make_synthetic_mnist(1, 5);
+  const std::string art = ascii_art(ds.images.row_span(0));
+  std::size_t dark = 0;
+  for (const char c : art) {
+    if (c == '#' || c == '%' || c == '@' || c == '*') ++dark;
+  }
+  EXPECT_GT(dark, 10u);
+}
+
+}  // namespace
+}  // namespace cellgan::data

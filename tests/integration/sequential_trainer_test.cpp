@@ -1,0 +1,132 @@
+#include "core/sequential_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/workload.hpp"
+
+namespace cellgan::core {
+namespace {
+
+TrainingConfig small_config(int side, int iterations) {
+  TrainingConfig config = TrainingConfig::tiny();
+  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(side);
+  config.iterations = static_cast<std::uint32_t>(iterations);
+  return config;
+}
+
+TEST(SequentialTrainerTest, RunsAllCellsAllIterations) {
+  const TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 1);
+  SequentialTrainer trainer(config, dataset);
+  const TrainOutcome outcome = trainer.run();
+  EXPECT_EQ(outcome.g_fitnesses.size(), 4u);
+  EXPECT_EQ(outcome.d_fitnesses.size(), 4u);
+  for (int cell = 0; cell < 4; ++cell) {
+    EXPECT_EQ(trainer.cell(cell).iteration(), 3u);
+    EXPECT_TRUE(std::isfinite(outcome.g_fitnesses[cell]));
+  }
+  EXPECT_GT(outcome.wall_s, 0.0);
+}
+
+TEST(SequentialTrainerTest, BestCellIsArgminGeneratorFitness) {
+  const TrainingConfig config = small_config(3, 2);
+  const auto dataset = make_matched_dataset(config, 100, 2);
+  SequentialTrainer trainer(config, dataset);
+  const TrainOutcome outcome = trainer.run();
+  for (const double f : outcome.g_fitnesses) {
+    EXPECT_GE(f, outcome.g_fitnesses[outcome.best_cell]);
+  }
+}
+
+TEST(SequentialTrainerTest, DeterministicAcrossRuns) {
+  const TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 3);
+  SequentialTrainer a(config, dataset);
+  SequentialTrainer b(config, dataset);
+  const TrainOutcome oa = a.run();
+  const TrainOutcome ob = b.run();
+  ASSERT_EQ(oa.g_fitnesses.size(), ob.g_fitnesses.size());
+  for (std::size_t i = 0; i < oa.g_fitnesses.size(); ++i) {
+    EXPECT_DOUBLE_EQ(oa.g_fitnesses[i], ob.g_fitnesses[i]);
+    EXPECT_DOUBLE_EQ(oa.d_fitnesses[i], ob.d_fitnesses[i]);
+  }
+  EXPECT_EQ(oa.best_cell, ob.best_cell);
+}
+
+TEST(SequentialTrainerTest, SeedChangesOutcome) {
+  TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 4);
+  SequentialTrainer a(config, dataset);
+  config.seed = 4343;
+  SequentialTrainer b(config, dataset);
+  const TrainOutcome oa = a.run();
+  const TrainOutcome ob = b.run();
+  bool any_different = false;
+  for (std::size_t i = 0; i < oa.g_fitnesses.size(); ++i) {
+    if (oa.g_fitnesses[i] != ob.g_fitnesses[i]) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(SequentialTrainerTest, ProfilerCoversAllRoutines) {
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 5);
+  SequentialTrainer trainer(config, dataset);
+  const TrainOutcome outcome = trainer.run();
+  for (const char* routine :
+       {common::routine::kTrain, common::routine::kUpdateGenomes,
+        common::routine::kMutate, common::routine::kGather}) {
+    EXPECT_TRUE(outcome.profiler.has(routine)) << routine;
+  }
+  // train/update/mutate are called once per cell per iteration.
+  EXPECT_EQ(outcome.profiler.cost(common::routine::kTrain).calls, 4u * 2u);
+}
+
+TEST(SequentialTrainerTest, NeighborGenomesFlowBetweenCells) {
+  // After >= 2 iterations, every cell must have installed neighbor bytes.
+  const TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 6);
+  SequentialTrainer trainer(config, dataset);
+  (void)trainer.run();
+  for (int cell = 0; cell < trainer.cells(); ++cell) {
+    EXPECT_GT(trainer.cell(cell).last_update_bytes(), 0.0) << "cell " << cell;
+  }
+}
+
+TEST(SequentialTrainerTest, VirtualTimeZeroWithoutCostModel) {
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 7);
+  SequentialTrainer trainer(config, dataset);
+  const TrainOutcome outcome = trainer.run();
+  EXPECT_DOUBLE_EQ(outcome.virtual_s, 0.0);
+}
+
+TEST(SequentialTrainerTest, WorkloadProbeMeasuresPositiveWork) {
+  const TrainingConfig config = small_config(3, 2);
+  const auto dataset = make_matched_dataset(config, 100, 8);
+  const WorkloadProbe probe = SequentialTrainer::measure_workload(config, dataset);
+  EXPECT_GT(probe.train_flops, 0.0);
+  EXPECT_GT(probe.update_bytes, 0.0);
+  EXPECT_GT(probe.genome_bytes, 0.0);
+  // Update bytes = 4 neighbor genomes on a 3x3 grid.
+  EXPECT_NEAR(probe.update_bytes, 4.0 * probe.genome_bytes, 1.0);
+}
+
+TEST(SequentialTrainerTest, CalibratedRunAccumulatesVirtualTime) {
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 9);
+  const WorkloadProbe probe = SequentialTrainer::measure_workload(config, dataset);
+  const CostModel cost = CostModel::calibrated(CostProfile::table3(), probe);
+  SequentialTrainer trainer(config, dataset, cost);
+  const TrainOutcome outcome = trainer.run();
+  EXPECT_GT(outcome.virtual_s, 0.0);
+  // Virtual time must dwarf anything wall-clock at paper calibration.
+  EXPECT_GT(outcome.virtual_s, outcome.wall_s);
+  EXPECT_GT(outcome.profiler.cost(common::routine::kTrain).virtual_s, 0.0);
+  EXPECT_GT(outcome.profiler.cost(common::routine::kGather).virtual_s, 0.0);
+}
+
+}  // namespace
+}  // namespace cellgan::core

@@ -1,0 +1,95 @@
+#include "metrics/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic_mnist.hpp"
+
+namespace cellgan::metrics {
+namespace {
+
+TEST(ClassifierTest, UntrainedIsNearChance) {
+  common::Rng rng(1);
+  Classifier classifier(rng);
+  const auto test = data::make_synthetic_mnist(200, 2);
+  const double acc = classifier.accuracy(test);
+  EXPECT_LT(acc, 0.35);  // 10 classes: chance is 0.1
+}
+
+TEST(ClassifierTest, TrainsWellAboveChance) {
+  common::Rng rng(3);
+  Classifier classifier(rng);
+  const auto train = data::make_synthetic_mnist(1000, 4);
+  const auto test = data::make_synthetic_mnist(300, 5);
+  classifier.train(train, /*epochs=*/6, /*batch_size=*/50, /*learning_rate=*/2e-3,
+                   rng);
+  const double acc = classifier.accuracy(test);
+  EXPECT_GT(acc, 0.6) << "classifier failed to learn the 10 synthetic modes";
+}
+
+TEST(ClassifierTest, LossDecreasesWithTraining) {
+  common::Rng rng(6);
+  Classifier classifier(rng);
+  const auto train = data::make_synthetic_mnist(500, 7);
+  const float early = classifier.train(train, 1, 50, 1e-3, rng);
+  const float later = classifier.train(train, 4, 50, 1e-3, rng);
+  EXPECT_LT(later, early);
+}
+
+TEST(ClassifierTest, ProbsAreDistributions) {
+  common::Rng rng(8);
+  Classifier classifier(rng);
+  const auto data = data::make_synthetic_mnist(20, 9);
+  const tensor::Tensor probs = classifier.predict_probs(data.images);
+  EXPECT_EQ(probs.rows(), 20u);
+  EXPECT_EQ(probs.cols(), data::kNumClasses);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    float total = 0.0f;
+    for (const float p : probs.row_span(r)) {
+      EXPECT_GE(p, 0.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-4f);
+  }
+}
+
+TEST(ClassifierTest, FeaturesHaveHiddenDim) {
+  common::Rng rng(10);
+  Classifier classifier(rng, /*hidden_dim=*/32);
+  const auto data = data::make_synthetic_mnist(10, 11);
+  const tensor::Tensor features = classifier.features(data.images);
+  EXPECT_EQ(features.rows(), 10u);
+  EXPECT_EQ(features.cols(), 32u);
+  // Tanh features are bounded.
+  for (const float v : features.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(ClassifierTest, PredictLabelsMatchesArgmaxOfProbs) {
+  common::Rng rng(12);
+  Classifier classifier(rng);
+  const auto data = data::make_synthetic_mnist(15, 13);
+  const auto labels = classifier.predict_labels(data.images);
+  const tensor::Tensor probs = classifier.predict_probs(data.images);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::size_t best = 0;
+    auto row = probs.row_span(i);
+    for (std::size_t c = 1; c < row.size(); ++c) {
+      if (row[c] > row[best]) best = c;
+    }
+    EXPECT_EQ(labels[i], best);
+  }
+}
+
+TEST(ClassifierTest, SupportsReducedImageDims) {
+  common::Rng rng(14);
+  Classifier classifier(rng, 16, /*image_dim=*/64);
+  const auto full = data::make_synthetic_mnist(400, 15);
+  const auto small = data::downsampled(full, 8);
+  classifier.train(small, 8, 20, 2e-3, rng);
+  EXPECT_GT(classifier.accuracy(small), 0.2);  // learned something
+}
+
+}  // namespace
+}  // namespace cellgan::metrics

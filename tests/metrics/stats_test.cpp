@@ -1,0 +1,128 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::metrics {
+namespace {
+
+TEST(StatsTest, ColumnMeanKnownValues) {
+  tensor::Tensor x(2, 3, {1, 2, 3, 3, 4, 5});
+  const tensor::Tensor mu = column_mean(x);
+  EXPECT_FLOAT_EQ(mu.at(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mu.at(0, 1), 3.0f);
+  EXPECT_FLOAT_EQ(mu.at(0, 2), 4.0f);
+}
+
+TEST(StatsTest, CovarianceKnownValues) {
+  // Two perfectly correlated columns.
+  tensor::Tensor x(3, 2, {0, 0, 1, 1, 2, 2});
+  const tensor::Tensor cov = covariance(x);
+  EXPECT_NEAR(cov.at(0, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(cov.at(0, 1), 1.0f, 1e-5f);
+  EXPECT_NEAR(cov.at(1, 1), 1.0f, 1e-5f);
+}
+
+TEST(StatsTest, CovarianceIsSymmetricPsd) {
+  common::Rng rng(1);
+  const tensor::Tensor x = tensor::Tensor::randn(50, 6, rng);
+  const tensor::Tensor cov = covariance(x);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_GE(cov.at(i, i), 0.0f);
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_NEAR(cov.at(i, j), cov.at(j, i), 1e-5f);
+    }
+  }
+  const EigenResult eig = symmetric_eigen(cov);
+  for (const double w : eig.eigenvalues) EXPECT_GE(w, -1e-5);
+}
+
+TEST(StatsTest, EigenDiagonalMatrix) {
+  tensor::Tensor a(3, 3, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  const EigenResult eig = symmetric_eigen(a);
+  ASSERT_EQ(eig.eigenvalues.size(), 3u);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues[1], 2.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues[2], 3.0, 1e-9);
+}
+
+TEST(StatsTest, EigenKnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  tensor::Tensor a(2, 2, {2, 1, 1, 2});
+  const EigenResult eig = symmetric_eigen(a);
+  EXPECT_NEAR(eig.eigenvalues[0], 1.0, 1e-9);
+  EXPECT_NEAR(eig.eigenvalues[1], 3.0, 1e-9);
+}
+
+TEST(StatsTest, EigenReconstructsMatrix) {
+  common::Rng rng(2);
+  const tensor::Tensor x = tensor::Tensor::randn(30, 5, rng);
+  const tensor::Tensor a = covariance(x);
+  const EigenResult eig = symmetric_eigen(a);
+  // A == V diag(w) V^T
+  tensor::Tensor scaled = eig.eigenvectors;  // columns scaled by w
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t k = 0; k < 5; ++k) {
+      scaled.at(k, i) *= static_cast<float>(eig.eigenvalues[i]);
+    }
+  }
+  const tensor::Tensor rebuilt = tensor::matmul_nt(scaled, eig.eigenvectors);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(rebuilt.data()[i], a.data()[i], 1e-4f);
+  }
+}
+
+TEST(StatsTest, EigenvectorsAreOrthonormal) {
+  common::Rng rng(3);
+  const tensor::Tensor a = covariance(tensor::Tensor::randn(40, 4, rng));
+  const EigenResult eig = symmetric_eigen(a);
+  const tensor::Tensor vtv = tensor::matmul_tn(eig.eigenvectors, eig.eigenvectors);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_NEAR(vtv.at(i, j), i == j ? 1.0f : 0.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(StatsTest, PsdSqrtSquaresBack) {
+  common::Rng rng(4);
+  const tensor::Tensor a = covariance(tensor::Tensor::randn(40, 5, rng));
+  const tensor::Tensor s = psd_sqrt(a);
+  const tensor::Tensor s2 = tensor::matmul(s, s);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(s2.data()[i], a.data()[i], 1e-3f);
+  }
+}
+
+TEST(StatsTest, PsdSqrtOfIdentityIsIdentity) {
+  tensor::Tensor eye(3, 3, {1, 0, 0, 0, 1, 0, 0, 0, 1});
+  const tensor::Tensor s = psd_sqrt(eye);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(s.at(i, j), i == j ? 1.0f : 0.0f, 1e-5f);
+    }
+  }
+}
+
+TEST(StatsTest, SquaredDistance) {
+  const tensor::Tensor a = tensor::Tensor::row({1, 2, 3});
+  const tensor::Tensor b = tensor::Tensor::row({2, 0, 3});
+  EXPECT_DOUBLE_EQ(squared_distance(a, b), 1.0 + 4.0 + 0.0);
+}
+
+TEST(StatsTest, Trace) {
+  tensor::Tensor a(2, 2, {3, 9, 9, 4});
+  EXPECT_DOUBLE_EQ(trace(a), 7.0);
+}
+
+TEST(StatsDeathTest, CovarianceNeedsTwoSamples) {
+  tensor::Tensor x(1, 3);
+  EXPECT_DEATH((void)covariance(x), "precondition");
+}
+
+}  // namespace
+}  // namespace cellgan::metrics

@@ -1,0 +1,112 @@
+#include "minimpi/cart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cellgan::minimpi {
+namespace {
+
+TEST(CartTest, RowMajorCoords) {
+  CartTopology cart(3, 4);
+  EXPECT_EQ(cart.size(), 12);
+  EXPECT_EQ(cart.coords_of(0), (GridCoord{0, 0}));
+  EXPECT_EQ(cart.coords_of(5), (GridCoord{1, 1}));
+  EXPECT_EQ(cart.coords_of(11), (GridCoord{2, 3}));
+}
+
+TEST(CartTest, RankOfInvertsCoordsOf) {
+  CartTopology cart(4, 4);
+  for (int r = 0; r < cart.size(); ++r) {
+    EXPECT_EQ(cart.rank_of(cart.coords_of(r)), r);
+  }
+}
+
+TEST(CartTest, WrappingIsToroidal) {
+  CartTopology cart(3, 3);
+  EXPECT_EQ(cart.rank_of({-1, 0}), cart.rank_of({2, 0}));
+  EXPECT_EQ(cart.rank_of({0, -1}), cart.rank_of({0, 2}));
+  EXPECT_EQ(cart.rank_of({3, 3}), cart.rank_of({0, 0}));
+  EXPECT_EQ(cart.rank_of({-4, -4}), cart.rank_of({2, 2}));
+}
+
+TEST(CartTest, DirectionalNeighbors) {
+  CartTopology cart(3, 3);
+  // Center cell (1,1) = rank 4.
+  EXPECT_EQ(cart.north_of(4), 1);
+  EXPECT_EQ(cart.south_of(4), 7);
+  EXPECT_EQ(cart.west_of(4), 3);
+  EXPECT_EQ(cart.east_of(4), 5);
+}
+
+TEST(CartTest, CornerWrapsAllDirections) {
+  CartTopology cart(3, 3);
+  // Corner (0,0) = rank 0.
+  EXPECT_EQ(cart.north_of(0), 6);
+  EXPECT_EQ(cart.south_of(0), 3);
+  EXPECT_EQ(cart.west_of(0), 2);
+  EXPECT_EQ(cart.east_of(0), 1);
+}
+
+TEST(CartTest, FiveCellNeighborhoodOnBigGrid) {
+  CartTopology cart(4, 4);
+  const auto hood = cart.neighborhood_of(5);  // (1,1)
+  ASSERT_EQ(hood.size(), 5u);
+  EXPECT_EQ(hood[0], 5);  // center first
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 1), hood.end());   // north
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 9), hood.end());   // south
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 4), hood.end());   // west
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 6), hood.end());   // east
+}
+
+TEST(CartTest, TwoByTwoNeighborhoodDeduplicates) {
+  // On a 2x2 torus, north == south and west == east: s = 3, not 5.
+  CartTopology cart(2, 2);
+  const auto hood = cart.neighborhood_of(0);
+  EXPECT_EQ(hood.size(), 3u);
+  EXPECT_EQ(hood[0], 0);
+}
+
+TEST(CartTest, OneByOneNeighborhoodIsSelf) {
+  CartTopology cart(1, 1);
+  const auto hood = cart.neighborhood_of(0);
+  ASSERT_EQ(hood.size(), 1u);
+  EXPECT_EQ(hood[0], 0);
+}
+
+TEST(CartTest, RowGridNeighborhood) {
+  // 1x4 grid: north/south alias to self and are dropped.
+  CartTopology cart(1, 4);
+  const auto hood = cart.neighborhood_of(1);
+  ASSERT_EQ(hood.size(), 3u);
+  EXPECT_EQ(hood[0], 1);
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 0), hood.end());
+  EXPECT_NE(std::find(hood.begin(), hood.end(), 2), hood.end());
+}
+
+TEST(CartTest, NeighborhoodSymmetryOnSquareGrids) {
+  // Default 5-cell neighborhoods are symmetric: a in hood(b) <=> b in hood(a).
+  for (const int side : {3, 4, 5}) {
+    CartTopology cart(side, side);
+    for (int a = 0; a < cart.size(); ++a) {
+      const auto hood_a = cart.neighborhood_of(a);
+      for (const int b : hood_a) {
+        const auto hood_b = cart.neighborhood_of(b);
+        EXPECT_NE(std::find(hood_b.begin(), hood_b.end(), a), hood_b.end())
+            << "asymmetry between " << a << " and " << b << " on " << side;
+      }
+    }
+  }
+}
+
+TEST(CartDeathTest, InvalidDimsAbort) {
+  EXPECT_DEATH(CartTopology(0, 3), "precondition");
+}
+
+TEST(CartDeathTest, OutOfRangeRankAborts) {
+  CartTopology cart(2, 2);
+  EXPECT_DEATH((void)cart.coords_of(4), "precondition");
+}
+
+}  // namespace
+}  // namespace cellgan::minimpi

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::minimpi {
+namespace {
+
+/// All collective semantics must hold for any communicator size.
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, BarrierSynchronizesAll) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  std::atomic<int> before{0}, after{0};
+  runtime.run([&](Comm& world) {
+    before.fetch_add(1);
+    world.barrier();
+    // Everyone must have incremented `before` by the time any rank passes.
+    EXPECT_EQ(before.load(), n);
+    after.fetch_add(1);
+  });
+  EXPECT_EQ(after.load(), n);
+}
+
+TEST_P(CollectiveSweep, BcastDeliversRootPayload) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    std::vector<std::uint8_t> data;
+    if (world.rank() == 0) data = {9, 8, 7};
+    world.bcast(data, 0);
+    EXPECT_EQ(data, (std::vector<std::uint8_t>{9, 8, 7}));
+  });
+}
+
+TEST_P(CollectiveSweep, BcastFromNonZeroRoot) {
+  const int n = GetParam();
+  if (n < 2) GTEST_SKIP();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    std::vector<std::uint8_t> data;
+    if (world.rank() == 1) data = {5};
+    world.bcast(data, 1);
+    EXPECT_EQ(data, (std::vector<std::uint8_t>{5}));
+  });
+}
+
+TEST_P(CollectiveSweep, GatherCollectsByRankAtRoot) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    const std::uint8_t mine = static_cast<std::uint8_t>(world.rank() * 3);
+    const auto gathered = world.gather(std::span<const std::uint8_t>(&mine, 1), 0);
+    if (world.rank() == 0) {
+      ASSERT_EQ(gathered.size(), static_cast<std::size_t>(n));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(gathered[r].size(), 1u);
+        EXPECT_EQ(gathered[r][0], static_cast<std::uint8_t>(r * 3));
+      }
+    } else {
+      EXPECT_TRUE(gathered.empty());
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllgatherGivesEveryoneEverything) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    const std::uint8_t mine = static_cast<std::uint8_t>(world.rank() + 1);
+    const auto all = world.allgather(std::span<const std::uint8_t>(&mine, 1));
+    ASSERT_EQ(all.size(), static_cast<std::size_t>(n));
+    for (int r = 0; r < n; ++r) {
+      ASSERT_EQ(all[r].size(), 1u);
+      EXPECT_EQ(all[r][0], static_cast<std::uint8_t>(r + 1));
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllreduceSumAndMax) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    const double sum = world.allreduce_sum(static_cast<double>(world.rank() + 1));
+    EXPECT_DOUBLE_EQ(sum, n * (n + 1) / 2.0);
+    const double mx = world.allreduce_max(static_cast<double>(world.rank()));
+    EXPECT_DOUBLE_EQ(mx, static_cast<double>(n - 1));
+  });
+}
+
+TEST_P(CollectiveSweep, BackToBackCollectivesDoNotInterfere) {
+  const int n = GetParam();
+  Runtime runtime(n);
+  runtime.run([&](Comm& world) {
+    for (int round = 0; round < 5; ++round) {
+      const std::uint8_t mine = static_cast<std::uint8_t>(world.rank() * 10 + round);
+      const auto all = world.allgather(std::span<const std::uint8_t>(&mine, 1));
+      for (int r = 0; r < n; ++r) {
+        ASSERT_EQ(all[r][0], static_cast<std::uint8_t>(r * 10 + round))
+            << "round " << round;
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 5, 9, 17));
+
+TEST(CollectiveTest, LargePayloadAllgather) {
+  Runtime runtime(4);
+  runtime.run([](Comm& world) {
+    std::vector<std::uint8_t> big(100000,
+                                  static_cast<std::uint8_t>(world.rank()));
+    const auto all = world.allgather(big);
+    for (int r = 0; r < 4; ++r) {
+      ASSERT_EQ(all[r].size(), 100000u);
+      EXPECT_EQ(all[r][99999], static_cast<std::uint8_t>(r));
+    }
+  });
+}
+
+}  // namespace
+}  // namespace cellgan::minimpi

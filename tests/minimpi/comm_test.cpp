@@ -1,0 +1,177 @@
+#include "minimpi/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::minimpi {
+namespace {
+
+TEST(CommTest, WorldSizeAndRanks) {
+  Runtime runtime(4);
+  std::atomic<int> rank_sum{0};
+  runtime.run([&](Comm& world) {
+    EXPECT_EQ(world.size(), 4);
+    rank_sum.fetch_add(world.rank());
+  });
+  EXPECT_EQ(rank_sum.load(), 0 + 1 + 2 + 3);
+}
+
+TEST(CommTest, PointToPointDelivers) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      const std::vector<std::uint8_t> payload{1, 2, 3};
+      world.send(1, 7, payload);
+    } else {
+      const Message m = world.recv(0, 7);
+      EXPECT_EQ(m.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+      EXPECT_EQ(m.source, 0);
+    }
+  });
+}
+
+TEST(CommTest, SendValueRoundtrip) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      world.send_value<double>(1, 3, 2.718);
+    } else {
+      const Message m = world.recv(0, 3);
+      EXPECT_DOUBLE_EQ(Comm::value_of<double>(m), 2.718);
+    }
+  });
+}
+
+TEST(CommTest, SelfSendWorks) {
+  Runtime runtime(1);
+  runtime.run([](Comm& world) {
+    world.send_value<int>(0, 1, 99);
+    EXPECT_EQ(Comm::value_of<int>(world.recv(0, 1)), 99);
+  });
+}
+
+TEST(CommTest, NonOvertakingPerSourceAndTag) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      for (int i = 0; i < 50; ++i) world.send_value<int>(1, 5, i);
+    } else {
+      for (int i = 0; i < 50; ++i) {
+        EXPECT_EQ(Comm::value_of<int>(world.recv(0, 5)), i);
+      }
+    }
+  });
+}
+
+TEST(CommTest, TryRecvAndProbe) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      world.barrier();  // rank 1 checks emptiness first
+      world.send_value<int>(1, 9, 1);
+      world.barrier();
+    } else {
+      EXPECT_FALSE(world.probe(0, 9));
+      EXPECT_FALSE(world.try_recv(0, 9).has_value());
+      world.barrier();
+      world.barrier();
+      EXPECT_TRUE(world.probe(0, 9));
+      EXPECT_TRUE(world.try_recv(0, 9).has_value());
+    }
+  });
+}
+
+TEST(CommTest, RecvForTimesOutWithoutSender) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 1) {
+      EXPECT_FALSE(world.recv_for(0, 1, 0.02).has_value());
+    }
+  });
+}
+
+TEST(CommTest, SplitByColorPartitionsRanks) {
+  Runtime runtime(4);
+  runtime.run([](Comm& world) {
+    // Evens and odds form separate communicators.
+    auto sub = world.split(world.rank() % 2, world.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->size(), 2);
+    // allgather within the split must only see same-parity ranks.
+    const std::uint8_t my_parity = static_cast<std::uint8_t>(world.rank() % 2);
+    auto all = sub->allgather(std::span<const std::uint8_t>(&my_parity, 1));
+    for (const auto& payload : all) {
+      ASSERT_EQ(payload.size(), 1u);
+      EXPECT_EQ(payload[0], my_parity);
+    }
+  });
+}
+
+TEST(CommTest, SplitNegativeColorExcludes) {
+  Runtime runtime(3);
+  runtime.run([](Comm& world) {
+    auto sub = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+    if (world.rank() == 0) {
+      EXPECT_FALSE(sub.has_value());
+    } else {
+      ASSERT_TRUE(sub.has_value());
+      EXPECT_EQ(sub->size(), 2);
+      EXPECT_EQ(sub->rank(), world.rank() - 1);
+    }
+  });
+}
+
+TEST(CommTest, SplitKeyControlsOrdering) {
+  Runtime runtime(3);
+  runtime.run([](Comm& world) {
+    // Reverse the ordering via descending keys.
+    auto sub = world.split(0, -world.rank());
+    ASSERT_TRUE(sub.has_value());
+    EXPECT_EQ(sub->rank(), world.size() - 1 - world.rank());
+  });
+}
+
+TEST(CommTest, NestedSplitsWork) {
+  Runtime runtime(4);
+  runtime.run([](Comm& world) {
+    auto half = world.split(world.rank() / 2, world.rank());
+    ASSERT_TRUE(half.has_value());
+    auto quarter = half->split(half->rank(), 0);
+    ASSERT_TRUE(quarter.has_value());
+    EXPECT_EQ(quarter->size(), 1);
+  });
+}
+
+TEST(CommTest, MessagesInDifferentContextsDoNotMix) {
+  Runtime runtime(2);
+  runtime.run([](Comm& world) {
+    auto sub = world.split(0, world.rank());
+    ASSERT_TRUE(sub.has_value());
+    if (world.rank() == 0) {
+      world.send_value<int>(1, 4, 100);  // world context
+      sub->send_value<int>(1, 4, 200);   // sub context, same tag
+    } else {
+      EXPECT_EQ(Comm::value_of<int>(sub->recv(0, 4)), 200);
+      EXPECT_EQ(Comm::value_of<int>(world.recv(0, 4)), 100);
+    }
+  });
+}
+
+TEST(RuntimeTest, RunReturnsPerRankResults) {
+  Runtime runtime(3);
+  const auto results = runtime.run([](Comm& world) {
+    world.profiler().add("work", 0.5);
+    world.clock().advance(static_cast<double>(world.rank()));
+  });
+  ASSERT_EQ(results.size(), 3u);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_DOUBLE_EQ(results[r].virtual_time_s, static_cast<double>(r));
+    EXPECT_EQ(results[r].profiler.cost("work").calls, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace cellgan::minimpi

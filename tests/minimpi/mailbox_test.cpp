@@ -1,0 +1,154 @@
+#include "minimpi/mailbox.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cellgan::minimpi {
+namespace {
+
+Message make_message(int source, int tag, std::uint8_t payload_byte = 0) {
+  Message m;
+  m.source = source;
+  m.tag = tag;
+  m.payload = {payload_byte};
+  return m;
+}
+
+TEST(MailboxTest, PopReturnsPushedMessage) {
+  Mailbox box;
+  box.push(make_message(1, 5, 42));
+  const Message m = box.pop(1, 5);
+  EXPECT_EQ(m.source, 1);
+  EXPECT_EQ(m.tag, 5);
+  ASSERT_EQ(m.payload.size(), 1u);
+  EXPECT_EQ(m.payload[0], 42);
+}
+
+TEST(MailboxTest, WildcardSourceMatchesAny) {
+  Mailbox box;
+  box.push(make_message(3, 7));
+  const Message m = box.pop(kAnySource, 7);
+  EXPECT_EQ(m.source, 3);
+}
+
+TEST(MailboxTest, WildcardTagMatchesAny) {
+  Mailbox box;
+  box.push(make_message(2, 9));
+  const Message m = box.pop(2, kAnyTag);
+  EXPECT_EQ(m.tag, 9);
+}
+
+TEST(MailboxTest, FifoPerSourceAndTag) {
+  Mailbox box;
+  box.push(make_message(1, 5, 1));
+  box.push(make_message(1, 5, 2));
+  box.push(make_message(1, 5, 3));
+  EXPECT_EQ(box.pop(1, 5).payload[0], 1);
+  EXPECT_EQ(box.pop(1, 5).payload[0], 2);
+  EXPECT_EQ(box.pop(1, 5).payload[0], 3);
+}
+
+TEST(MailboxTest, FilterSkipsNonMatching) {
+  Mailbox box;
+  box.push(make_message(1, 5, 10));
+  box.push(make_message(2, 5, 20));
+  EXPECT_EQ(box.pop(2, 5).payload[0], 20);  // skips the rank-1 message
+  EXPECT_EQ(box.pop(1, 5).payload[0], 10);  // still there
+}
+
+TEST(MailboxTest, TagsSeparateStreams) {
+  Mailbox box;
+  box.push(make_message(1, 5, 10));
+  box.push(make_message(1, 6, 20));
+  EXPECT_EQ(box.pop(1, 6).payload[0], 20);
+  EXPECT_EQ(box.pop(1, 5).payload[0], 10);
+}
+
+TEST(MailboxTest, TryPopReturnsNulloptWhenEmpty) {
+  Mailbox box;
+  EXPECT_FALSE(box.try_pop(kAnySource, kAnyTag).has_value());
+  box.push(make_message(1, 1));
+  EXPECT_TRUE(box.try_pop(kAnySource, kAnyTag).has_value());
+  EXPECT_FALSE(box.try_pop(kAnySource, kAnyTag).has_value());
+}
+
+TEST(MailboxTest, PopForTimesOut) {
+  Mailbox box;
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(box.pop_for(kAnySource, kAnyTag, 0.05).has_value());
+  const auto elapsed = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+  EXPECT_GE(elapsed, 0.045);
+}
+
+TEST(MailboxTest, PopForReturnsEarlyWhenMessageArrives) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push(make_message(1, 1, 5));
+  });
+  const auto m = box.pop_for(kAnySource, kAnyTag, 2.0);
+  producer.join();
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload[0], 5);
+}
+
+TEST(MailboxTest, BlockingPopWaitsForProducer) {
+  Mailbox box;
+  std::thread producer([&box] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    box.push(make_message(4, 2, 9));
+  });
+  const Message m = box.pop(4, 2);
+  producer.join();
+  EXPECT_EQ(m.payload[0], 9);
+}
+
+TEST(MailboxTest, ProbeDoesNotConsume) {
+  Mailbox box;
+  box.push(make_message(1, 3));
+  EXPECT_TRUE(box.probe(1, 3));
+  EXPECT_TRUE(box.probe(kAnySource, kAnyTag));
+  EXPECT_FALSE(box.probe(2, 3));
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(MailboxTest, SizeTracksQueue) {
+  Mailbox box;
+  EXPECT_EQ(box.size(), 0u);
+  box.push(make_message(1, 1));
+  box.push(make_message(1, 2));
+  EXPECT_EQ(box.size(), 2u);
+  (void)box.pop(1, 1);
+  EXPECT_EQ(box.size(), 1u);
+}
+
+TEST(MailboxTest, ManyProducersAllDelivered) {
+  Mailbox box;
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 250;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&box, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        box.push(make_message(p, 1, static_cast<std::uint8_t>(i % 256)));
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(box.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+  // Per-source FIFO must hold even under concurrency.
+  for (int p = 0; p < kProducers; ++p) {
+    int expected = 0;
+    while (auto m = box.try_pop(p, 1)) {
+      EXPECT_EQ(m->payload[0], static_cast<std::uint8_t>(expected % 256));
+      ++expected;
+    }
+    EXPECT_EQ(expected, kPerProducer);
+  }
+}
+
+}  // namespace
+}  // namespace cellgan::minimpi

@@ -1,0 +1,135 @@
+// Virtual-time semantics of the NetModel: sender-side transfer cost,
+// latency on arrival, receiver wait-until, and the linear-in-members
+// allgather growth the Table III reproduction depends on.
+#include <gtest/gtest.h>
+
+#include "minimpi/comm.hpp"
+#include "minimpi/runtime.hpp"
+
+namespace cellgan::minimpi {
+namespace {
+
+NetModelConfig test_net(double latency = 0.5, double bandwidth = 100.0) {
+  NetModelConfig net;
+  net.enabled = true;
+  net.latency_s = latency;
+  net.bandwidth_Bps = bandwidth;
+  return net;
+}
+
+TEST(NetModelTest, DisabledCostsNothing) {
+  NetModel net;  // default disabled
+  EXPECT_DOUBLE_EQ(net.send_cost_s(1000000), 0.0);
+  EXPECT_DOUBLE_EQ(net.latency_s(), 0.0);
+  EXPECT_DOUBLE_EQ(net.recv_cost_s(1000000), 0.0);
+}
+
+TEST(NetModelTest, CostsFollowConfig) {
+  NetModelConfig config;
+  config.enabled = true;
+  config.latency_s = 0.25;
+  config.bandwidth_Bps = 200.0;
+  config.recv_overhead_s_per_B = 0.01;
+  NetModel net(config);
+  EXPECT_DOUBLE_EQ(net.send_cost_s(100), 0.5);
+  EXPECT_DOUBLE_EQ(net.latency_s(), 0.25);
+  EXPECT_DOUBLE_EQ(net.recv_cost_s(10), 0.1);
+}
+
+TEST(VirtualTimeTest, SendChargesSenderRecvWaitsForArrival) {
+  // 100-byte message at 100 B/s: sender busy 1s; arrival at 1s + 0.5s latency.
+  Runtime runtime(2, test_net());
+  const auto results = runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::uint8_t> payload(100, 0);
+      world.send(1, 1, payload);
+      EXPECT_NEAR(world.clock().now(), 1.0, 1e-9);
+    } else {
+      (void)world.recv(0, 1);
+      EXPECT_NEAR(world.clock().now(), 1.5, 1e-9);
+    }
+  });
+  EXPECT_NEAR(results[0].virtual_time_s, 1.0, 1e-9);
+  EXPECT_NEAR(results[1].virtual_time_s, 1.5, 1e-9);
+}
+
+TEST(VirtualTimeTest, ReceiverAheadDoesNotRewind) {
+  Runtime runtime(2, test_net());
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      world.send(1, 1, {});
+    } else {
+      world.clock().advance(100.0);  // receiver is far ahead
+      (void)world.recv(0, 1);
+      EXPECT_NEAR(world.clock().now(), 100.0, 1e-9);
+    }
+  });
+}
+
+TEST(VirtualTimeTest, ComputeSkewPropagatesThroughBarrier) {
+  Runtime runtime(3, test_net(0.5, 1e12));
+  const auto results = runtime.run([](Comm& world) {
+    world.clock().advance(world.rank() == 2 ? 10.0 : 1.0);
+    world.barrier();
+    // After the barrier everyone is at least at the straggler's time.
+    EXPECT_GE(world.clock().now(), 10.0);
+  });
+  for (const auto& r : results) EXPECT_GE(r.virtual_time_s, 10.0);
+}
+
+TEST(VirtualTimeTest, SelfSendIsFree) {
+  Runtime runtime(1, test_net());
+  const auto results = runtime.run([](Comm& world) {
+    std::vector<std::uint8_t> payload(1000, 0);
+    world.send(0, 1, payload);
+    (void)world.recv(0, 1);
+  });
+  EXPECT_NEAR(results[0].virtual_time_s, 0.0, 1e-9);
+}
+
+TEST(VirtualTimeTest, RecvOverheadChargesReceiver) {
+  NetModelConfig config = test_net(0.0, 1e12);
+  config.recv_overhead_s_per_B = 0.01;
+  Runtime runtime(2, config);
+  runtime.run([](Comm& world) {
+    if (world.rank() == 0) {
+      std::vector<std::uint8_t> payload(100, 0);
+      world.send(1, 1, payload);
+    } else {
+      (void)world.recv(0, 1);
+      EXPECT_NEAR(world.clock().now(), 1.0, 1e-6);  // 100 B * 0.01 s/B
+    }
+  });
+}
+
+/// Allgather sender cost grows linearly with communicator size — the
+/// mechanism behind the paper's gather-scaling (Table III derivation).
+class AllgatherScaling : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllgatherScaling, SenderCostIsMembersMinusOneTransfers) {
+  const int n = GetParam();
+  // 1000-byte genome at 1000 B/s -> 1 second per destination; zero latency
+  // isolates the bandwidth term.
+  Runtime runtime(n, test_net(0.0, 1000.0));
+  const auto results = runtime.run([](Comm& world) {
+    std::vector<std::uint8_t> genome(1000, 1);
+    (void)world.allgather(genome);
+  });
+  for (const auto& r : results) {
+    EXPECT_NEAR(r.virtual_time_s, static_cast<double>(n - 1), 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Members, AllgatherScaling, ::testing::Values(2, 4, 9, 16));
+
+TEST(VirtualTimeTest, DisabledNetLeavesClocksAtZero) {
+  Runtime runtime(3);  // net model disabled
+  const auto results = runtime.run([](Comm& world) {
+    std::vector<std::uint8_t> payload(10000, 0);
+    (void)world.allgather(payload);
+  });
+  for (const auto& r : results) EXPECT_DOUBLE_EQ(r.virtual_time_s, 0.0);
+}
+
+}  // namespace
+}  // namespace cellgan::minimpi

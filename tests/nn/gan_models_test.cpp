@@ -1,0 +1,96 @@
+#include "nn/gan_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::nn {
+namespace {
+
+TEST(GanModelsTest, PaperArchMatchesTableI) {
+  const GanArch arch = GanArch::paper();
+  EXPECT_EQ(arch.latent_dim, 64u);     // input neurons
+  EXPECT_EQ(arch.hidden_dim, 256u);    // neurons per hidden layer
+  EXPECT_EQ(arch.hidden_layers, 2u);   // number of hidden layers
+  EXPECT_EQ(arch.image_dim, 784u);     // output neurons (28x28)
+}
+
+TEST(GanModelsTest, GeneratorParameterCountMatchesFormula) {
+  common::Rng rng(1);
+  for (const GanArch& arch : {GanArch::paper(), GanArch::tiny()}) {
+    Sequential g = make_generator(arch, rng);
+    EXPECT_EQ(g.parameter_count(), arch.generator_parameter_count());
+  }
+}
+
+TEST(GanModelsTest, DiscriminatorParameterCountMatchesFormula) {
+  common::Rng rng(2);
+  for (const GanArch& arch : {GanArch::paper(), GanArch::tiny()}) {
+    Sequential d = make_discriminator(arch, rng);
+    EXPECT_EQ(d.parameter_count(), arch.discriminator_parameter_count());
+  }
+}
+
+TEST(GanModelsTest, PaperGeneratorHasExpectedSize) {
+  // (64+1)*256 + (256+1)*256 + (256+1)*784 = 16640 + 65792 + 201488
+  EXPECT_EQ(GanArch::paper().generator_parameter_count(), 283920u);
+}
+
+TEST(GanModelsTest, PaperDiscriminatorHasExpectedSize) {
+  // (784+1)*256 + (256+1)*256 + (256+1)*1 = 200960 + 65792 + 257
+  EXPECT_EQ(GanArch::paper().discriminator_parameter_count(), 267009u);
+}
+
+TEST(GanModelsTest, GeneratorOutputIsTanhBounded) {
+  common::Rng rng(3);
+  const GanArch arch = GanArch::tiny();
+  Sequential g = make_generator(arch, rng);
+  const tensor::Tensor z = tensor::Tensor::randn(16, arch.latent_dim, rng, 3.0f);
+  const tensor::Tensor images = g.forward(z);
+  EXPECT_EQ(images.cols(), arch.image_dim);
+  for (const float v : images.data()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(GanModelsTest, DiscriminatorEmitsOneLogitPerSample) {
+  common::Rng rng(4);
+  const GanArch arch = GanArch::tiny();
+  Sequential d = make_discriminator(arch, rng);
+  const tensor::Tensor x = tensor::Tensor::randn(8, arch.image_dim, rng);
+  const tensor::Tensor logits = d.forward(x);
+  EXPECT_EQ(logits.rows(), 8u);
+  EXPECT_EQ(logits.cols(), 1u);
+  for (const float v : logits.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(GanModelsTest, HiddenLayerCountIsRespected) {
+  common::Rng rng(5);
+  GanArch arch = GanArch::tiny();
+  arch.hidden_layers = 3;
+  Sequential g = make_generator(arch, rng);
+  // hidden_layers Linear+Tanh pairs plus the output Linear+Tanh.
+  EXPECT_EQ(g.num_layers(), 2 * (arch.hidden_layers + 1));
+  EXPECT_EQ(g.parameter_count(), arch.generator_parameter_count());
+}
+
+TEST(GanModelsTest, DifferentSeedsGiveDifferentInit) {
+  common::Rng rng1(10), rng2(11);
+  Sequential g1 = make_generator(GanArch::tiny(), rng1);
+  Sequential g2 = make_generator(GanArch::tiny(), rng2);
+  EXPECT_NE(g1.flatten_parameters(), g2.flatten_parameters());
+}
+
+TEST(GanModelsTest, SameSeedGivesIdenticalInit) {
+  common::Rng rng1(10), rng2(10);
+  Sequential g1 = make_generator(GanArch::tiny(), rng1);
+  Sequential g2 = make_generator(GanArch::tiny(), rng2);
+  EXPECT_EQ(g1.flatten_parameters(), g2.flatten_parameters());
+}
+
+}  // namespace
+}  // namespace cellgan::nn

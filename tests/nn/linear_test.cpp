@@ -1,0 +1,119 @@
+#include "nn/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::nn {
+namespace {
+
+TEST(LinearTest, ForwardComputesXWPlusB) {
+  Linear layer(2, 3);
+  layer.weight() = tensor::Tensor(2, 3, {1, 2, 3, 4, 5, 6});
+  layer.bias() = tensor::Tensor(1, 3, {10, 20, 30});
+  const tensor::Tensor x(1, 2, {1, 1});
+  const tensor::Tensor y = layer.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 1 + 4 + 10);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 2 + 5 + 20);
+  EXPECT_FLOAT_EQ(y.at(0, 2), 3 + 6 + 30);
+}
+
+TEST(LinearTest, ParameterAndGradientListsAlign) {
+  Linear layer(4, 2);
+  const auto params = layer.parameters();
+  const auto grads = layer.gradients();
+  ASSERT_EQ(params.size(), 2u);
+  ASSERT_EQ(grads.size(), 2u);
+  EXPECT_TRUE(params[0]->same_shape(*grads[0]));
+  EXPECT_TRUE(params[1]->same_shape(*grads[1]));
+}
+
+TEST(LinearTest, BackwardWeightGradientMatchesFiniteDifference) {
+  common::Rng rng(1);
+  Linear layer(3, 2);
+  layer.weight() = tensor::Tensor::randn(3, 2, rng);
+  layer.bias() = tensor::Tensor::randn(1, 2, rng);
+  const tensor::Tensor x = tensor::Tensor::randn(4, 3, rng);
+
+  // L = sum(forward(x)); analytic gradients:
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(tensor::Tensor::full(4, 2, 1.0f));
+  const tensor::Tensor dw = *layer.gradients()[0];
+  const tensor::Tensor db = *layer.gradients()[1];
+
+  const float eps = 1e-2f;
+  for (std::size_t i = 0; i < layer.weight().size(); ++i) {
+    const float original = layer.weight().data()[i];
+    layer.weight().data()[i] = original + eps;
+    const float up = tensor::sum(layer.forward(x));
+    layer.weight().data()[i] = original - eps;
+    const float down = tensor::sum(layer.forward(x));
+    layer.weight().data()[i] = original;
+    EXPECT_NEAR(dw.data()[i], (up - down) / (2 * eps), 2e-2f) << "weight " << i;
+  }
+  for (std::size_t i = 0; i < layer.bias().size(); ++i) {
+    const float original = layer.bias().data()[i];
+    layer.bias().data()[i] = original + eps;
+    const float up = tensor::sum(layer.forward(x));
+    layer.bias().data()[i] = original - eps;
+    const float down = tensor::sum(layer.forward(x));
+    layer.bias().data()[i] = original;
+    EXPECT_NEAR(db.data()[i], (up - down) / (2 * eps), 2e-2f) << "bias " << i;
+  }
+}
+
+TEST(LinearTest, BackwardInputGradientIsDyWT) {
+  common::Rng rng(2);
+  Linear layer(3, 2);
+  layer.weight() = tensor::Tensor::randn(3, 2, rng);
+  const tensor::Tensor x = tensor::Tensor::randn(1, 3, rng);
+  (void)layer.forward(x);
+  const tensor::Tensor dy(1, 2, {1.0f, 2.0f});
+  const tensor::Tensor dx = layer.backward(dy);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(dx.at(0, j),
+                dy.at(0, 0) * layer.weight().at(j, 0) +
+                    dy.at(0, 1) * layer.weight().at(j, 1),
+                1e-5f);
+  }
+}
+
+TEST(LinearTest, GradientsAccumulateAcrossBackwards) {
+  common::Rng rng(3);
+  Linear layer(2, 2);
+  layer.weight() = tensor::Tensor::randn(2, 2, rng);
+  const tensor::Tensor x = tensor::Tensor::randn(1, 2, rng);
+  layer.zero_grad();
+  (void)layer.forward(x);
+  (void)layer.backward(tensor::Tensor::full(1, 2, 1.0f));
+  const tensor::Tensor once = *layer.gradients()[0];
+  (void)layer.forward(x);
+  (void)layer.backward(tensor::Tensor::full(1, 2, 1.0f));
+  const tensor::Tensor twice = *layer.gradients()[0];
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR(twice.data()[i], 2.0f * once.data()[i], 1e-5f);
+  }
+}
+
+TEST(LinearTest, ZeroGradClears) {
+  common::Rng rng(4);
+  Linear layer(2, 2);
+  const tensor::Tensor x = tensor::Tensor::randn(1, 2, rng);
+  (void)layer.forward(x);
+  (void)layer.backward(tensor::Tensor::full(1, 2, 1.0f));
+  layer.zero_grad();
+  for (const auto* g : layer.gradients()) {
+    for (const float v : g->data()) EXPECT_EQ(v, 0.0f);
+  }
+}
+
+TEST(LinearDeathTest, WrongInputWidthAborts) {
+  Linear layer(3, 2);
+  tensor::Tensor x(1, 4);
+  EXPECT_DEATH((void)layer.forward(x), "precondition");
+}
+
+}  // namespace
+}  // namespace cellgan::nn

@@ -1,0 +1,84 @@
+// The flop counter feeds the virtual-time model, so its accounting is a
+// tested contract, not a debug aid.
+#include "tensor/flops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::tensor {
+namespace {
+
+TEST(FlopsTest, CountAccumulatesAndExchanges) {
+  exchange_thread_flops();
+  count_flops(100);
+  count_flops(50);
+  EXPECT_EQ(thread_flops(), 150u);
+  EXPECT_EQ(exchange_thread_flops(), 150u);
+  EXPECT_EQ(thread_flops(), 0u);
+}
+
+TEST(FlopsTest, MatmulCharges2MKN) {
+  exchange_thread_flops();
+  common::Rng rng(1);
+  const Tensor a = Tensor::randn(3, 5, rng);
+  const Tensor b = Tensor::randn(5, 7, rng);
+  (void)matmul(a, b);
+  EXPECT_EQ(exchange_thread_flops(), 2ULL * 3 * 5 * 7);
+}
+
+TEST(FlopsTest, MatmulVariantsChargeSameWork) {
+  common::Rng rng(2);
+  const Tensor a = Tensor::randn(6, 4, rng);
+  const Tensor b = Tensor::randn(6, 5, rng);
+  exchange_thread_flops();
+  (void)matmul_tn(a, b);  // (4x6)*(6x5)
+  EXPECT_EQ(exchange_thread_flops(), 2ULL * 4 * 6 * 5);
+
+  const Tensor c = Tensor::randn(3, 4, rng);
+  const Tensor d = Tensor::randn(7, 4, rng);
+  exchange_thread_flops();
+  (void)matmul_nt(c, d);  // (3x4)*(4x7)
+  EXPECT_EQ(exchange_thread_flops(), 2ULL * 3 * 4 * 7);
+}
+
+TEST(FlopsTest, ElementwiseChargesPerElement) {
+  common::Rng rng(3);
+  const Tensor a = Tensor::randn(4, 4, rng);
+  const Tensor b = Tensor::randn(4, 4, rng);
+  exchange_thread_flops();
+  (void)add(a, b);
+  EXPECT_EQ(exchange_thread_flops(), 16u);
+}
+
+TEST(FlopsTest, ThreadedMatmulStillChargesCaller) {
+  common::set_global_pool_threads(3);
+  exchange_thread_flops();
+  common::Rng rng(4);
+  const Tensor a = Tensor::randn(32, 16, rng);
+  const Tensor b = Tensor::randn(16, 8, rng);
+  (void)matmul(a, b);
+  EXPECT_EQ(exchange_thread_flops(), 2ULL * 32 * 16 * 8);
+  common::set_global_pool_threads(1);
+}
+
+TEST(FlopsTest, CountersAreThreadLocal) {
+  exchange_thread_flops();
+  count_flops(10);
+  std::uint64_t other_thread_count = 99;
+  std::thread t([&] {
+    count_flops(5);
+    other_thread_count = thread_flops();
+  });
+  t.join();
+  EXPECT_EQ(other_thread_count, 5u);
+  EXPECT_EQ(thread_flops(), 10u);
+  exchange_thread_flops();
+}
+
+}  // namespace
+}  // namespace cellgan::tensor

@@ -1,0 +1,224 @@
+#include "tensor/ops.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace cellgan::tensor {
+namespace {
+
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < a.cols(); ++l) acc += a.at(i, l) * b.at(l, j);
+      c.at(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+void expect_near(const Tensor& a, const Tensor& b, float tol = 1e-4f) {
+  ASSERT_TRUE(a.same_shape(b));
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a.data()[i], b.data()[i], tol) << "at flat index " << i;
+  }
+}
+
+TEST(OpsTest, MatmulSmallKnownValues) {
+  Tensor a(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = matmul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 154.0f);
+}
+
+class MatmulShapeSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MatmulShapeSweep, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  common::Rng rng(m * 100 + k * 10 + n);
+  Tensor a = Tensor::randn(m, k, rng);
+  Tensor b = Tensor::randn(k, n, rng);
+  expect_near(matmul(a, b), naive_matmul(a, b), 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MatmulShapeSweep,
+                         ::testing::Values(std::tuple{1, 1, 1}, std::tuple{1, 5, 3},
+                                           std::tuple{4, 4, 4}, std::tuple{7, 3, 9},
+                                           std::tuple{16, 32, 8},
+                                           std::tuple{33, 17, 29}));
+
+TEST(OpsTest, MatmulThreadedMatchesSerial) {
+  common::Rng rng(123);
+  Tensor a = Tensor::randn(64, 32, rng);
+  Tensor b = Tensor::randn(32, 48, rng);
+  const Tensor serial = matmul(a, b);
+  common::set_global_pool_threads(3);
+  const Tensor threaded = matmul(a, b);
+  common::set_global_pool_threads(1);
+  expect_near(serial, threaded, 1e-5f);
+}
+
+TEST(OpsTest, MatmulTnEqualsTransposedMatmul) {
+  common::Rng rng(7);
+  Tensor a = Tensor::randn(5, 3, rng);  // (k x m): treated as A^T
+  Tensor b = Tensor::randn(5, 4, rng);
+  Tensor at(3, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) at.at(j, i) = a.at(i, j);
+  }
+  expect_near(matmul_tn(a, b), naive_matmul(at, b), 1e-4f);
+}
+
+TEST(OpsTest, MatmulNtEqualsMatmulWithTransposedB) {
+  common::Rng rng(9);
+  Tensor a = Tensor::randn(4, 6, rng);
+  Tensor b = Tensor::randn(5, 6, rng);  // (n x k): treated as B^T
+  Tensor bt(6, 5);
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  expect_near(matmul_nt(a, b), naive_matmul(a, bt), 1e-4f);
+}
+
+TEST(OpsDeathTest, MatmulShapeMismatchAborts) {
+  Tensor a(2, 3), b(2, 2);
+  EXPECT_DEATH((void)matmul(a, b), "precondition");
+}
+
+TEST(OpsTest, ElementwiseAddSubMul) {
+  Tensor a(1, 3, {1, 2, 3});
+  Tensor b(1, 3, {4, 5, 6});
+  expect_near(add(a, b), Tensor(1, 3, {5, 7, 9}));
+  expect_near(sub(a, b), Tensor(1, 3, {-3, -3, -3}));
+  expect_near(mul(a, b), Tensor(1, 3, {4, 10, 18}));
+}
+
+TEST(OpsTest, ScaleMultipliesAll) {
+  Tensor a(1, 3, {1, -2, 3});
+  expect_near(scale(a, -2.0f), Tensor(1, 3, {-2, 4, -6}));
+}
+
+TEST(OpsTest, AxpyAccumulates) {
+  Tensor x(1, 3, {1, 2, 3});
+  Tensor y(1, 3, {10, 20, 30});
+  axpy(0.5f, x, y);
+  expect_near(y, Tensor(1, 3, {10.5f, 21.0f, 31.5f}));
+}
+
+TEST(OpsTest, AddRowBiasBroadcasts) {
+  Tensor a(2, 3, {0, 0, 0, 1, 1, 1});
+  Tensor bias(1, 3, {10, 20, 30});
+  add_row_bias(a, bias);
+  expect_near(a, Tensor(2, 3, {10, 20, 30, 11, 21, 31}));
+}
+
+TEST(OpsTest, ColSumSumsColumns) {
+  Tensor a(3, 2, {1, 2, 3, 4, 5, 6});
+  expect_near(col_sum(a), Tensor(1, 2, {9, 12}));
+}
+
+TEST(OpsTest, TanhForwardMatchesStd) {
+  Tensor x(1, 4, {-2.0f, -0.5f, 0.0f, 1.5f});
+  Tensor y = tanh_forward(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y.data()[i], std::tanh(x.data()[i]), 1e-6f);
+  }
+}
+
+TEST(OpsTest, SigmoidForwardStableAtExtremes) {
+  Tensor x(1, 4, {-100.0f, -1.0f, 1.0f, 100.0f});
+  Tensor y = sigmoid_forward(x);
+  EXPECT_NEAR(y.data()[0], 0.0f, 1e-6f);
+  EXPECT_NEAR(y.data()[3], 1.0f, 1e-6f);
+  EXPECT_NEAR(y.data()[1], 1.0f / (1.0f + std::exp(1.0f)), 1e-6f);
+  for (const float v : y.data()) {
+    EXPECT_TRUE(std::isfinite(v));
+  }
+}
+
+TEST(OpsTest, LeakyReluForward) {
+  Tensor x(1, 3, {-2.0f, 0.0f, 3.0f});
+  Tensor y = leaky_relu_forward(x, 0.1f);
+  expect_near(y, Tensor(1, 3, {-0.2f, 0.0f, 3.0f}));
+}
+
+TEST(OpsTest, SumAndMean) {
+  Tensor a(2, 2, {1, 2, 3, 4});
+  EXPECT_FLOAT_EQ(sum(a), 10.0f);
+  EXPECT_FLOAT_EQ(mean(a), 2.5f);
+}
+
+TEST(OpsTest, BceWithLogitsMatchesManualComputation) {
+  // loss = -[y log(sigma(z)) + (1-y) log(1 - sigma(z))]
+  Tensor logits(2, 1, {0.5f, -1.0f});
+  Tensor target(2, 1, {1.0f, 0.0f});
+  auto [loss, grad] = bce_with_logits(logits, target);
+  const double s0 = 1.0 / (1.0 + std::exp(-0.5));
+  const double s1 = 1.0 / (1.0 + std::exp(1.0));
+  const double expected = (-std::log(s0) - std::log(1.0 - s1)) / 2.0;
+  EXPECT_NEAR(loss, expected, 1e-6);
+  EXPECT_NEAR(grad.at(0, 0), (s0 - 1.0) / 2.0, 1e-6);
+  EXPECT_NEAR(grad.at(1, 0), s1 / 2.0, 1e-6);
+}
+
+TEST(OpsTest, BceWithLogitsStableForHugeLogits) {
+  Tensor logits(2, 1, {1000.0f, -1000.0f});
+  Tensor target(2, 1, {1.0f, 0.0f});
+  auto [loss, grad] = bce_with_logits(logits, target);
+  EXPECT_TRUE(std::isfinite(loss));
+  EXPECT_NEAR(loss, 0.0f, 1e-5f);
+  for (const float g : grad.data()) EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(OpsTest, SoftmaxRowsSumToOne) {
+  common::Rng rng(21);
+  Tensor logits = Tensor::randn(5, 10, rng, 3.0f);
+  Tensor probs = softmax(logits);
+  for (std::size_t r = 0; r < probs.rows(); ++r) {
+    float total = 0.0f;
+    for (const float p : probs.row_span(r)) {
+      EXPECT_GE(p, 0.0f);
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0f, 1e-5f);
+  }
+}
+
+TEST(OpsTest, SoftmaxInvariantToShift) {
+  Tensor a(1, 3, {1.0f, 2.0f, 3.0f});
+  Tensor b(1, 3, {101.0f, 102.0f, 103.0f});
+  expect_near(softmax(a), softmax(b), 1e-6f);
+}
+
+TEST(OpsTest, SoftmaxCrossEntropyKnownCase) {
+  Tensor logits(1, 3, {0.0f, 0.0f, 0.0f});
+  auto [loss, grad] = softmax_cross_entropy(logits, {1});
+  EXPECT_NEAR(loss, std::log(3.0f), 1e-5f);
+  EXPECT_NEAR(grad.at(0, 0), 1.0f / 3.0f, 1e-5f);
+  EXPECT_NEAR(grad.at(0, 1), 1.0f / 3.0f - 1.0f, 1e-5f);
+}
+
+TEST(OpsTest, ArgmaxRows) {
+  Tensor a(2, 3, {1, 5, 2, 9, 0, 3});
+  const auto idx = argmax_rows(a);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 0u);
+}
+
+TEST(OpsTest, ArgmaxTiePicksFirst) {
+  Tensor a(1, 3, {4, 4, 4});
+  EXPECT_EQ(argmax_rows(a)[0], 0u);
+}
+
+}  // namespace
+}  // namespace cellgan::tensor

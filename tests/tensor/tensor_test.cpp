@@ -1,0 +1,136 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace cellgan::tensor {
+namespace {
+
+TEST(TensorTest, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_EQ(t.rows(), 0u);
+  EXPECT_EQ(t.cols(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(TensorTest, ConstructedZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 4u);
+  EXPECT_EQ(t.size(), 12u);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(TensorTest, AtIsRowMajor) {
+  Tensor t(2, 3, {0, 1, 2, 3, 4, 5});
+  EXPECT_EQ(t.at(0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 2), 2.0f);
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+  EXPECT_EQ(t.at(1, 2), 5.0f);
+}
+
+TEST(TensorTest, AtIsWritable) {
+  Tensor t(2, 2);
+  t.at(1, 1) = 7.0f;
+  EXPECT_EQ(t.data()[3], 7.0f);
+}
+
+TEST(TensorDeathTest, OutOfBoundsAtAborts) {
+  Tensor t(2, 2);
+  EXPECT_DEATH((void)t.at(2, 0), "precondition");
+  EXPECT_DEATH((void)t.at(0, 2), "precondition");
+}
+
+TEST(TensorDeathTest, MismatchedDataSizeAborts) {
+  EXPECT_DEATH(Tensor(2, 2, {1.0f}), "precondition");
+}
+
+TEST(TensorTest, RowFactoryBuildsRowVector) {
+  Tensor t = Tensor::row({1.0f, 2.0f, 3.0f});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.at(0, 1), 2.0f);
+}
+
+TEST(TensorTest, FullFillsValue) {
+  Tensor t = Tensor::full(2, 2, -1.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, -1.5f);
+}
+
+TEST(TensorTest, RandnHasApproxMoments) {
+  common::Rng rng(3);
+  Tensor t = Tensor::randn(100, 100, rng, 2.0f);
+  double sum = 0.0, sum_sq = 0.0;
+  for (const float v : t.data()) {
+    sum += v;
+    sum_sq += static_cast<double>(v) * v;
+  }
+  const double mean = sum / t.size();
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / t.size() - mean * mean, 4.0, 0.15);
+}
+
+TEST(TensorTest, RandUniformRespectsRange) {
+  common::Rng rng(5);
+  Tensor t = Tensor::rand_uniform(10, 10, rng, -0.25f, 0.75f);
+  for (const float v : t.data()) {
+    EXPECT_GE(v, -0.25f);
+    EXPECT_LT(v, 0.75f);
+  }
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t(2, 6, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11});
+  Tensor r = t.reshaped(4, 3);
+  EXPECT_EQ(r.rows(), 4u);
+  EXPECT_EQ(r.at(1, 0), 3.0f);
+  EXPECT_EQ(r.at(3, 2), 11.0f);
+}
+
+TEST(TensorDeathTest, BadReshapeAborts) {
+  Tensor t(2, 3);
+  EXPECT_DEATH((void)t.reshaped(2, 4), "precondition");
+}
+
+TEST(TensorTest, SliceRowsCopies) {
+  Tensor t(3, 2, {0, 1, 2, 3, 4, 5});
+  Tensor s = t.slice_rows(1, 3);
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s.at(0, 0), 2.0f);
+  EXPECT_EQ(s.at(1, 1), 5.0f);
+  s.at(0, 0) = 99.0f;
+  EXPECT_EQ(t.at(1, 0), 2.0f);  // original untouched
+}
+
+TEST(TensorTest, EmptySliceAllowed) {
+  Tensor t(3, 2);
+  Tensor s = t.slice_rows(1, 1);
+  EXPECT_EQ(s.rows(), 0u);
+  EXPECT_EQ(s.cols(), 2u);
+}
+
+TEST(TensorTest, RowSpanViewsUnderlyingData) {
+  Tensor t(2, 3, {0, 1, 2, 3, 4, 5});
+  auto row = t.row_span(1);
+  ASSERT_EQ(row.size(), 3u);
+  row[0] = 42.0f;
+  EXPECT_EQ(t.at(1, 0), 42.0f);
+}
+
+TEST(TensorTest, SameShapeComparesDims) {
+  Tensor a(2, 3), b(2, 3), c(3, 2);
+  EXPECT_TRUE(a.same_shape(b));
+  EXPECT_FALSE(a.same_shape(c));
+}
+
+TEST(TensorTest, FillOverwrites) {
+  Tensor t(2, 2, {1, 2, 3, 4});
+  t.fill(0.5f);
+  for (const float v : t.data()) EXPECT_EQ(v, 0.5f);
+}
+
+}  // namespace
+}  // namespace cellgan::tensor
