@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# CI entry point: configure, build, run the whole test bed, then confirm the
+# tier-1 label resolved to the full bed without re-executing it. Usage:
+#   ci/check.sh [build-dir]
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD="${1:-$ROOT/build}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$BUILD" -j "$JOBS"
+
+cd "$BUILD"
+ctest --output-on-failure -j "$JOBS"
+
+# The label machinery must keep covering the whole bed: a tier-1 run that
+# silently matches zero (or few) tests would let label-filtered CI jobs pass
+# while executing nothing.
+TOTAL="$(ctest -N | tail -1 | grep -o '[0-9]\+')"
+TIER1="$(ctest -N -L tier1 | tail -1 | grep -o '[0-9]\+')"
+echo "tier1 label covers $TIER1 of $TOTAL tests"
+if [ -z "$TIER1" ] || [ "$TIER1" -ne "$TOTAL" ]; then
+  echo "error: tier1 label no longer covers the full test bed" >&2
+  exit 1
+fi

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "testsupport/temp_dir.hpp"
+
 namespace cellgan::core {
 namespace {
 
@@ -29,14 +31,8 @@ Checkpoint make_checkpoint() {
 
 class CheckpointTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("cellgan_ckpt_" + std::to_string(::getpid()));
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-  std::string path(const char* name) const { return (dir_ / name).string(); }
-  std::filesystem::path dir_;
+  std::string path(const char* name) const { return tmp_.file(name).string(); }
+  testsupport::TempDir tmp_{"cellgan_ckpt"};
 };
 
 TEST_F(CheckpointTest, SerializeRoundtrip) {

@@ -5,21 +5,15 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "testsupport/temp_dir.hpp"
+
 namespace cellgan::data {
 namespace {
 
 class IdxTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("cellgan_idx_test_" + std::to_string(::getpid()));
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-
-  std::string path(const char* name) const { return (dir_ / name).string(); }
-
-  std::filesystem::path dir_;
+  std::string path(const char* name) const { return tmp_.file(name).string(); }
+  testsupport::TempDir tmp_{"cellgan_idx"};
 };
 
 TEST_F(IdxTest, ImageRoundtrip) {

@@ -7,20 +7,15 @@
 #include <fstream>
 
 #include "data/synthetic_mnist.hpp"
+#include "testsupport/temp_dir.hpp"
 
 namespace cellgan::data {
 namespace {
 
 class PgmTest : public ::testing::Test {
  protected:
-  void SetUp() override {
-    dir_ = std::filesystem::temp_directory_path() /
-           ("cellgan_pgm_test_" + std::to_string(::getpid()));
-    std::filesystem::create_directories(dir_);
-  }
-  void TearDown() override { std::filesystem::remove_all(dir_); }
-  std::string path(const char* name) const { return (dir_ / name).string(); }
-  std::filesystem::path dir_;
+  std::string path(const char* name) const { return tmp_.file(name).string(); }
+  testsupport::TempDir tmp_{"cellgan_pgm"};
 };
 
 TEST_F(PgmTest, SingleImageHeaderAndSize) {

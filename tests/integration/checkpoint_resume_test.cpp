@@ -10,6 +10,7 @@
 #include "core/distributed_trainer.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
+#include "testsupport/temp_dir.hpp"
 
 namespace cellgan::core {
 namespace {
@@ -76,11 +77,10 @@ TEST(CheckpointResumeTest, DiskRoundtripThroughTrainer) {
   SequentialTrainer trainer(config, dataset);
   (void)trainer.run();
 
-  const std::string path =
-      (std::filesystem::temp_directory_path() / "cellgan_resume_test.ckpt").string();
+  const testsupport::TempDir tmp{"cellgan_resume"};
+  const std::string path = tmp.file("resume.ckpt").string();
   ASSERT_TRUE(save_checkpoint(path, trainer.checkpoint()));
   const auto loaded = load_checkpoint(path);
-  std::filesystem::remove(path);
   ASSERT_TRUE(loaded.has_value());
 
   SequentialTrainer resumed(config, dataset);

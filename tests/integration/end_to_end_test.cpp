@@ -11,6 +11,7 @@
 #include "metrics/fid.hpp"
 #include "metrics/inception_score.hpp"
 #include "metrics/mode_coverage.hpp"
+#include "testsupport/temp_dir.hpp"
 
 namespace cellgan::core {
 namespace {
@@ -102,8 +103,8 @@ TEST(EndToEndTest, SampleSheetIsWritable) {
   SequentialTrainer trainer(config, dataset);
   (void)trainer.run();
   const tensor::Tensor samples = trainer.cell(0).sample_from_mixture(4);
-  const std::string path = std::string(::testing::TempDir()) + "e2e_samples.pgm";
-  EXPECT_TRUE(data::write_pgm_grid(path, samples.data(), 4, 2));
+  const testsupport::TempDir tmp{"cellgan_e2e"};
+  EXPECT_TRUE(data::write_pgm_grid(tmp.file("e2e_samples.pgm").string(), samples.data(), 4, 2));
 }
 
 }  // namespace

@@ -1,0 +1,54 @@
+#include "testsupport/temp_dir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <random>
+#include <string>
+#include <system_error>
+
+namespace cellgan::testsupport {
+namespace {
+
+std::filesystem::path unique_path(std::string_view tag) {
+  static std::atomic<std::uint64_t> counter{0};
+  std::random_device rd;
+  // Mix in the pid: random_device may legally be deterministic, and ctest -j
+  // launches many test processes concurrently against the same temp root.
+  const std::uint64_t nonce = (static_cast<std::uint64_t>(rd()) << 32) ^ rd() ^
+                              (static_cast<std::uint64_t>(::getpid()) << 20) ^
+                              counter.fetch_add(1);
+  return std::filesystem::temp_directory_path() /
+         (std::string(tag) + "-" + std::to_string(nonce));
+}
+
+}  // namespace
+
+TempDir::TempDir(std::string_view tag) : path_(unique_path(tag)) {
+  std::filesystem::create_directories(path_);
+}
+
+TempDir::~TempDir() {
+  if (path_.empty()) return;
+  std::error_code ec;  // best effort: never throw from a destructor
+  std::filesystem::remove_all(path_, ec);
+}
+
+std::uint64_t deterministic_seed() { return deterministic_seed(0); }
+
+std::uint64_t deterministic_seed(std::uint64_t stream) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ull + stream;
+  const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+  if (info != nullptr) {
+    const std::string name = std::string(info->test_suite_name()) + "." + info->name();
+    for (const char c : name) {
+      h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+      h *= 0x100000001b3ull;
+    }
+  }
+  return h;
+}
+
+}  // namespace cellgan::testsupport

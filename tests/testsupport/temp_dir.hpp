@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <string_view>
+
+namespace cellgan::testsupport {
+
+// RAII scratch directory for tests that touch the filesystem. Each instance
+// creates a unique directory under the system temp root and removes it (and
+// everything inside) on destruction, so tests never depend on hard-coded
+// paths or leak state between runs.
+class TempDir {
+ public:
+  TempDir() : TempDir("cellgan") {}
+  explicit TempDir(std::string_view tag);
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+  TempDir(TempDir&& other) noexcept : path_(std::move(other.path_)) { other.path_.clear(); }
+  TempDir& operator=(TempDir&&) = delete;
+
+  const std::filesystem::path& path() const { return path_; }
+
+  // Convenience: a path to `name` inside the scratch directory.
+  std::filesystem::path file(std::string_view name) const { return path_ / name; }
+
+ private:
+  std::filesystem::path path_;
+};
+
+// A seed that is stable across runs but distinct per test case: derived from
+// the currently running GoogleTest suite/test name. Use instead of
+// time-based or globally shared seeds so suites stay order-independent.
+std::uint64_t deterministic_seed();
+
+// Same, offset for tests that need several independent streams.
+std::uint64_t deterministic_seed(std::uint64_t stream);
+
+}  // namespace cellgan::testsupport
