@@ -73,9 +73,15 @@ AblationResult run_topology(const core::TrainingConfig& config,
   std::vector<std::vector<std::vector<std::uint8_t>>> inboxes(
       grid.size(), std::vector<std::vector<std::uint8_t>>(grid.size()));
   for (std::uint32_t iter = 0; iter < config.iterations; ++iter) {
+    // Two-phase epoch over the staged store: step + publish everyone, cross
+    // the epoch barrier, then collect next epoch's inboxes.
     for (int cell = 0; cell < grid.size(); ++cell) {
       cells[cell]->step(inboxes[cell]);
-      inboxes[cell] = comms[cell]->exchange(cells[cell]->export_genome());
+      comms[cell]->publish(cells[cell]->export_genome());
+    }
+    store.flip();
+    for (int cell = 0; cell < grid.size(); ++cell) {
+      inboxes[cell] = comms[cell]->collect();
       for (const auto& payload : inboxes[cell]) {
         bytes_total += static_cast<double>(payload.size());
       }

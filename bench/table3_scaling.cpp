@@ -1,7 +1,11 @@
 // Table III — execution times of GAN training: single-core vs the
 // parallel/distributed implementation, for 2x2, 3x3 and 4x4 grids, with the
 // speedup column. Ten repetitions per grid (like the paper) give the
-// avg +- std of the distributed times.
+// avg +- std of the distributed times. With --threads N an extra
+// "multithread" column runs the in-process ParallelTrainer: same process,
+// cells stepped concurrently on N worker lanes — virtual time shows the
+// max-over-lanes makespan (the "p cores" view) and wall time shows the
+// real speedup this machine's cores deliver.
 //
 // Methodology (DESIGN.md §4, EXPERIMENTS.md): the *real* training code runs
 // at reduced scale (tiny networks, few iterations) and per-rank virtual
@@ -9,12 +13,18 @@
 // summary is printed from the actual world layout. Wall-clock times of the
 // reduced runs are also reported (honest small-scale measurement on this
 // machine) — the virtual-time columns are the paper-scale reproduction.
+//
+// --json FILE writes the measured rows as machine-readable JSON so CI can
+// archive bench numbers (ci/check.sh --bench -> BENCH_parallel.json) and
+// future perf PRs can show deltas.
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "common/cli.hpp"
 #include "core/distributed_trainer.hpp"
+#include "core/parallel_trainer.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
 
@@ -26,13 +36,19 @@ struct GridResult {
   int side = 0;
   double seq_virtual_min = 0.0;
   double seq_wall_s = 0.0;
+  double seq_train_flops = 0.0;
+  double mt_virtual_min = 0.0;   ///< ParallelTrainer makespan (0 if not run)
+  double mt_wall_s = 0.0;
+  double mt_train_flops = 0.0;
+  bool mt_flops_match = true;    ///< parallel run did exactly the seq work
+  bool mt_profile_match = true;  ///< per-routine virtual totals agree
   double dist_virtual_min_avg = 0.0;
   double dist_virtual_min_std = 0.0;
   double dist_wall_s = 0.0;
 };
 
 GridResult run_grid(int side, std::uint32_t iterations, int repetitions,
-                    std::size_t samples) {
+                    std::size_t samples, std::size_t threads) {
   core::TrainingConfig config = core::TrainingConfig::tiny();
   config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(side);
   config.iterations = iterations;
@@ -54,6 +70,25 @@ GridResult run_grid(int side, std::uint32_t iterations, int repetitions,
   const core::TrainOutcome seq_outcome = seq.run();
   result.seq_virtual_min = seq_outcome.virtual_s / 60.0;
   result.seq_wall_s = seq_outcome.wall_s;
+  result.seq_train_flops = seq_outcome.train_flops;
+
+  if (threads > 1) {
+    core::ParallelTrainer par(config, dataset, threads, cost);
+    const core::TrainOutcome mt_outcome = par.run();
+    result.mt_virtual_min = mt_outcome.virtual_s / 60.0;
+    result.mt_wall_s = mt_outcome.wall_s;
+    result.mt_train_flops = mt_outcome.train_flops;
+    result.mt_flops_match = mt_outcome.train_flops == seq_outcome.train_flops;
+    for (const char* routine :
+         {common::routine::kTrain, common::routine::kUpdateGenomes,
+          common::routine::kMutate, common::routine::kGather}) {
+      const double seq_vs = seq_outcome.profiler.cost(routine).virtual_s;
+      const double mt_vs = mt_outcome.profiler.cost(routine).virtual_s;
+      if (std::abs(seq_vs - mt_vs) > 1e-9 * std::max(1.0, seq_vs)) {
+        result.mt_profile_match = false;
+      }
+    }
+  }
 
   std::vector<double> dist_minutes;
   double wall_total = 0.0;
@@ -78,6 +113,40 @@ GridResult run_grid(int side, std::uint32_t iterations, int repetitions,
   return result;
 }
 
+void write_json(const std::string& path, const std::vector<GridResult>& rows,
+                std::uint32_t iterations, std::size_t threads) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"table3_scaling\",\n");
+  std::fprintf(f, "  \"iterations\": %u,\n  \"threads\": %zu,\n  \"grids\": [\n",
+               iterations, threads);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const GridResult& r = rows[i];
+    std::fprintf(f,
+                 "    {\"side\": %d, \"seq_virtual_min\": %.6f, "
+                 "\"seq_wall_s\": %.6f, \"seq_train_flops\": %.0f,\n"
+                 "     \"mt_virtual_min\": %.6f, \"mt_wall_s\": %.6f, "
+                 "\"mt_wall_speedup\": %.4f, \"mt_virtual_speedup\": %.4f,\n"
+                 "     \"mt_flops_match\": %s, \"mt_profile_match\": %s,\n"
+                 "     \"dist_virtual_min_avg\": %.6f, "
+                 "\"dist_virtual_min_std\": %.6f, \"dist_wall_s\": %.6f}%s\n",
+                 r.side, r.seq_virtual_min, r.seq_wall_s, r.seq_train_flops,
+                 r.mt_virtual_min, r.mt_wall_s,
+                 r.mt_wall_s > 0.0 ? r.seq_wall_s / r.mt_wall_s : 0.0,
+                 r.mt_virtual_min > 0.0 ? r.seq_virtual_min / r.mt_virtual_min : 0.0,
+                 r.mt_flops_match ? "true" : "false",
+                 r.mt_profile_match ? "true" : "false", r.dist_virtual_min_avg,
+                 r.dist_virtual_min_std, r.dist_wall_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -85,11 +154,16 @@ int main(int argc, char** argv) {
   cli.add_flag("iterations", "20", "epochs per run (charges normalized to this)");
   cli.add_flag("repetitions", "10", "distributed repetitions per grid");
   cli.add_flag("samples", "200", "synthetic training samples");
+  cli.add_flag("threads", "0",
+               "worker lanes for an extra in-process multithread column "
+               "(0 = skip)");
+  cli.add_flag("json", "", "write machine-readable results to this file");
   if (!cli.parse(argc, argv)) return 1;
 
   const auto iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
   const int repetitions = static_cast<int>(cli.get_int("repetitions"));
   const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
 
   // Paper values for side-by-side comparison (Table III).
   struct PaperRow {
@@ -110,6 +184,7 @@ int main(int argc, char** argv) {
                 (cells + 1) * mb_per_slave);
   }
 
+  std::vector<GridResult> rows;
   std::printf("\nTable III: execution times of GAN training (virtual minutes,"
               " paper-scale)\n");
   std::printf("  %-9s | %9s %9s | %17s %15s | %8s %8s | %12s %12s\n", "grid",
@@ -117,7 +192,8 @@ int main(int argc, char** argv) {
               "seq wall(s)", "dist wall(s)");
   for (int i = 0; i < 3; ++i) {
     const int side = i + 2;
-    const GridResult r = run_grid(side, iterations, repetitions, samples);
+    const GridResult r = run_grid(side, iterations, repetitions, samples, threads);
+    rows.push_back(r);
     const double speedup = r.seq_virtual_min / r.dist_virtual_min_avg;
     std::printf(
         "  %dx%-7d | %9.1f %9.1f | %8.2f+-%-6.2f %8.2f+-%-4.2f | %8.2f %8.2f |"
@@ -126,6 +202,29 @@ int main(int argc, char** argv) {
         r.dist_virtual_min_std, paper[i].dist, paper[i].dist_std, speedup,
         paper[i].speedup, r.seq_wall_s, r.dist_wall_s);
   }
+
+  if (threads > 1) {
+    std::printf("\nmultithread column: ParallelTrainer, %zu worker lanes"
+                " (in-process)\n", threads);
+    std::printf("  %-9s | %9s %12s | %11s %12s | %10s %7s %7s\n", "grid",
+                "mt(min)", "virt speedup", "mt wall(s)", "wall speedup",
+                "flops", "profile", "");
+    for (const GridResult& r : rows) {
+      std::printf("  %dx%-7d | %9.1f %12.2f | %11.2f %12.2f | %10s %7s\n",
+                  r.side, r.side, r.mt_virtual_min,
+                  r.mt_virtual_min > 0.0 ? r.seq_virtual_min / r.mt_virtual_min : 0.0,
+                  r.mt_wall_s,
+                  r.mt_wall_s > 0.0 ? r.seq_wall_s / r.mt_wall_s : 0.0,
+                  r.mt_flops_match ? "match" : "MISMATCH",
+                  r.mt_profile_match ? "match" : "MISMATCH");
+    }
+    std::printf("  (wall speedup is bounded by this machine's cores; the"
+                " virtual column is the calibrated p-core makespan)\n");
+  }
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) write_json(json_path, rows, iterations, threads);
+
   std::printf("\nshape check: superlinear speedup at 2x2/3x3 (memory-pressure"
               " model),\nsublinear at 4x4 (management + gather overhead) — see"
               " EXPERIMENTS.md\n");

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
 # CI entry point: configure, build, run the whole test bed, then confirm the
 # tier-1 label resolved to the full bed without re-executing it. Usage:
-#   ci/check.sh [build-dir]
+#   ci/check.sh [--bench] [build-dir]
+#
+# --bench additionally runs the perf bed at reduced scale and records the
+# numbers (BENCH_parallel.json in the build dir, plus Google-Benchmark JSON
+# for micro_tensor when it was built), so perf PRs can show deltas.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+RUN_BENCH=0
+if [ "${1:-}" = "--bench" ]; then
+  RUN_BENCH=1
+  shift
+fi
 BUILD="${1:-$ROOT/build}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
@@ -23,4 +32,19 @@ echo "tier1 label covers $TIER1 of $TOTAL tests"
 if [ -z "$TIER1" ] || [ "$TIER1" -ne "$TOTAL" ]; then
   echo "error: tier1 label no longer covers the full test bed" >&2
   exit 1
+fi
+
+if [ "$RUN_BENCH" -eq 1 ]; then
+  echo "=== bench: table3_scaling (reduced scale) -> BENCH_parallel.json ==="
+  BENCH_THREADS=$(( JOBS < 2 ? 2 : JOBS ))
+  ./bench/table3_scaling --iterations 4 --repetitions 2 --samples 64 \
+    --threads "$BENCH_THREADS" --json "$BUILD/BENCH_parallel.json"
+  if [ -x ./bench/micro_tensor ]; then
+    echo "=== bench: micro_tensor -> BENCH_micro_tensor.json ==="
+    ./bench/micro_tensor --benchmark_min_time=0.05 \
+      --benchmark_out="$BUILD/BENCH_micro_tensor.json" \
+      --benchmark_out_format=json
+  else
+    echo "micro_tensor not built (Google Benchmark absent); skipping"
+  fi
 fi

@@ -48,7 +48,11 @@ double train_with_topology(const core::TrainingConfig& config,
     }
     for (int cell = 0; cell < grid.size(); ++cell) {
       cells[cell]->step(inboxes[cell]);
-      inboxes[cell] = comms[cell]->exchange(cells[cell]->export_genome());
+      comms[cell]->publish(cells[cell]->export_genome());
+    }
+    store.flip();  // epoch barrier: this epoch's genomes become visible
+    for (int cell = 0; cell < grid.size(); ++cell) {
+      inboxes[cell] = comms[cell]->collect();
     }
   }
   double best = cells[0]->g_fitness();

@@ -2,15 +2,20 @@
 // with both execution modes, then print the per-cell losses and an ASCII
 // sample from the best cell's mixture.
 //
-//   ./quickstart [--iterations N] [--grid 2] [--samples 4]
+//   ./quickstart [--iterations N] [--grid 2] [--samples 4] [--threads T]
 //
 // Runs in well under a minute on a laptop: the example uses the tiny network
 // architecture; switch to --paper-arch to train the paper's full MLPs.
+// --threads T > 1 swaps the in-process trainer for the ThreadPool-backed
+// ParallelTrainer (same results, bit for bit — cells keep private rng
+// streams and exchange through the epoch-staged genome store).
 #include <cstdio>
+#include <memory>
 
 #include "common/cli.hpp"
 #include "common/log.hpp"
 #include "core/distributed_trainer.hpp"
+#include "core/parallel_trainer.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
 #include "data/pgm.hpp"
@@ -24,6 +29,8 @@ int main(int argc, char** argv) {
   cli.add_flag("grid", "2", "grid side (grid x grid cells)");
   cli.add_flag("samples", "600", "synthetic training samples");
   cli.add_flag("paper-arch", "false", "use the paper's full-size MLPs");
+  cli.add_flag("threads", "1",
+               "worker threads for the in-process trainer (>1 = parallel)");
   cli.add_flag("distributed", "true", "also run the master/slave version");
   if (!cli.parse(argc, argv)) return 1;
 
@@ -40,10 +47,19 @@ int main(int argc, char** argv) {
   std::printf("dataset: %zu samples, %zu pixels each\n", dataset.size(),
               static_cast<std::size_t>(dataset.images.cols()));
 
-  // --- single-core cellular training (the paper's baseline) ----------------
-  core::SequentialTrainer trainer(config, dataset);
+  // --- in-process cellular training (the paper's baseline; --threads > 1
+  // steps the cells concurrently on a thread pool) --------------------------
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
+  std::unique_ptr<core::InProcessTrainer> trainer_ptr;
+  if (threads > 1) {
+    trainer_ptr = std::make_unique<core::ParallelTrainer>(config, dataset, threads);
+  } else {
+    trainer_ptr = std::make_unique<core::SequentialTrainer>(config, dataset);
+  }
+  core::InProcessTrainer& trainer = *trainer_ptr;
   const core::TrainOutcome outcome = trainer.run();
-  std::printf("\nsingle-core run: %.2fs wall\n", outcome.wall_s);
+  std::printf("\n%s run: %.2fs wall\n",
+              threads > 1 ? "multithread" : "single-core", outcome.wall_s);
   for (int cell = 0; cell < trainer.cells(); ++cell) {
     const auto coord = trainer.grid().coords_of(cell);
     std::printf("  cell (%d,%d): G loss %.4f | D loss %.4f | G lr %.6f\n",

@@ -71,6 +71,12 @@ void Profiler::merge(const Profiler& other) {
   }
 }
 
+Profiler Profiler::merged(std::span<const Profiler> parts) {
+  Profiler out;
+  for (const Profiler& part : parts) out.merge(part);
+  return out;
+}
+
 std::vector<std::string> Profiler::names() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;

@@ -3,13 +3,16 @@
 // The paper profiles the four hottest routines of cellular GAN training
 // (gather, train, update-genomes, mutate) in both the single-core and the
 // distributed versions. Profiler accumulates named buckets of wall time
-// and/or virtual time; each rank owns one Profiler so no locking is needed
-// on the hot path, and reports can be merged afterwards.
+// and/or virtual time; each rank (or each worker lane of the in-process
+// parallel trainer) owns one Profiler, so the hot-path mutex is never
+// contended, and reports are merged afterwards — merge()/merged() sum
+// per-cell or per-lane instances into one run-level report.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -55,6 +58,10 @@ class Profiler {
 
   /// Merge another profiler's buckets into this one (summing).
   void merge(const Profiler& other);
+
+  /// Sum a set of per-cell / per-lane profilers into one report,
+  /// deterministically (in index order).
+  static Profiler merged(std::span<const Profiler> parts);
 
   /// Bucket names in deterministic (sorted) order.
   std::vector<std::string> names() const;

@@ -69,9 +69,13 @@ void CellTrainer::sync_topology() {
 }
 
 void CellTrainer::step(const std::vector<std::vector<std::uint8_t>>& gathered) {
+  // Each routine harvests its flops in a scoped section on whichever thread
+  // runs this step — a scheduler may execute cells on arbitrary pool workers,
+  // and the scope keeps per-cell counts exact while restoring (and
+  // propagating) the executing thread's outer counter.
   {
     common::WallTimer timer;
-    tensor::exchange_thread_flops();  // reset; install cost is byte-based
+    tensor::ScopedFlopsCounter section;  // install cost is byte-based
     update_genomes(gathered);
     double virtual_s = 0.0;
     if (context_.virtual_time()) {
@@ -83,9 +87,10 @@ void CellTrainer::step(const std::vector<std::vector<std::uint8_t>>& gathered) {
   }
   {
     common::WallTimer timer;
-    tensor::exchange_thread_flops();
+    tensor::ScopedFlopsCounter section;
     train();
-    last_train_flops_ = static_cast<double>(tensor::exchange_thread_flops());
+    last_train_flops_ = static_cast<double>(section.taken());
+    total_train_flops_ += last_train_flops_;
     double virtual_s = 0.0;
     if (context_.virtual_time()) {
       virtual_s = context_.cost->train_seconds(context_.mode, context_.grid_cells,
@@ -96,8 +101,8 @@ void CellTrainer::step(const std::vector<std::vector<std::uint8_t>>& gathered) {
   }
   {
     common::WallTimer timer;
+    tensor::ScopedFlopsCounter section;  // mixture-ES forwards fold into call cost
     mutate();
-    tensor::exchange_thread_flops();  // mixture-ES forwards are folded into the call cost
     double virtual_s = 0.0;
     if (context_.virtual_time()) {
       virtual_s =
@@ -299,7 +304,7 @@ void CellTrainer::restore(const CellGenome& genome,
   d_fitness_ = genome.d_fitness;
   iteration_ = genome.iteration;
   if (mixture_weights.size() == mixture_.size()) {
-    mixture_.set_weights({mixture_weights.begin(), mixture_weights.end()});
+    mixture_.restore_weights({mixture_weights.begin(), mixture_weights.end()});
   }
 }
 

@@ -81,6 +81,9 @@ class CellTrainer {
   /// Work counters for cost-model calibration probes.
   double last_train_flops() const { return last_train_flops_; }
   double last_update_bytes() const { return last_update_bytes_; }
+  /// Cumulative train-routine flops over every step() so far — harvested on
+  /// whichever thread executed the step, so totals are schedule-independent.
+  double total_train_flops() const { return total_train_flops_; }
 
  private:
   struct SubpopSlot {
@@ -129,6 +132,7 @@ class CellTrainer {
   std::uint32_t iteration_ = 0;
 
   double last_train_flops_ = 0.0;
+  double total_train_flops_ = 0.0;
   double last_update_bytes_ = 0.0;
 };
 

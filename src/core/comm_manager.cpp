@@ -4,14 +4,49 @@
 
 namespace cellgan::core {
 
-void GenomeStore::publish(int cell, std::vector<std::uint8_t> bytes) {
-  CG_EXPECT(cell >= 0 && cell < static_cast<int>(store_.size()));
-  store_[cell] = std::move(bytes);
+std::uint64_t GenomeStore::epoch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return epoch_;
 }
 
-const std::vector<std::uint8_t>& GenomeStore::latest(int cell) const {
-  CG_EXPECT(cell >= 0 && cell < static_cast<int>(store_.size()));
-  return store_[cell];
+void GenomeStore::publish(int cell, std::vector<std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CG_EXPECT(cell >= 0 && cell < static_cast<int>(slots_.size()));
+  Slot& slot = slots_[cell];
+  // Re-stamp this epoch's staged entry if there is one; otherwise overwrite
+  // the invalid or older entry, never the newest still-readable version.
+  Entry* target = &slot[0];
+  if (slot[0].valid && slot[0].epoch == epoch_) {
+    target = &slot[0];
+  } else if (slot[1].valid && slot[1].epoch == epoch_) {
+    target = &slot[1];
+  } else if (!slot[0].valid) {
+    target = &slot[0];
+  } else if (!slot[1].valid) {
+    target = &slot[1];
+  } else {
+    target = slot[0].epoch <= slot[1].epoch ? &slot[0] : &slot[1];
+  }
+  target->bytes = std::move(bytes);
+  target->epoch = epoch_;
+  target->valid = true;
+}
+
+std::vector<std::uint8_t> GenomeStore::latest(int cell) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  CG_EXPECT(cell >= 0 && cell < static_cast<int>(slots_.size()));
+  const Slot& slot = slots_[cell];
+  const Entry* best = nullptr;
+  for (const Entry& entry : slot) {
+    if (!entry.valid || entry.epoch >= epoch_) continue;
+    if (best == nullptr || entry.epoch > best->epoch) best = &entry;
+  }
+  return best == nullptr ? std::vector<std::uint8_t>{} : best->bytes;
+}
+
+void GenomeStore::flip() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++epoch_;
 }
 
 LocalCommManager::LocalCommManager(GenomeStore& store, const Grid& grid, int cell,
@@ -22,7 +57,11 @@ LocalCommManager::LocalCommManager(GenomeStore& store, const Grid& grid, int cel
 
 std::vector<std::vector<std::uint8_t>> LocalCommManager::exchange(
     std::span<const std::uint8_t> genome_bytes) {
-  store_.publish(cell_, {genome_bytes.begin(), genome_bytes.end()});
+  publish(genome_bytes);
+  return collect();
+}
+
+std::vector<std::vector<std::uint8_t>> LocalCommManager::collect() {
   std::vector<std::vector<std::uint8_t>> out(store_.size());
   double copied_bytes = 0.0;
   for (const int neighbor : grid_.neighbors_of(cell_)) {
@@ -35,6 +74,10 @@ std::vector<std::vector<std::uint8_t>> LocalCommManager::exchange(
     context_.charge(common::routine::kGather, 0.0, cost);
   }
   return out;
+}
+
+void LocalCommManager::publish(std::span<const std::uint8_t> genome_bytes) {
+  store_.publish(cell_, {genome_bytes.begin(), genome_bytes.end()});
 }
 
 MpiCommManager::MpiCommManager(minimpi::Comm& local_comm) : local_comm_(local_comm) {}

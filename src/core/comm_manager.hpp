@@ -13,7 +13,9 @@
 //    in-process copy cost.
 #pragma once
 
+#include <array>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -40,20 +42,58 @@ class CommManager {
 };
 
 /// Shared in-process genome store for LocalCommManager instances.
+///
+/// Double-buffered and epoch-staged so the in-process trainers can step all
+/// cells of an epoch concurrently and still stay deterministic: publish()
+/// stages a genome for the NEXT epoch, latest() reads the newest genome
+/// published in any EARLIER epoch, and flip() is the epoch barrier that makes
+/// the staged genomes visible. Every cell therefore sees exactly its
+/// neighbors' previous-epoch genomes regardless of thread count or cell
+/// order — the cellular "newest-available" rule with a well-defined "now".
+/// All three operations are mutex-guarded (the store is hammered from every
+/// worker thread of the parallel trainer).
 class GenomeStore {
  public:
-  explicit GenomeStore(std::size_t cells) : store_(cells) {}
-  std::size_t size() const { return store_.size(); }
+  explicit GenomeStore(std::size_t cells) : slots_(cells) {}
+  std::size_t size() const { return slots_.size(); }
 
+  /// Epoch counter, advanced by flip(). Publishes stage into this epoch;
+  /// reads see strictly older epochs.
+  std::uint64_t epoch() const;
+
+  /// Stage `bytes` as `cell`'s genome for the next epoch. Re-publishing
+  /// within one epoch overwrites the staged value.
   void publish(int cell, std::vector<std::uint8_t> bytes);
-  /// Latest published genome of `cell` (empty if none yet).
-  const std::vector<std::uint8_t>& latest(int cell) const;
+
+  /// Newest genome of `cell` published before the current epoch (empty if
+  /// none yet). Returns a copy so the caller owns its bytes outside the lock.
+  std::vector<std::uint8_t> latest(int cell) const;
+
+  /// Epoch barrier: everything published during the finished epoch becomes
+  /// visible to subsequent latest() calls.
+  void flip();
 
  private:
-  std::vector<std::vector<std::uint8_t>> store_;
+  /// The two most recent published versions of one cell's genome: writers
+  /// overwrite the older entry (or re-stamp the current epoch's), readers
+  /// take the newest entry from a previous epoch — so a publish never
+  /// clobbers the version the current epoch is still reading.
+  struct Entry {
+    std::vector<std::uint8_t> bytes;
+    std::uint64_t epoch = 0;
+    bool valid = false;
+  };
+  using Slot = std::array<Entry, 2>;
+
+  mutable std::mutex mutex_;
+  std::uint64_t epoch_ = 0;
+  std::vector<Slot> slots_;
 };
 
 /// Single-process transport: reads neighbor genomes straight from the store.
+/// collect()/publish() split the exchange so the trainer loop can gather the
+/// epoch's inbox before stepping and stage the result afterwards; exchange()
+/// keeps the one-call CommManager interface (publish, then collect).
 class LocalCommManager final : public CommManager {
  public:
   LocalCommManager(GenomeStore& store, const Grid& grid, int cell,
@@ -62,6 +102,13 @@ class LocalCommManager final : public CommManager {
   int cell_id() const override { return cell_; }
   std::vector<std::vector<std::uint8_t>> exchange(
       std::span<const std::uint8_t> genome_bytes) override;
+
+  /// Read the neighbors' visible (previous-epoch) genomes, charging the
+  /// calibrated in-process copy cost to the cell's context.
+  std::vector<std::vector<std::uint8_t>> collect();
+
+  /// Stage this cell's serialized genome for the next epoch.
+  void publish(std::span<const std::uint8_t> genome_bytes);
 
  private:
   GenomeStore& store_;

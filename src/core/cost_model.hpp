@@ -27,6 +27,13 @@ namespace cellgan::core {
 enum class ExecMode {
   RealTime,    ///< no virtual time; wall-clock measurements only
   SingleCore,  ///< all cells in one process (the paper's baseline column)
+  /// All cells in one process, stepped concurrently on a thread pool — the
+  /// "p cores" view of Table III. Per-cell charges are identical to
+  /// SingleCore (the process still holds the whole grid's working set, so
+  /// the memory penalty applies); only the clock aggregation differs: each
+  /// worker lane owns a VirtualClock and the run's makespan is the max over
+  /// lanes per epoch, not the serial sum.
+  MultiThread,
   Distributed, ///< one slave process per cell + master (the paper's system)
 };
 

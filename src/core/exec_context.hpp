@@ -1,10 +1,12 @@
 // Per-rank execution context threaded through the trainers.
 //
 // Bundles the virtual clock, per-routine profiler, straggler jitter stream
-// and calibrated cost model of the rank (or process) running a trainer, so
-// the same CellTrainer code serves the single-core baseline, the distributed
-// slaves and pure real-time runs. charge() is the single point where a
-// routine's wall time and simulated time enter the books.
+// and calibrated cost model of the rank (or worker lane, or process) running
+// a trainer, so the same CellTrainer code serves the single-core baseline,
+// the thread-parallel trainer (one context per worker lane, MultiThread
+// mode), the distributed slaves and pure real-time runs. charge() is the
+// single point where a routine's wall time and simulated time enter the
+// books.
 #pragma once
 
 #include <string>

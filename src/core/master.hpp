@@ -49,7 +49,7 @@ class Master {
   minimpi::Comm& world_;
   minimpi::Comm& global_;
   TrainingConfig config_;
-  const CostModel& cost_model_;
+  CostModel cost_model_;  // by value: callers may pass temporaries
   Options options_;
 };
 

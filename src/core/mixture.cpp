@@ -18,6 +18,17 @@ void MixtureWeights::set_weights(std::vector<double> w) {
   normalize();
 }
 
+void MixtureWeights::restore_weights(std::vector<double> w) {
+  CG_EXPECT(w.size() == weights_.size());
+  double total = 0.0;
+  for (const double v : w) {
+    CG_EXPECT(v >= 0.0);
+    total += v;
+  }
+  CG_EXPECT(total > 0.9 && total < 1.1);  // sanity: already normalized
+  weights_ = std::move(w);
+}
+
 void MixtureWeights::normalize() {
   double total = 0.0;
   for (const double w : weights_) total += w;

@@ -27,6 +27,12 @@ class MixtureWeights {
   /// Replace weights (renormalized; non-negative required).
   void set_weights(std::vector<double> w);
 
+  /// Install already-normalized weights verbatim (checkpoint restore):
+  /// renormalizing an (approximately) unit-sum vector would perturb its
+  /// low-order bits and break bit-exact resume. Requires non-negative
+  /// weights summing to ~1.
+  void restore_weights(std::vector<double> w);
+
   /// Gaussian-perturb every weight with stddev `scale`, clamp at zero,
   /// renormalize. Returns the mutated copy (callers keep the original for
   /// (1+1)-ES selection).

@@ -1,0 +1,74 @@
+// Thread-parallel in-process trainer — the "p cores" view of Table III.
+//
+// Cells are independent within an epoch (Section III.A's two-level model:
+// threads within a rank, messages across ranks), so each epoch's cell steps
+// run concurrently on a common::ThreadPool. Determinism is preserved by
+// construction, not by luck:
+//
+//   * the epoch-staged GenomeStore guarantees every cell reads exactly its
+//     neighbors' previous-epoch genomes, whatever the interleaving;
+//   * each cell keeps its private forked rng stream, so the schedule never
+//     perturbs any cell's random sequence;
+//   * cells are statically partitioned into balanced contiguous lanes, so
+//     the lane a cell bills its virtual time to depends only on the
+//     requested thread count, never on scheduling.
+//
+// Results (fitness trajectories, flops, per-routine virtual totals) are
+// therefore bit-identical across thread counts and identical to
+// SequentialTrainer on the same seed. Each lane owns a VirtualClock and a
+// Profiler: a lane's clock advances by the serial sum of its own cells'
+// charges, the epoch barrier synchronizes all lanes to the slowest
+// (wait_until the max), and the run's virtual makespan is that max rather
+// than the whole-grid serial sum. Profilers merge at the end, keeping the
+// per-charge hot path on uncontended per-lane instances.
+//
+// Note: cell-level parallelism composes with the tensor kernels' inline
+// (single-thread) global pool. Enabling both would make concurrent
+// parallel_for calls race on the shared global pool — pick one level.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/trainer_core.hpp"
+
+namespace cellgan::core {
+
+class ParallelTrainer final : public InProcessTrainer {
+ public:
+  /// `dataset` must outlive the trainer. `threads` is the number of worker
+  /// lanes (clamped to [1, cells]); 1 degenerates to the sequential schedule
+  /// while keeping MultiThread cost accounting.
+  ParallelTrainer(const TrainingConfig& config, const data::Dataset& dataset,
+                  std::size_t threads, const CostModel& cost_model = {});
+
+  TrainOutcome run() override;
+
+  /// Worker lanes actually used (== min(threads, cells)).
+  std::size_t lanes() const { return lanes_.size(); }
+
+  static WorkloadProbe measure_workload(const TrainingConfig& config,
+                                        const data::Dataset& dataset) {
+    return TrainerCore::measure_workload(config, dataset);
+  }
+
+ private:
+  /// Per-worker accounting lane: cells [lane_begin_[l], lane_begin_[l+1])
+  /// bill their virtual time and routine costs here.
+  struct Lane {
+    common::VirtualClock clock;
+    common::Profiler profiler;
+    common::Rng jitter_rng;
+    explicit Lane(std::uint64_t seed) : jitter_rng(seed) {}
+  };
+
+  std::size_t lane_of(std::size_t cell) const;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::size_t> lane_begin_;  ///< lanes()+1 partition offsets
+  common::ThreadPool pool_;
+};
+
+}  // namespace cellgan::core

@@ -1,122 +1,33 @@
 #include "core/sequential_trainer.hpp"
 
-#include <algorithm>
-
-#include "tensor/flops.hpp"
-
 namespace cellgan::core {
 
 SequentialTrainer::SequentialTrainer(const TrainingConfig& config,
                                      const data::Dataset& dataset,
                                      const CostModel& cost_model)
-    : config_(config),
-      dataset_(dataset),
-      cost_model_(cost_model),
-      grid_(static_cast<int>(config.grid_rows), static_cast<int>(config.grid_cols)),
-      jitter_rng_(config.seed ^ 0x5eedbeefULL),
-      store_(static_cast<std::size_t>(grid_.size())) {
-  context_.mode = ExecMode::SingleCore;
-  context_.grid_cells = grid_.size();
-  context_.cost = &cost_model_;
-  context_.clock = &clock_;
-  context_.profiler = &profiler_;
-  context_.jitter_rng = &jitter_rng_;
-
-  common::Rng master_rng(config_.seed);
-  cells_.reserve(grid_.size());
-  comms_.reserve(grid_.size());
-  for (int cell = 0; cell < grid_.size(); ++cell) {
-    cells_.push_back(std::make_unique<CellTrainer>(
-        config_, grid_, cell, dataset_,
-        master_rng.fork(static_cast<std::uint64_t>(cell)), context_));
-    comms_.push_back(
-        std::make_unique<LocalCommManager>(store_, grid_, cell, context_));
-  }
+    : InProcessTrainer(config, dataset, cost_model),
+      jitter_rng_(config.seed ^ 0x5eedbeefULL) {
+  core_.build_cells([this](int /*cell*/) {
+    ExecContext context;
+    context.mode = ExecMode::SingleCore;
+    context.grid_cells = core_.grid().size();
+    context.cost = &core_.cost_model();
+    context.clock = &clock_;
+    context.profiler = &profiler_;
+    context.jitter_rng = &jitter_rng_;
+    return context;
+  });
 }
 
 TrainOutcome SequentialTrainer::run() {
   common::WallTimer wall;
-  // Latest exchange result seen by each cell; starts all-empty (iteration 0
-  // trains before any neighbor genome exists, per Fig. 3's flow).
-  std::vector<std::vector<std::vector<std::uint8_t>>> inboxes(
-      grid_.size(), std::vector<std::vector<std::uint8_t>>(grid_.size()));
-
-  for (std::uint32_t iter = 0; iter < config_.iterations; ++iter) {
-    for (int cell = 0; cell < grid_.size(); ++cell) {
-      cells_[cell]->step(inboxes[cell]);
-      common::WallTimer gather_wall;
-      inboxes[cell] = comms_[cell]->exchange(cells_[cell]->export_genome());
-      // Virtual gather cost was charged inside LocalCommManager; here only
-      // the measured wall time is recorded.
-      profiler_.add(common::routine::kGather, gather_wall.elapsed_s());
+  for (std::uint32_t iter = 0; iter < core_.config().iterations; ++iter) {
+    for (int cell = 0; cell < core_.cells(); ++cell) {
+      core_.run_cell_epoch(cell);
     }
+    core_.finish_epoch();
   }
-
-  TrainOutcome outcome;
-  outcome.wall_s = wall.elapsed_s();
-  outcome.virtual_s = clock_.now();
-  outcome.profiler = profiler_;
-  outcome.g_fitnesses.reserve(grid_.size());
-  outcome.d_fitnesses.reserve(grid_.size());
-  for (int cell = 0; cell < grid_.size(); ++cell) {
-    outcome.g_fitnesses.push_back(cells_[cell]->g_fitness());
-    outcome.d_fitnesses.push_back(cells_[cell]->d_fitness());
-  }
-  outcome.best_cell = static_cast<int>(
-      std::min_element(outcome.g_fitnesses.begin(), outcome.g_fitnesses.end()) -
-      outcome.g_fitnesses.begin());
-  return outcome;
-}
-
-Checkpoint SequentialTrainer::checkpoint() {
-  Checkpoint snapshot;
-  snapshot.config = config_;
-  snapshot.centers.reserve(cells_.size());
-  snapshot.mixtures.reserve(cells_.size());
-  std::uint32_t iteration = 0;
-  for (auto& cell : cells_) {
-    snapshot.centers.push_back(cell->center_genome());
-    snapshot.mixtures.push_back(cell->mixture().weights());
-    iteration = std::max(iteration, cell->iteration());
-  }
-  snapshot.iteration = iteration;
-  return snapshot;
-}
-
-void SequentialTrainer::restore(const Checkpoint& snapshot) {
-  CG_EXPECT(snapshot.centers.size() == cells_.size());
-  CG_EXPECT(snapshot.config.arch == config_.arch);
-  for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
-    const auto& mixture = cell < snapshot.mixtures.size()
-                              ? snapshot.mixtures[cell]
-                              : std::vector<double>{};
-    cells_[cell]->restore(snapshot.centers[cell], mixture);
-  }
-}
-
-WorkloadProbe SequentialTrainer::measure_workload(const TrainingConfig& config,
-                                                  const data::Dataset& dataset) {
-  // Run two iterations of a throwaway cell wired to itself: the second
-  // iteration installs a full set of neighbor genomes, giving representative
-  // update bytes and train flops.
-  Grid grid(static_cast<int>(config.grid_rows), static_cast<int>(config.grid_cols));
-  ExecContext context;  // RealTime: no cost model, no clocks
-  common::Rng rng(config.seed ^ 0x9e0be5ULL);
-  CellTrainer probe_cell(config, grid, 0, dataset, rng, context);
-
-  std::vector<std::vector<std::uint8_t>> inbox(grid.size());
-  probe_cell.step(inbox);
-  const std::vector<std::uint8_t> genome = probe_cell.export_genome();
-  // Pretend every neighbor sent a genome of the same shape.
-  for (const int neighbor : grid.neighbors_of(0)) inbox[neighbor] = genome;
-  probe_cell.step(inbox);
-
-  WorkloadProbe probe;
-  probe.train_flops = probe_cell.last_train_flops();
-  probe.update_bytes = std::max(1.0, probe_cell.last_update_bytes());
-  probe.mutate_calls = 1.0;
-  probe.genome_bytes = static_cast<double>(genome.size());
-  return probe;
+  return core_.make_outcome(wall.elapsed_s(), clock_.now(), profiler_);
 }
 
 }  // namespace cellgan::core

@@ -1,75 +1,40 @@
-// Single-core baseline: the whole grid trained in one process — the
-// "single core" column of Table III. All cells share one virtual clock
-// (their costs accumulate serially, as they would on one core) and the
+// Single-core baseline: the whole grid trained in one process, one cell at a
+// time — the "single core" column of Table III. All cells share one virtual
+// clock (their costs accumulate serially, as they would on one core) and the
 // cost model's SingleCore mode applies the working-set memory penalty.
 //
-// The exchange between cells goes through LocalCommManager over an
-// in-process GenomeStore, preserving the cellular algorithm's semantics:
-// each epoch a cell sees the latest genome its neighbors have published.
+// The exchange between cells goes through LocalCommManager over the shared
+// epoch-staged GenomeStore: each epoch a cell sees the genomes its neighbors
+// published at the end of the previous epoch, the same schedule-independent
+// semantics the thread-parallel trainer (core/parallel_trainer.hpp) and the
+// distributed allgather use — so all three trainers are comparable run for
+// run. The run loop, outcome assembly and checkpointing live in
+// core/trainer_core.hpp.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "core/cell_trainer.hpp"
-#include "core/checkpoint.hpp"
-#include "core/comm_manager.hpp"
-#include "core/config.hpp"
-#include "core/cost_model.hpp"
-#include "core/grid.hpp"
-#include "data/dataset.hpp"
+#include "core/trainer_core.hpp"
 
 namespace cellgan::core {
 
-/// Result of a full training run (either mode).
-struct TrainOutcome {
-  double wall_s = 0.0;
-  double virtual_s = 0.0;              ///< simulated makespan (0 if disabled)
-  common::Profiler profiler;           ///< per-routine totals (see Table IV)
-  std::vector<double> g_fitnesses;     ///< final per-cell generator losses
-  std::vector<double> d_fitnesses;
-  int best_cell = 0;                   ///< argmin generator fitness
-};
-
-class SequentialTrainer {
+class SequentialTrainer final : public InProcessTrainer {
  public:
   /// `dataset` must outlive the trainer.
   SequentialTrainer(const TrainingConfig& config, const data::Dataset& dataset,
                     const CostModel& cost_model = {});
 
-  /// Run the configured number of iterations over every cell.
-  TrainOutcome run();
-
-  /// Access to trained cells (valid after run()) for sampling / inspection.
-  Grid& grid() { return grid_; }
-  CellTrainer& cell(int cell_id) { return *cells_[cell_id]; }
-  int cells() const { return static_cast<int>(cells_.size()); }
-
-  /// Snapshot the whole grid for persistence (see core/checkpoint.hpp).
-  Checkpoint checkpoint();
-
-  /// Restore every cell from a checkpoint taken with a compatible
-  /// configuration (same grid and architecture). A subsequent run() trains
-  /// `config.iterations` further epochs.
-  void restore(const Checkpoint& snapshot);
+  TrainOutcome run() override;
 
   /// Calibration probe: per-cell-per-iteration work of this configuration
   /// (runs one throwaway iteration on a scratch cell).
   static WorkloadProbe measure_workload(const TrainingConfig& config,
-                                        const data::Dataset& dataset);
+                                        const data::Dataset& dataset) {
+    return TrainerCore::measure_workload(config, dataset);
+  }
 
  private:
-  TrainingConfig config_;
-  const data::Dataset& dataset_;
-  CostModel cost_model_;
-  Grid grid_;
   common::VirtualClock clock_;
   common::Profiler profiler_;
   common::Rng jitter_rng_;
-  ExecContext context_;
-  GenomeStore store_;
-  std::vector<std::unique_ptr<CellTrainer>> cells_;
-  std::vector<std::unique_ptr<LocalCommManager>> comms_;
 };
 
 }  // namespace cellgan::core

@@ -51,7 +51,7 @@ class Slave {
   minimpi::Comm& local_;
   minimpi::Comm& global_;
   const data::Dataset& dataset_;
-  const CostModel& cost_model_;
+  CostModel cost_model_;  // by value: callers may pass temporaries
   Options options_;
   std::atomic<protocol::SlaveState> state_{protocol::SlaveState::kInactive};
   std::atomic<std::uint32_t> iteration_{0};

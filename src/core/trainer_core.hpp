@@ -1,0 +1,131 @@
+// Shared core of the in-process trainers (sequential and thread-parallel).
+//
+// Both trainers run the same cellular epoch — collect the neighbors'
+// previous-epoch genomes, step the cell's coevolutionary algorithm, publish
+// the new center genome — over the same double-buffered GenomeStore; they
+// differ only in who executes the per-cell tasks (the caller, or a
+// common::ThreadPool) and in how per-rank virtual clocks aggregate (serial
+// sum vs max-over-lanes). TrainerCore owns everything schedule-independent:
+// grid, cells, comm managers, outcome assembly, checkpoint/restore and the
+// workload calibration probe. InProcessTrainer is the common API surface so
+// callers can pick a trainer at runtime.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/cell_trainer.hpp"
+#include "core/checkpoint.hpp"
+#include "core/comm_manager.hpp"
+#include "core/config.hpp"
+#include "core/cost_model.hpp"
+#include "core/grid.hpp"
+#include "data/dataset.hpp"
+
+namespace cellgan::core {
+
+/// Result of a full training run (any mode).
+struct TrainOutcome {
+  double wall_s = 0.0;
+  double virtual_s = 0.0;              ///< simulated makespan (0 if disabled)
+  double train_flops = 0.0;            ///< total flops spent in train, all cells
+  common::Profiler profiler;           ///< per-routine totals (see Table IV)
+  std::vector<double> g_fitnesses;     ///< final per-cell generator losses
+  std::vector<double> d_fitnesses;
+  int best_cell = 0;                   ///< argmin generator fitness
+};
+
+/// Schedule-independent machinery shared by the in-process trainers.
+class TrainerCore {
+ public:
+  /// `dataset` must outlive the core.
+  TrainerCore(const TrainingConfig& config, const data::Dataset& dataset,
+              const CostModel& cost_model);
+
+  /// Construct one CellTrainer + LocalCommManager per grid cell, seeding each
+  /// cell's private rng stream exactly as the paper's reproducibility rule
+  /// requires (fork of the master seed keyed by cell id). `context_of(cell)`
+  /// supplies each cell's execution context — one shared context in the
+  /// sequential trainer, one per worker lane in the parallel trainer. The
+  /// returned contexts are stored by value, so the clock/profiler/cost
+  /// pointers inside must outlive this core. Call exactly once.
+  void build_cells(const std::function<ExecContext(int)>& context_of);
+
+  /// One cell's epoch: collect the visible neighbor genomes, run the cell's
+  /// coevolutionary step, stage the new center genome for the next epoch.
+  /// Safe to call concurrently for distinct cells.
+  void run_cell_epoch(int cell);
+
+  /// Epoch barrier: genomes staged during the finished epoch become visible.
+  void finish_epoch() { store_.flip(); }
+
+  /// Assemble the run outcome: fitness collection, best-cell argmin and the
+  /// per-cell train-flops total, plus the caller-measured times and the
+  /// (already merged) profiler.
+  TrainOutcome make_outcome(double wall_s, double virtual_s,
+                            common::Profiler profiler) const;
+
+  /// Snapshot the whole grid for persistence (see core/checkpoint.hpp).
+  Checkpoint checkpoint() const;
+
+  /// Restore every cell from a checkpoint taken with a compatible
+  /// configuration (same grid and architecture).
+  void restore(const Checkpoint& snapshot);
+
+  /// Calibration probe: per-cell-per-iteration work of this configuration
+  /// (runs one throwaway iteration on a scratch cell).
+  static WorkloadProbe measure_workload(const TrainingConfig& config,
+                                        const data::Dataset& dataset);
+
+  const TrainingConfig& config() const { return config_; }
+  const CostModel& cost_model() const { return cost_model_; }
+  Grid& grid() { return grid_; }
+  GenomeStore& store() { return store_; }
+  CellTrainer& cell(int cell_id) { return *cells_[cell_id]; }
+  const CellTrainer& cell(int cell_id) const { return *cells_[cell_id]; }
+  int cells() const { return static_cast<int>(cells_.size()); }
+
+ private:
+  TrainingConfig config_;
+  const data::Dataset& dataset_;
+  CostModel cost_model_;
+  Grid grid_;
+  GenomeStore store_;
+  std::vector<ExecContext> contexts_;  ///< one per cell; addresses stable
+  std::vector<std::unique_ptr<CellTrainer>> cells_;
+  std::vector<std::unique_ptr<LocalCommManager>> comms_;
+};
+
+/// Common API of the in-process trainers, so examples and benchmarks can
+/// select sequential vs parallel at runtime behind one pointer.
+class InProcessTrainer {
+ public:
+  /// `dataset` must outlive the trainer.
+  InProcessTrainer(const TrainingConfig& config, const data::Dataset& dataset,
+                   const CostModel& cost_model)
+      : core_(config, dataset, cost_model) {}
+  virtual ~InProcessTrainer() = default;
+
+  InProcessTrainer(const InProcessTrainer&) = delete;
+  InProcessTrainer& operator=(const InProcessTrainer&) = delete;
+
+  /// Run the configured number of iterations over every cell.
+  virtual TrainOutcome run() = 0;
+
+  /// Access to trained cells (valid after run()) for sampling / inspection.
+  Grid& grid() { return core_.grid(); }
+  CellTrainer& cell(int cell_id) { return core_.cell(cell_id); }
+  int cells() const { return core_.cells(); }
+
+  Checkpoint checkpoint() { return core_.checkpoint(); }
+
+  /// Restore every cell from a compatible checkpoint; a subsequent run()
+  /// trains `config.iterations` further epochs.
+  void restore(const Checkpoint& snapshot) { core_.restore(snapshot); }
+
+ protected:
+  TrainerCore core_;
+};
+
+}  // namespace cellgan::core

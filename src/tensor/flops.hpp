@@ -20,4 +20,26 @@ std::uint64_t thread_flops();
 /// Reset the calling thread's counter to zero and return the previous value.
 std::uint64_t exchange_thread_flops();
 
+/// Isolates one task's flop count from whatever the executing thread has
+/// already accumulated. Construction zeroes the calling thread's counter
+/// (saving the outer value); taken() reads the flops counted since entry;
+/// destruction restores the outer count on top of the section's, so
+/// enclosing accountants still see every operation. This is how per-cell
+/// tasks harvest their own flops when a scheduler runs them on arbitrary
+/// worker threads — a bare exchange_thread_flops() would silently discard
+/// the counts of whichever task ran on that thread before.
+class ScopedFlopsCounter {
+ public:
+  ScopedFlopsCounter() : outer_(exchange_thread_flops()) {}
+  ~ScopedFlopsCounter() { count_flops(outer_); }
+  ScopedFlopsCounter(const ScopedFlopsCounter&) = delete;
+  ScopedFlopsCounter& operator=(const ScopedFlopsCounter&) = delete;
+
+  /// Flops counted on this thread since construction.
+  std::uint64_t taken() const { return thread_flops(); }
+
+ private:
+  std::uint64_t outer_;
+};
+
 }  // namespace cellgan::tensor

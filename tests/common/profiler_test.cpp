@@ -46,6 +46,27 @@ TEST(ProfilerTest, MergeSumsBuckets) {
   EXPECT_EQ(a.cost("train").calls, 2u);
 }
 
+TEST(ProfilerTest, MergedSumsPerLaneInstances) {
+  // The parallel trainer's pattern: per-lane profilers (uncontended on the
+  // hot path) merged into one run-level report.
+  std::vector<Profiler> lanes(3);
+  lanes[0].add("train", 1.0, 10.0);
+  lanes[1].add("train", 2.0, 20.0);
+  lanes[2].add("gather", 0.25, 0.5);
+  const Profiler merged = Profiler::merged(lanes);
+  EXPECT_DOUBLE_EQ(merged.cost("train").wall_s, 3.0);
+  EXPECT_DOUBLE_EQ(merged.cost("train").virtual_s, 30.0);
+  EXPECT_EQ(merged.cost("train").calls, 2u);
+  EXPECT_DOUBLE_EQ(merged.cost("gather").wall_s, 0.25);
+  EXPECT_EQ(merged.cost("gather").calls, 1u);
+}
+
+TEST(ProfilerTest, MergedOfEmptySpanIsEmpty) {
+  const Profiler merged = Profiler::merged({});
+  EXPECT_DOUBLE_EQ(merged.total_wall_s(), 0.0);
+  EXPECT_TRUE(merged.names().empty());
+}
+
 TEST(ProfilerTest, NamesAreSorted) {
   Profiler p;
   p.add("zeta", 1.0);

@@ -7,13 +7,53 @@
 namespace cellgan::core {
 namespace {
 
-TEST(GenomeStoreTest, PublishAndLatest) {
+TEST(GenomeStoreTest, PublishIsStagedUntilFlip) {
   GenomeStore store(3);
   EXPECT_TRUE(store.latest(0).empty());
   store.publish(1, {1, 2, 3});
+  // Staged for the next epoch: invisible until the epoch barrier.
+  EXPECT_TRUE(store.latest(1).empty());
+  store.flip();
   EXPECT_EQ(store.latest(1), (std::vector<std::uint8_t>{1, 2, 3}));
+}
+
+TEST(GenomeStoreTest, RepublishWithinEpochOverwritesStagedValue) {
+  GenomeStore store(2);
+  store.publish(1, {1, 2, 3});
   store.publish(1, {4});
+  store.flip();
   EXPECT_EQ(store.latest(1), (std::vector<std::uint8_t>{4}));
+}
+
+TEST(GenomeStoreTest, ReadersKeepPreviousEpochWhilePublishing) {
+  // The double buffer: a publish must never clobber the version the current
+  // epoch still reads.
+  GenomeStore store(1);
+  store.publish(0, {1});
+  store.flip();
+  store.publish(0, {2});
+  EXPECT_EQ(store.latest(0), (std::vector<std::uint8_t>{1}));
+  store.flip();
+  EXPECT_EQ(store.latest(0), (std::vector<std::uint8_t>{2}));
+}
+
+TEST(GenomeStoreTest, NewestAvailableSurvivesSkippedEpochs) {
+  // A cell that stops publishing stays visible at its newest version — the
+  // cellular "newest available neighbor genome" rule.
+  GenomeStore store(1);
+  store.publish(0, {7});
+  store.flip();
+  store.flip();
+  store.flip();
+  EXPECT_EQ(store.latest(0), (std::vector<std::uint8_t>{7}));
+}
+
+TEST(GenomeStoreTest, EpochCounterAdvancesOnFlip) {
+  GenomeStore store(1);
+  EXPECT_EQ(store.epoch(), 0u);
+  store.flip();
+  store.flip();
+  EXPECT_EQ(store.epoch(), 2u);
 }
 
 TEST(GenomeStoreDeathTest, OutOfRangeAborts) {
@@ -26,10 +66,11 @@ TEST(LocalCommManagerTest, ReturnsNeighborsOnly) {
   Grid grid(3, 3);
   GenomeStore store(grid.size());
   ExecContext context;
-  // Pre-publish everyone's genome.
+  // Pre-publish everyone's genome and cross the epoch barrier.
   for (int cell = 0; cell < grid.size(); ++cell) {
     store.publish(cell, {static_cast<std::uint8_t>(cell)});
   }
+  store.flip();
   LocalCommManager comm(store, grid, 4, context);
   const auto gathered = comm.exchange({});
   ASSERT_EQ(gathered.size(), 9u);
@@ -43,14 +84,28 @@ TEST(LocalCommManagerTest, ReturnsNeighborsOnly) {
   }
 }
 
-TEST(LocalCommManagerTest, ExchangePublishesOwnGenome) {
+TEST(LocalCommManagerTest, ExchangePublishesOwnGenomeForNextEpoch) {
   Grid grid(2, 2);
   GenomeStore store(grid.size());
   ExecContext context;
   LocalCommManager comm(store, grid, 0, context);
   const std::vector<std::uint8_t> mine{7, 7};
   (void)comm.exchange(mine);
+  store.flip();
   EXPECT_EQ(store.latest(0), mine);
+}
+
+TEST(LocalCommManagerTest, CollectSeesPreviousEpochOnly) {
+  Grid grid(1, 2);  // two cells, mutual neighbors
+  GenomeStore store(grid.size());
+  ExecContext context;
+  LocalCommManager a(store, grid, 0, context);
+  LocalCommManager b(store, grid, 1, context);
+  a.publish(std::vector<std::uint8_t>{1});
+  // Same epoch: b must not see a's publish yet, whatever the cell order.
+  EXPECT_TRUE(b.collect()[0].empty());
+  store.flip();
+  EXPECT_EQ(b.collect()[0], (std::vector<std::uint8_t>{1}));
 }
 
 TEST(LocalCommManagerTest, ChargesGatherWhenCostModelEnabled) {
@@ -59,6 +114,7 @@ TEST(LocalCommManagerTest, ChargesGatherWhenCostModelEnabled) {
   for (int cell = 0; cell < grid.size(); ++cell) {
     store.publish(cell, std::vector<std::uint8_t>(100, 1));
   }
+  store.flip();
   WorkloadProbe probe;
   probe.train_flops = 1.0;
   probe.update_bytes = 1.0;

@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
 
 namespace cellgan::core {

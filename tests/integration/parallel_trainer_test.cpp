@@ -1,0 +1,164 @@
+// ParallelTrainer correctness: the thread-parallel trainer must be a pure
+// scheduling change — bit-identical fitness trajectories across thread
+// counts and against SequentialTrainer on the same seed (the double-buffered
+// exchange plus per-cell rng streams make this a hard guarantee, not a
+// tolerance), matching per-routine virtual totals and flops counts, and a
+// virtual-time makespan that shrinks with lanes (the "p cores" column).
+#include "core/parallel_trainer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/sequential_trainer.hpp"
+#include "core/workload.hpp"
+
+namespace cellgan::core {
+namespace {
+
+TrainingConfig small_config(int side, int iterations) {
+  TrainingConfig config = TrainingConfig::tiny();
+  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(side);
+  config.iterations = static_cast<std::uint32_t>(iterations);
+  return config;
+}
+
+void expect_bit_identical(const TrainOutcome& a, const TrainOutcome& b,
+                          const char* label) {
+  ASSERT_EQ(a.g_fitnesses.size(), b.g_fitnesses.size()) << label;
+  for (std::size_t i = 0; i < a.g_fitnesses.size(); ++i) {
+    EXPECT_EQ(a.g_fitnesses[i], b.g_fitnesses[i]) << label << " cell " << i;
+    EXPECT_EQ(a.d_fitnesses[i], b.d_fitnesses[i]) << label << " cell " << i;
+  }
+  EXPECT_EQ(a.best_cell, b.best_cell) << label;
+  // Flops totals are integer-valued doubles, so sums are exact in any order.
+  EXPECT_EQ(a.train_flops, b.train_flops) << label;
+}
+
+TEST(ParallelTrainerTest, DeterministicAcrossThreadCounts2x2) {
+  const TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 21);
+  SequentialTrainer seq(config, dataset);
+  const TrainOutcome reference = seq.run();
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelTrainer par(config, dataset, threads);
+    const TrainOutcome outcome = par.run();
+    expect_bit_identical(reference, outcome,
+                         threads == 1 ? "1 thread" : threads == 2 ? "2 threads"
+                                                                  : "4 threads");
+  }
+}
+
+TEST(ParallelTrainerTest, DeterministicAcrossThreadCounts3x3) {
+  const TrainingConfig config = small_config(3, 2);
+  const auto dataset = make_matched_dataset(config, 100, 22);
+  SequentialTrainer seq(config, dataset);
+  const TrainOutcome reference = seq.run();
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelTrainer par(config, dataset, threads);
+    const TrainOutcome outcome = par.run();
+    expect_bit_identical(reference, outcome, "3x3 grid");
+  }
+}
+
+TEST(ParallelTrainerTest, RunsAllCellsAllIterations) {
+  const TrainingConfig config = small_config(2, 3);
+  const auto dataset = make_matched_dataset(config, 100, 23);
+  ParallelTrainer trainer(config, dataset, 4);
+  const TrainOutcome outcome = trainer.run();
+  EXPECT_EQ(outcome.g_fitnesses.size(), 4u);
+  for (int cell = 0; cell < trainer.cells(); ++cell) {
+    EXPECT_EQ(trainer.cell(cell).iteration(), 3u);
+    EXPECT_TRUE(std::isfinite(outcome.g_fitnesses[cell]));
+  }
+  EXPECT_GT(outcome.wall_s, 0.0);
+  EXPECT_GT(outcome.train_flops, 0.0);
+}
+
+TEST(ParallelTrainerTest, LanesClampToCellCount) {
+  const TrainingConfig config = small_config(2, 1);
+  const auto dataset = make_matched_dataset(config, 100, 24);
+  ParallelTrainer trainer(config, dataset, 16);
+  EXPECT_EQ(trainer.lanes(), 4u);  // 2x2 grid: one lane per cell at most
+  const TrainOutcome outcome = trainer.run();
+  EXPECT_EQ(outcome.g_fitnesses.size(), 4u);
+}
+
+TEST(ParallelTrainerTest, ProfilerTotalsMatchSequential) {
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 25);
+  const WorkloadProbe probe = SequentialTrainer::measure_workload(config, dataset);
+  const CostModel cost = CostModel::calibrated(CostProfile::table3(), probe);
+  SequentialTrainer seq(config, dataset, cost);
+  ParallelTrainer par(config, dataset, 4, cost);
+  const TrainOutcome seq_outcome = seq.run();
+  const TrainOutcome par_outcome = par.run();
+  for (const char* routine :
+       {common::routine::kTrain, common::routine::kUpdateGenomes,
+        common::routine::kMutate, common::routine::kGather}) {
+    const double seq_vs = seq_outcome.profiler.cost(routine).virtual_s;
+    const double par_vs = par_outcome.profiler.cost(routine).virtual_s;
+    // Same charges summed in a different order: equal up to rounding.
+    EXPECT_NEAR(par_vs, seq_vs, 1e-9 * std::max(1.0, seq_vs)) << routine;
+    EXPECT_EQ(seq_outcome.profiler.cost(routine).calls,
+              par_outcome.profiler.cost(routine).calls)
+        << routine;
+  }
+  EXPECT_EQ(seq_outcome.train_flops, par_outcome.train_flops);
+}
+
+TEST(ParallelTrainerTest, VirtualMakespanShrinksWithLanes) {
+  // The "p cores" effect in virtual time: with the grid split across lanes,
+  // the per-epoch makespan is the max over lanes, so 4 lanes on a 2x2 grid
+  // should approach a 4x virtual speedup over the serial sum.
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 26);
+  const WorkloadProbe probe = SequentialTrainer::measure_workload(config, dataset);
+  const CostModel cost = CostModel::calibrated(CostProfile::table3(), probe);
+  SequentialTrainer seq(config, dataset, cost);
+  ParallelTrainer par(config, dataset, 4, cost);
+  const double seq_virtual = seq.run().virtual_s;
+  const double par_virtual = par.run().virtual_s;
+  EXPECT_GT(par_virtual, 0.0);
+  EXPECT_GT(seq_virtual / par_virtual, 2.0) << "no virtual speedup from lanes";
+  EXPECT_LE(par_virtual, seq_virtual);
+}
+
+TEST(ParallelTrainerTest, CheckpointInteropWithSequential) {
+  // A checkpoint taken from the sequential trainer resumes identically under
+  // the parallel trainer (and vice versa): the core machinery is shared.
+  const TrainingConfig config = small_config(2, 2);
+  const auto dataset = make_matched_dataset(config, 100, 27);
+  SequentialTrainer original(config, dataset);
+  (void)original.run();
+  const Checkpoint snapshot = original.checkpoint();
+
+  SequentialTrainer seq_resumed(config, dataset);
+  seq_resumed.restore(snapshot);
+  ParallelTrainer par_resumed(config, dataset, 2);
+  par_resumed.restore(snapshot);
+  const TrainOutcome seq_outcome = seq_resumed.run();
+  const TrainOutcome par_outcome = par_resumed.run();
+  expect_bit_identical(seq_outcome, par_outcome, "resumed run");
+  EXPECT_EQ(par_resumed.cell(0).iteration(), 4u);
+}
+
+TEST(ParallelTrainerTest, SelectableBehindCommonInterface) {
+  const TrainingConfig config = small_config(2, 1);
+  const auto dataset = make_matched_dataset(config, 100, 28);
+  for (const std::size_t threads : {1u, 2u}) {
+    std::unique_ptr<InProcessTrainer> trainer;
+    if (threads > 1) {
+      trainer = std::make_unique<ParallelTrainer>(config, dataset, threads);
+    } else {
+      trainer = std::make_unique<SequentialTrainer>(config, dataset);
+    }
+    const TrainOutcome outcome = trainer->run();
+    EXPECT_EQ(outcome.g_fitnesses.size(), 4u);
+    EXPECT_EQ(trainer->cells(), 4);
+  }
+}
+
+}  // namespace
+}  // namespace cellgan::core

@@ -66,6 +66,37 @@ TEST(FlopsTest, ThreadedMatmulStillChargesCaller) {
   common::set_global_pool_threads(1);
 }
 
+TEST(FlopsTest, ScopedCounterIsolatesASection) {
+  exchange_thread_flops();
+  count_flops(100);  // outer accumulation in flight
+  {
+    ScopedFlopsCounter section;
+    EXPECT_EQ(thread_flops(), 0u);  // section starts clean
+    count_flops(7);
+    EXPECT_EQ(section.taken(), 7u);
+  }
+  // Outer counter restored with the section's flops propagated on top.
+  EXPECT_EQ(thread_flops(), 107u);
+  exchange_thread_flops();
+}
+
+TEST(FlopsTest, ScopedCountersNest) {
+  exchange_thread_flops();
+  count_flops(1);
+  {
+    ScopedFlopsCounter outer;
+    count_flops(2);
+    {
+      ScopedFlopsCounter inner;
+      count_flops(4);
+      EXPECT_EQ(inner.taken(), 4u);
+    }
+    EXPECT_EQ(outer.taken(), 6u);  // inner section propagated outward
+  }
+  EXPECT_EQ(thread_flops(), 7u);
+  exchange_thread_flops();
+}
+
 TEST(FlopsTest, CountersAreThreadLocal) {
   exchange_thread_flops();
   count_flops(10);

@@ -89,6 +89,40 @@ TEST(OpsTest, MatmulNtEqualsMatmulWithTransposedB) {
   expect_near(matmul_nt(a, b), naive_matmul(a, bt), 1e-4f);
 }
 
+TEST(OpsTest, MatmulTnThreadedAndBlockedMatchesSerial) {
+  // Big enough to cross both the parallel_for row threshold and the l-block
+  // size, so the tiled path and the worker partitioning are exercised.
+  common::Rng rng(11);
+  Tensor a = Tensor::randn(100, 24, rng);  // (k x m)
+  Tensor b = Tensor::randn(100, 18, rng);
+  const Tensor serial = matmul_tn(a, b);
+  common::set_global_pool_threads(3);
+  const Tensor threaded = matmul_tn(a, b);
+  common::set_global_pool_threads(1);
+  expect_near(serial, threaded, 1e-5f);
+  Tensor at(24, 100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    for (std::size_t j = 0; j < 24; ++j) at.at(j, i) = a.at(i, j);
+  }
+  expect_near(serial, naive_matmul(at, b), 1e-3f);
+}
+
+TEST(OpsTest, MatmulNtThreadedAndTiledMatchesSerial) {
+  common::Rng rng(13);
+  Tensor a = Tensor::randn(40, 33, rng);
+  Tensor b = Tensor::randn(27, 33, rng);  // n = 27 exercises the 4-wide tail
+  const Tensor serial = matmul_nt(a, b);
+  common::set_global_pool_threads(3);
+  const Tensor threaded = matmul_nt(a, b);
+  common::set_global_pool_threads(1);
+  expect_near(serial, threaded, 1e-5f);
+  Tensor bt(33, 27);
+  for (std::size_t i = 0; i < 27; ++i) {
+    for (std::size_t j = 0; j < 33; ++j) bt.at(j, i) = b.at(i, j);
+  }
+  expect_near(serial, naive_matmul(a, bt), 1e-3f);
+}
+
 TEST(OpsDeathTest, MatmulShapeMismatchAborts) {
   Tensor a(2, 3), b(2, 2);
   EXPECT_DEATH((void)matmul(a, b), "precondition");
