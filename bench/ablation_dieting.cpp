@@ -6,45 +6,58 @@
 #include <algorithm>
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
 
-  common::CliParser cli("ablation_dieting: per-cell training-data fractions");
-  cli.add_flag("iterations", "12", "training epochs");
-  cli.add_flag("samples", "400", "synthetic training samples");
-  if (!cli.parse(argc, argv)) return 1;
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.grid_rows = defaults.config.grid_cols = 3;
+  defaults.config.iterations = 12;
+  defaults.config.batches_per_iteration = 2;
+  defaults.dataset.samples = 400;
+  auto spec = core::RunSpec::from_args(
+      argc, argv, "ablation_dieting: per-cell training-data fractions", defaults);
+  if (!spec) return 1;
+  if (!spec->result_json.empty()) {
+    std::fprintf(stderr, "note: --result-json is ignored by this sweep bench\n");
+    spec->result_json.clear();
+  }
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 3;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  config.batches_per_iteration = 2;
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  // Resolve the dataset once (with a clean error) and share it across the
+  // sweep points.
+  core::Session data_session(*spec);
+  if (!data_session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", data_session.error().c_str());
+    return 1;
+  }
+  const std::size_t dataset_size = data_session.train_set().size();
 
-  std::printf("ablation: data dieting on a 3x3 grid, %u iterations, %zu"
+  std::printf("ablation: data dieting on a %ux%u grid, %u iterations, %zu"
               " samples\n",
-              config.iterations, dataset.size());
+              spec->config.grid_rows, spec->config.grid_cols,
+              spec->config.iterations, dataset_size);
   std::printf("  %-10s | %16s | %12s %12s\n", "fraction", "samples/cell",
               "best G loss", "mean G loss");
   for (const double fraction : {1.0, 0.5, 0.25, 0.1}) {
-    config.data_dieting_fraction = fraction;
-    core::SequentialTrainer trainer(config, dataset);
-    const core::TrainOutcome outcome = trainer.run();
+    core::RunSpec run_spec = *spec;
+    run_spec.config.data_dieting_fraction = fraction;
+    core::Session session(run_spec);
+    session.set_datasets(data_session.train_set(), data_session.test_set());
+    const core::RunResult outcome = session.run();
     const double best = *std::min_element(outcome.g_fitnesses.begin(),
                                           outcome.g_fitnesses.end());
     double mean = 0.0;
     for (const double f : outcome.g_fitnesses) mean += f;
     mean /= outcome.g_fitnesses.size();
-    const auto per_cell = fraction >= 1.0
-                              ? dataset.size()
-                              : std::max<std::size_t>(
-                                    config.batch_size,
-                                    static_cast<std::size_t>(
-                                        fraction * static_cast<double>(dataset.size())));
+    const auto per_cell =
+        fraction >= 1.0
+            ? dataset_size
+            : std::max<std::size_t>(
+                  run_spec.config.batch_size,
+                  static_cast<std::size_t>(
+                      fraction * static_cast<double>(dataset_size)));
     std::printf("  %-10.2f | %16zu | %12.4f %12.4f\n", fraction, per_cell, best,
                 mean);
   }

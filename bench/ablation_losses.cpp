@@ -9,9 +9,7 @@
 #include <cmath>
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -23,11 +21,12 @@ struct LossResult {
   double spread = 0.0;
 };
 
-LossResult run_mode(core::TrainingConfig config, const data::Dataset& dataset,
-                    core::LossMode mode) {
-  config.loss_mode = mode;
-  core::SequentialTrainer trainer(config, dataset);
-  const core::TrainOutcome outcome = trainer.run();
+LossResult run_mode(core::RunSpec spec, core::LossMode mode,
+                    const data::Dataset& train, const data::Dataset& test) {
+  spec.config.loss_mode = mode;
+  core::Session session(spec);
+  session.set_datasets(train, test);
+  const core::RunResult outcome = session.run();
   LossResult result;
   result.best = *std::min_element(outcome.g_fitnesses.begin(),
                                   outcome.g_fitnesses.end());
@@ -45,26 +44,35 @@ LossResult run_mode(core::TrainingConfig config, const data::Dataset& dataset,
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::CliParser cli("ablation_losses: Lipizzaner vs Mustangs objectives");
-  cli.add_flag("iterations", "12", "training epochs");
-  cli.add_flag("samples", "300", "synthetic training samples");
-  if (!cli.parse(argc, argv)) return 1;
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.grid_rows = defaults.config.grid_cols = 3;
+  defaults.config.iterations = 12;
+  defaults.config.batches_per_iteration = 2;
+  defaults.dataset.samples = 300;
+  auto spec = core::RunSpec::from_args(
+      argc, argv, "ablation_losses: Lipizzaner vs Mustangs objectives", defaults);
+  if (!spec) return 1;
+  if (!spec->result_json.empty()) {
+    std::fprintf(stderr, "note: --result-json is ignored by this sweep bench\n");
+    spec->result_json.clear();
+  }
+  core::Session data_session(*spec);
+  if (!data_session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", data_session.error().c_str());
+    return 1;
+  }
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 3;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  config.batches_per_iteration = 2;
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
-
-  std::printf("ablation: adversarial objective on a 3x3 grid, %u iterations\n",
-              config.iterations);
+  std::printf("ablation: adversarial objective on a %ux%u grid, %u iterations\n",
+              spec->config.grid_rows, spec->config.grid_cols,
+              spec->config.iterations);
   std::printf("  %-16s | %12s %12s %12s\n", "objective", "best G loss",
               "mean G loss", "cell spread");
   for (const core::LossMode mode :
        {core::LossMode::kHeuristic, core::LossMode::kMinimax,
         core::LossMode::kLeastSquares, core::LossMode::kMustangs}) {
-    const LossResult r = run_mode(config, dataset, mode);
+    const LossResult r = run_mode(*spec, mode, data_session.train_set(),
+                                  data_session.test_set());
     std::printf("  %-16s | %12.4f %12.4f %12.4f\n", core::to_string(mode), r.best,
                 r.mean, r.spread);
   }

@@ -9,10 +9,8 @@
 #include <cstdio>
 #include <numeric>
 
-#include "common/cli.hpp"
 #include "core/comm_manager.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -103,20 +101,38 @@ AblationResult run_topology(const core::TrainingConfig& config,
 }  // namespace
 
 int main(int argc, char** argv) {
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.grid_rows = defaults.config.grid_cols = 4;
+  defaults.config.iterations = 10;
+  defaults.config.batches_per_iteration = 2;
+  defaults.dataset.samples = 300;
   common::CliParser cli("ablation_neighborhood: sub-population size sweep");
-  cli.add_flag("iterations", "10", "training epochs");
-  cli.add_flag("samples", "300", "synthetic training samples");
+  core::RunSpec::add_flags(cli, defaults);
   if (!cli.parse(argc, argv)) return 1;
+  const auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 4;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  config.batches_per_iteration = 2;
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  // The topology sweep drives Grid/CellTrainer directly; flags and dataset
+  // resolution come from the shared RunSpec/Session machinery. Flags that
+  // only steer a Session backend have nothing to act on here.
+  for (const char* flag : {"backend", "threads", "cost-profile", "result-json"}) {
+    if (cli.was_set(flag)) {
+      std::fprintf(stderr,
+                   "note: --%s is ignored (this sweep drives the grid directly)\n",
+                   flag);
+    }
+  }
+  const core::TrainingConfig& config = spec->config;
+  core::Session session(*spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  const data::Dataset& dataset = session.train_set();
 
-  std::printf("ablation: neighborhood topology on a 4x4 grid, %u iterations\n",
-              config.iterations);
+  std::printf("ablation: neighborhood topology on a %ux%u grid, %u iterations\n",
+              config.grid_rows, config.grid_cols, config.iterations);
   std::printf("  %-10s %6s | %12s %12s | %16s\n", "topology", "s", "best G loss",
               "mean G loss", "KB/iteration");
   for (const char* topology : {"isolated", "ring", "moore5", "moore9"}) {

@@ -7,10 +7,7 @@
 // linear payload/time relation the NetModel charges.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -19,48 +16,65 @@ using namespace cellgan;
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::CliParser cli("ablation_payload: genome size vs gather time");
-  cli.add_flag("iterations", "10", "training epochs");
-  cli.add_flag("samples", "200", "synthetic training samples");
-  if (!cli.parse(argc, argv)) return 1;
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.arch.hidden_dim = 16;
+  defaults.config.grid_rows = defaults.config.grid_cols = 3;
+  defaults.config.iterations = 10;
+  defaults.dataset.samples = 200;
+  defaults.backend = core::Backend::kDistributed;
+  auto spec = core::RunSpec::from_args(
+      argc, argv, "ablation_payload: genome size vs gather time", defaults);
+  if (!spec) return 1;
+  if (!spec->result_json.empty()) {
+    std::fprintf(stderr, "note: --result-json is ignored by this sweep bench\n");
+    spec->result_json.clear();
+  }
 
-  // Calibrate ONCE at a reference width, then hold the network model fixed
+  // Calibrate ONCE at the reference width, then hold the network model fixed
   // while the payload sweeps — otherwise per-width recalibration would hide
-  // the effect by construction.
-  const auto iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto samples = static_cast<std::size_t>(cli.get_int("samples"));
-  core::TrainingConfig reference = core::TrainingConfig::tiny();
-  reference.arch.hidden_dim = 16;
-  reference.grid_rows = reference.grid_cols = 3;
-  reference.iterations = iterations;
-  const auto reference_dataset = core::make_matched_dataset(reference, samples, 7);
-  const core::WorkloadProbe reference_probe =
-      core::SequentialTrainer::measure_workload(reference, reference_dataset);
+  // the effect by construction. The custom profile (jitter zeroed to isolate
+  // the payload effect) goes in through Session::set_cost_model.
+  core::Session reference_session(*spec);
+  if (!reference_session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", reference_session.error().c_str());
+    return 1;
+  }
+  const core::WorkloadProbe reference_probe = core::TrainerCore::measure_workload(
+      spec->config, reference_session.train_set());
   core::CostProfile profile = core::CostProfile::table3();
-  profile.reference_iterations = static_cast<double>(iterations);
+  profile.reference_iterations = static_cast<double>(spec->config.iterations);
   profile.straggler_sigma = 0.0;  // isolate the payload effect
   profile.node_sigma = 0.0;
-  const core::CostModel cost = core::CostModel::calibrated(profile, reference_probe);
+  const core::CostModel cost =
+      core::CostModel::calibrated(profile, reference_probe);
 
-  std::printf("ablation: exchange payload vs gather cost (3x3 grid, fixed"
-              " network model)\n");
+  std::printf("ablation: exchange payload vs gather cost (%ux%u grid, fixed"
+              " network model)\n", spec->config.grid_rows, spec->config.grid_cols);
   std::printf("  %-12s | %14s | %20s | %18s\n", "hidden dim", "genome (KB)",
               "gather (min/run)", "min per MB-iter");
 
   for (const std::size_t hidden : {8u, 16u, 32u, 64u}) {
-    core::TrainingConfig config = reference;
-    config.arch.hidden_dim = hidden;
-    const auto dataset = core::make_matched_dataset(config, samples, 7);
-    const core::WorkloadProbe probe =
-        core::SequentialTrainer::measure_workload(config, dataset);
-
-    const core::DistributedOutcome outcome =
-        core::run_distributed(config, dataset, cost);
+    core::RunSpec run_spec = *spec;
+    run_spec.config.arch.hidden_dim = hidden;
+    core::Session session(run_spec);
+    session.set_cost_model(cost);
+    // The dataset depends only on the image dimension, which the sweep holds
+    // fixed — share the reference session's copy.
+    session.set_datasets(reference_session.train_set(),
+                         reference_session.test_set());
+    if (!session.prepare()) {
+      std::fprintf(stderr, "error: %s\n", session.error().c_str());
+      return 1;
+    }
+    const core::WorkloadProbe probe = core::TrainerCore::measure_workload(
+        run_spec.config, session.train_set());
+    const core::RunResult outcome = session.run();
     const double gather_min =
         outcome.slave_routine_virtual_min(common::routine::kGather);
     const double genome_kb = probe.genome_bytes / 1024.0;
     const double mb_iter = probe.genome_bytes / (1024.0 * 1024.0) *
-                           static_cast<double>(config.iterations);
+                           static_cast<double>(run_spec.config.iterations);
     std::printf("  %-12zu | %14.1f | %20.3f | %18.3f\n", hidden, genome_kb,
                 gather_min, gather_min / mb_iter);
   }

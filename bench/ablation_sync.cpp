@@ -11,62 +11,69 @@
 #include <cstdio>
 #include <vector>
 
-#include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
 using namespace cellgan;
 
-double run_with_sigma(core::TrainingConfig config, const data::Dataset& dataset,
-                      const core::WorkloadProbe& probe, double sigma,
-                      core::ExchangeMode mode) {
-  config.exchange_mode = mode;
+double run_with_sigma(core::RunSpec spec, const core::WorkloadProbe& probe,
+                      const data::Dataset& train, const data::Dataset& test,
+                      double sigma, core::ExchangeMode mode) {
+  spec.config.exchange_mode = mode;
   core::CostProfile profile = core::CostProfile::table3();
-  profile.reference_iterations = static_cast<double>(config.iterations);
+  profile.reference_iterations = static_cast<double>(spec.config.iterations);
   profile.straggler_sigma = sigma;
   profile.node_sigma = 0.0;  // isolate per-iteration noise
-  const core::CostModel cost = core::CostModel::calibrated(profile, probe);
-  const core::DistributedOutcome outcome =
-      core::run_distributed(config, dataset, cost);
-  return outcome.virtual_makespan_s / 60.0;
+  core::Session session(spec);
+  session.set_cost_model(core::CostModel::calibrated(profile, probe));
+  session.set_datasets(train, test);
+  return session.run().virtual_s / 60.0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  common::CliParser cli("ablation_sync: straggler jitter vs makespan");
-  cli.add_flag("iterations", "20", "training epochs");
-  cli.add_flag("samples", "200", "synthetic training samples");
-  cli.add_flag("grid", "3", "grid side");
-  if (!cli.parse(argc, argv)) return 1;
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.grid_rows = defaults.config.grid_cols = 3;
+  defaults.config.iterations = 20;
+  defaults.dataset.samples = 200;
+  defaults.backend = core::Backend::kDistributed;
+  auto spec = core::RunSpec::from_args(
+      argc, argv, "ablation_sync: straggler jitter vs makespan", defaults);
+  if (!spec) return 1;
+  if (!spec->result_json.empty()) {
+    std::fprintf(stderr, "note: --result-json is ignored by this sweep bench\n");
+    spec->result_json.clear();
+  }
+  const core::TrainingConfig& config = spec->config;
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(cli.get_int("grid"));
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
-  const core::WorkloadProbe probe =
-      core::SequentialTrainer::measure_workload(config, dataset);
+  core::Session probe_session(*spec);
+  if (!probe_session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", probe_session.error().c_str());
+    return 1;
+  }
+  const data::Dataset& train = probe_session.train_set();
+  const data::Dataset& test = probe_session.test_set();
+  const core::WorkloadProbe probe = core::TrainerCore::measure_workload(config, train);
 
   std::printf("ablation: exchange mode under straggler noise (%ux%u grid,"
               " %u iterations)\n",
               config.grid_rows, config.grid_cols, config.iterations);
-  const double sync_base =
-      run_with_sigma(config, dataset, probe, 0.0, core::ExchangeMode::kAllgather);
-  const double async_base = run_with_sigma(config, dataset, probe, 0.0,
+  const double sync_base = run_with_sigma(*spec, probe, train, test, 0.0,
+                                          core::ExchangeMode::kAllgather);
+  const double async_base = run_with_sigma(*spec, probe, train, test, 0.0,
                                            core::ExchangeMode::kAsyncNeighbors);
   std::printf("  %-8s | %16s %10s | %16s %10s\n", "sigma", "allgather(min)",
               "slowdown", "async(min)", "slowdown");
   std::printf("  %-8.2f | %16.2f %10s | %16.2f %10s\n", 0.0, sync_base, "1.000x",
               async_base, "1.000x");
   for (const double sigma : {0.02, 0.05, 0.1, 0.2, 0.4}) {
-    const double sync_makespan =
-        run_with_sigma(config, dataset, probe, sigma, core::ExchangeMode::kAllgather);
+    const double sync_makespan = run_with_sigma(
+        *spec, probe, train, test, sigma, core::ExchangeMode::kAllgather);
     const double async_makespan = run_with_sigma(
-        config, dataset, probe, sigma, core::ExchangeMode::kAsyncNeighbors);
+        *spec, probe, train, test, sigma, core::ExchangeMode::kAsyncNeighbors);
     std::printf("  %-8.2f | %16.2f %9.3fx | %16.2f %9.3fx\n", sigma, sync_makespan,
                 sync_makespan / sync_base, async_makespan,
                 async_makespan / async_base);

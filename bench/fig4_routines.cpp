@@ -6,9 +6,7 @@
 #include <string>
 
 #include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -29,22 +27,22 @@ int main(int argc, char** argv) {
   cli.add_flag("samples", "200", "synthetic training samples");
   if (!cli.parse(argc, argv)) return 1;
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 4;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  core::RunSpec spec;
+  spec.config = core::TrainingConfig::tiny();
+  spec.config.grid_rows = spec.config.grid_cols = 4;
+  spec.config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
+  spec.dataset.samples = static_cast<std::size_t>(cli.get_int("samples"));
+  spec.cost_profile = core::CostProfileKind::kTable4;
 
-  const core::WorkloadProbe probe =
-      core::SequentialTrainer::measure_workload(config, dataset);
-  core::CostProfile profile = core::CostProfile::table4();
-  profile.reference_iterations = static_cast<double>(config.iterations);
-  const core::CostModel cost = core::CostModel::calibrated(profile, probe);
+  core::Session seq_session(spec);
+  const core::RunResult seq_outcome = seq_session.run();
 
-  core::SequentialTrainer seq(config, dataset, cost);
-  const core::TrainOutcome seq_outcome = seq.run();
-  const core::DistributedOutcome dist_outcome =
-      core::run_distributed(config, dataset, cost);
+  core::RunSpec dist_spec = spec;
+  dist_spec.backend = core::Backend::kDistributed;
+  core::Session dist_session(dist_spec);
+  dist_session.set_cost_model(seq_session.cost_model());
+  dist_session.set_datasets(seq_session.train_set(), seq_session.test_set());
+  const core::RunResult dist_outcome = dist_session.run();
 
   struct Series {
     const char* name;

@@ -23,10 +23,7 @@
 #include <vector>
 
 #include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/parallel_trainer.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -49,32 +46,36 @@ struct GridResult {
 
 GridResult run_grid(int side, std::uint32_t iterations, int repetitions,
                     std::size_t samples, std::size_t threads) {
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(side);
-  config.iterations = iterations;
-  const auto dataset = core::make_matched_dataset(config, samples, 7);
-
-  // Calibrate the cost model on this exact configuration: the probe measures
-  // real flops/bytes per cell-iteration, the profile holds the paper's
-  // targets normalized to this run's iteration count.
-  const core::WorkloadProbe probe =
-      core::SequentialTrainer::measure_workload(config, dataset);
-  core::CostProfile profile = core::CostProfile::table3();
-  profile.reference_iterations = static_cast<double>(iterations);
-  const core::CostModel cost = core::CostModel::calibrated(profile, probe);
+  core::RunSpec spec;
+  spec.config = core::TrainingConfig::tiny();
+  spec.config.grid_rows = spec.config.grid_cols = static_cast<std::uint32_t>(side);
+  spec.config.iterations = iterations;
+  spec.dataset.samples = samples;
+  // The table3 profile calibrates the cost model on this exact configuration:
+  // the probe measures real flops/bytes per cell-iteration, the targets are
+  // normalized to this run's iteration count (Session does both).
+  spec.cost_profile = core::CostProfileKind::kTable3;
 
   GridResult result;
   result.side = side;
 
-  core::SequentialTrainer seq(config, dataset, cost);
-  const core::TrainOutcome seq_outcome = seq.run();
+  core::Session seq_session(spec);
+  const core::RunResult seq_outcome = seq_session.run();
   result.seq_virtual_min = seq_outcome.virtual_s / 60.0;
   result.seq_wall_s = seq_outcome.wall_s;
   result.seq_train_flops = seq_outcome.train_flops;
+  // Calibrate and resolve the dataset once; the multithread and distributed
+  // sessions share both.
+  const core::CostModel cost = seq_session.cost_model();
 
   if (threads > 1) {
-    core::ParallelTrainer par(config, dataset, threads, cost);
-    const core::TrainOutcome mt_outcome = par.run();
+    core::RunSpec mt_spec = spec;
+    mt_spec.backend = core::Backend::kThreads;
+    mt_spec.threads = threads;
+    core::Session mt_session(mt_spec);
+    mt_session.set_cost_model(cost);
+    mt_session.set_datasets(seq_session.train_set(), seq_session.test_set());
+    const core::RunResult mt_outcome = mt_session.run();
     result.mt_virtual_min = mt_outcome.virtual_s / 60.0;
     result.mt_wall_s = mt_outcome.wall_s;
     result.mt_train_flops = mt_outcome.train_flops;
@@ -93,11 +94,14 @@ GridResult run_grid(int side, std::uint32_t iterations, int repetitions,
   std::vector<double> dist_minutes;
   double wall_total = 0.0;
   for (int rep = 0; rep < repetitions; ++rep) {
-    core::TrainingConfig rep_config = config;
-    rep_config.seed = config.seed + 1000 + static_cast<std::uint64_t>(rep);
-    const core::DistributedOutcome outcome =
-        core::run_distributed(rep_config, dataset, cost);
-    dist_minutes.push_back(outcome.virtual_makespan_s / 60.0);
+    core::RunSpec rep_spec = spec;
+    rep_spec.backend = core::Backend::kDistributed;
+    rep_spec.config.seed = spec.config.seed + 1000 + static_cast<std::uint64_t>(rep);
+    core::Session rep_session(rep_spec);
+    rep_session.set_cost_model(cost);
+    rep_session.set_datasets(seq_session.train_set(), seq_session.test_set());
+    const core::RunResult outcome = rep_session.run();
+    dist_minutes.push_back(outcome.virtual_s / 60.0);
     wall_total += outcome.wall_s;
   }
   double sum = 0.0;

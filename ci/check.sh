@@ -4,8 +4,9 @@
 #   ci/check.sh [--bench] [build-dir]
 #
 # --bench additionally runs the perf bed at reduced scale and records the
-# numbers (BENCH_parallel.json in the build dir, plus Google-Benchmark JSON
-# for micro_tensor when it was built), so perf PRs can show deltas.
+# numbers (BENCH_parallel.json and the unified-runner RunResult
+# BENCH_session.json in the build dir, plus Google-Benchmark JSON for
+# micro_tensor when it was built), so perf PRs can show deltas.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -39,6 +40,10 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   BENCH_THREADS=$(( JOBS < 2 ? 2 : JOBS ))
   ./bench/table3_scaling --iterations 4 --repetitions 2 --samples 64 \
     --threads "$BENCH_THREADS" --json "$BUILD/BENCH_parallel.json"
+  echo "=== bench: unified runner (threads backend) -> BENCH_session.json ==="
+  ./examples/cellgan_run --backend threads --threads "$BENCH_THREADS" \
+    --iterations 4 --grid 2 --samples 64 --cost-profile table3 \
+    --result-json "$BUILD/BENCH_session.json"
   if [ -x ./bench/micro_tensor ]; then
     echo "=== bench: micro_tensor -> BENCH_micro_tensor.json ==="
     ./bench/micro_tensor --benchmark_min_time=0.05 \

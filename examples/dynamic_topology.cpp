@@ -11,12 +11,9 @@
 //      halfway through — exercising Grid::set_neighbors while training runs.
 #include <cstdio>
 
-#include "common/cli.hpp"
 #include "core/comm_manager.hpp"
-#include "core/config.hpp"
 #include "core/grid.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 
 namespace {
 
@@ -73,31 +70,52 @@ void make_moore5(core::Grid& grid) { grid.reset_default_neighborhoods(); }
 }  // namespace
 
 int main(int argc, char** argv) {
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.grid_rows = defaults.config.grid_cols = 3;
+  defaults.config.iterations = 10;
   common::CliParser cli("dynamic_topology: neighborhood rewiring during training");
-  cli.add_flag("iterations", "10", "training epochs");
-  cli.add_flag("samples", "600", "synthetic training samples");
+  core::RunSpec::add_flags(cli, defaults);
   if (!cli.parse(argc, argv)) return 1;
+  const auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 3;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  // The rewiring loop drives Grid/CellTrainer directly (the whole point of
+  // the demo), but the flags and the dataset resolution come from the same
+  // RunSpec/Session machinery as every other program. Flags that only steer
+  // a Session backend have nothing to act on here — say so instead of
+  // silently accepting them.
+  for (const char* flag : {"backend", "threads", "cost-profile", "result-json"}) {
+    if (cli.was_set(flag)) {
+      std::fprintf(stderr,
+                   "note: --%s is ignored (this demo drives the grid directly)\n",
+                   flag);
+    }
+  }
+  const core::TrainingConfig& config = spec->config;
+  core::Session session(*spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  const data::Dataset& dataset = session.train_set();
 
+  const int rows = static_cast<int>(config.grid_rows);
+  const int cols = static_cast<int>(config.grid_cols);
   std::printf("1) static five-cell toroidal neighborhoods\n");
-  core::Grid moore(3, 3);
+  core::Grid moore(rows, cols);
   const double loss_moore =
       train_with_topology(config, dataset, moore, 0, nullptr);
   std::printf("   best G loss: %.4f\n", loss_moore);
 
   std::printf("2) static ring neighborhoods (E/W only)\n");
-  core::Grid ring(3, 3);
+  core::Grid ring(rows, cols);
   make_ring(ring);
   const double loss_ring = train_with_topology(config, dataset, ring, 0, nullptr);
   std::printf("   best G loss: %.4f\n", loss_ring);
 
   std::printf("3) dynamic: ring for the first half, Moore-5 afterwards\n");
-  core::Grid dynamic(3, 3);
+  core::Grid dynamic(rows, cols);
   make_ring(dynamic);
   const double loss_dynamic = train_with_topology(
       config, dataset, dynamic, config.iterations / 2, make_moore5);

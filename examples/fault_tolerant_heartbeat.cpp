@@ -9,35 +9,38 @@
 #include <atomic>
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
+#include "core/session.hpp"
 #include "core/slave.hpp"
-#include "core/workload.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
 
-  common::CliParser cli("fault_tolerant_heartbeat: slave monitoring demo");
-  cli.add_flag("iterations", "6", "training epochs");
-  cli.add_flag("samples", "400", "synthetic training samples");
-  if (!cli.parse(argc, argv)) return 1;
-
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.grid_rows = config.grid_cols = 2;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.iterations = 6;
+  defaults.dataset.samples = 400;
+  defaults.backend = core::Backend::kDistributed;
+  const auto spec = core::RunSpec::from_args(
+      argc, argv, "fault_tolerant_heartbeat: slave monitoring demo", defaults);
+  if (!spec) return 1;
+  core::TrainingConfig config = spec->config;
 
   // --- Part 1: healthy run, fast heartbeat --------------------------------
   std::printf("part 1: healthy 2x2 distributed run with heartbeat monitoring\n");
   core::Master::Options options;
   options.heartbeat.interval_s = 0.01;
   options.heartbeat.reply_timeout_s = 0.05;
-  const auto outcome = core::run_distributed(config, dataset, core::CostModel{},
-                                             options);
+  core::Session session(*spec);
+  session.set_master_options(options);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  const data::Dataset& dataset = session.train_set();
+  const auto outcome = session.run();
   std::printf("  completed: best cell %d, heartbeat cycles %llu\n",
-              outcome.master.best_cell,
-              static_cast<unsigned long long>(outcome.master.heartbeat_cycles));
+              outcome.best_cell,
+              static_cast<unsigned long long>(outcome.heartbeat_cycles));
 
   // --- Part 2: a slave goes silent -----------------------------------------
   std::printf("part 2: slave stops answering heartbeats mid-training\n");

@@ -6,50 +6,56 @@
 // natively at any resolution; this example trains the cellular GAN on
 // 32x32 (1024-pixel) images — larger than MNIST's 784 — exercising exactly
 // the scaling path the paper proposes: only the architecture configuration
-// changes, the training harness is untouched.
+// changes; the run goes through the same core::Session facade as every
+// other workload (pick --backend threads to use more cores).
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 #include "data/pgm.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
 
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.iterations = 10;
+  defaults.config.batch_size = 32;
+  defaults.config.fitness_eval_samples = 32;
+  defaults.config.batches_per_iteration = 2;
+  defaults.dataset.samples = 500;
+  defaults.dataset.seed = 11;
+
   common::CliParser cli("highres_cellular: 32x32 generation (future work)");
+  core::RunSpec::add_flags(cli, defaults);
   cli.add_flag("side", "32", "image side length (>= 28 exceeds MNIST)");
-  cli.add_flag("iterations", "10", "training epochs");
-  cli.add_flag("samples", "500", "synthetic training samples");
   cli.add_flag("out", "highres_samples.pgm", "output sample sheet");
   if (!cli.parse(argc, argv)) return 1;
+  auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
 
   const auto side = static_cast<std::size_t>(cli.get_int("side"));
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.arch.latent_dim = 32;
-  config.arch.hidden_dim = 96;
-  config.arch.image_dim = side * side;
-  config.batch_size = 32;
-  config.fitness_eval_samples = 32;
-  config.grid_rows = config.grid_cols = 2;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  config.batches_per_iteration = 2;
+  spec->config.arch.latent_dim = 32;
+  spec->config.arch.hidden_dim = 96;
+  spec->config.arch.image_dim = side * side;
 
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 11);
-  std::printf("training 2x2 grid on %zux%zu images (%zu pixels), %u epochs\n",
-              side, side, config.arch.image_dim, config.iterations);
+  core::Session session(*spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("training %ux%u grid on %zux%zu images (%zu pixels), %u epochs\n",
+              spec->config.grid_rows, spec->config.grid_cols, side, side,
+              spec->config.arch.image_dim, spec->config.iterations);
   std::printf("generator parameters: %zu, discriminator: %zu\n",
-              config.arch.generator_parameter_count(),
-              config.arch.discriminator_parameter_count());
+              spec->config.arch.generator_parameter_count(),
+              spec->config.arch.discriminator_parameter_count());
 
-  core::SequentialTrainer trainer(config, dataset);
-  const core::TrainOutcome outcome = trainer.run();
+  const core::RunResult outcome = session.run();
   std::printf("done in %.2fs wall; best cell %d (G loss %.4f)\n", outcome.wall_s,
-              outcome.best_cell, outcome.g_fitnesses[outcome.best_cell]);
+              outcome.best_cell,
+              outcome.g_fitnesses[static_cast<std::size_t>(outcome.best_cell)]);
 
-  const tensor::Tensor samples =
-      trainer.cell(outcome.best_cell).sample_from_mixture(9);
+  const tensor::Tensor samples = session.sample_best(outcome, 9);
   std::printf("sample (ASCII, %zux%zu):\n%s", side, side,
               data::ascii_art_sized(samples.row_span(0), side).c_str());
   if (data::write_pgm_grid_sized(cli.get("out"), samples.data(), 9, 3, side)) {

@@ -1,72 +1,63 @@
 // Train briefly, then use the final product the way a downstream user would:
-// reconstruct the best neighborhood's generator mixture from the master's
-// collected results and generate a sheet of samples from it — the
-// "generative model returned ... defined by the sub-population with the
-// highest quality" (Section II.B).
+// sample a sheet of images from the best neighborhood's generator mixture —
+// the "generative model returned ... defined by the sub-population with the
+// highest quality" (Section II.B). The whole flow goes through the
+// core::Session facade: train on the distributed backend, then
+// Session::sample_best reconstructs the mixture from the master's collected
+// center genomes and evolved mixture weights.
 #include <cstdio>
 
-#include "common/cli.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/mixture.hpp"
-#include "core/workload.hpp"
+#include "core/grid.hpp"
+#include "core/session.hpp"
 #include "data/pgm.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
 
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.arch = nn::GanArch::paper();  // full 28x28 images for viewing
+  defaults.config.batch_size = 50;
+  defaults.config.iterations = 8;
+  defaults.backend = core::Backend::kDistributed;
+
   common::CliParser cli("mixture_inference: sample from the returned mixture");
-  cli.add_flag("iterations", "8", "training epochs");
-  cli.add_flag("samples", "600", "synthetic training samples");
+  core::RunSpec::add_flags(cli, defaults);
   cli.add_flag("count", "16", "images to generate");
   cli.add_flag("out", "mixture_samples.pgm", "output PGM");
   if (!cli.parse(argc, argv)) return 1;
+  const auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
 
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.arch = nn::GanArch::paper();  // full 28x28 images for viewing
-  config.batch_size = 50;
-  config.grid_rows = config.grid_cols = 2;
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), 7);
+  core::Session session(*spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("training %ux%u grid (paper architecture), %u iterations...\n",
+              spec->config.grid_rows, spec->config.grid_cols,
+              spec->config.iterations);
+  const core::RunResult outcome = session.run();
 
-  std::printf("training 2x2 grid (paper architecture), %u iterations...\n",
-              config.iterations);
-  const auto outcome = core::run_distributed(config, dataset);
-
-  // The master's reduction returns the best cell; its neighborhood on the
-  // 2x2 torus is {center, the two distinct neighbors}. Reassemble the
-  // mixture from the collected center genomes.
-  const int best = outcome.master.best_cell;
-  core::Grid grid(static_cast<int>(config.grid_rows),
-                  static_cast<int>(config.grid_cols));
-  const auto members = grid.neighborhood_of(best);
-  std::printf("best cell: %d, neighborhood:", best);
+  // The reduction returns the best cell; its neighborhood on the torus is the
+  // mixture Session::sample_best reassembles.
+  core::Grid grid(static_cast<int>(spec->config.grid_rows),
+                  static_cast<int>(spec->config.grid_cols));
+  const auto members = grid.neighborhood_of(outcome.best_cell);
+  std::printf("best cell: %d, neighborhood:", outcome.best_cell);
   for (const int m : members) std::printf(" %d", m);
   std::printf("\n");
-
-  common::Rng rng(config.seed ^ 0xabcdULL);
-  std::vector<nn::Sequential> generators;
-  generators.reserve(members.size());
-  for (const int member : members) {
-    generators.push_back(nn::make_generator(config.arch, rng));
-    generators.back().load_parameters(
-        outcome.master.results[member].center.generator_params);
+  if (outcome.distributed()) {
+    const auto& weights =
+        outcome.cell_results[static_cast<std::size_t>(outcome.best_cell)]
+            .mixture_weights;
+    std::printf("mixture weights:");
+    for (const double w : weights) std::printf(" %.3f", w);
+    std::printf("\n");
   }
-  std::vector<nn::Sequential*> generator_ptrs;
-  for (auto& g : generators) generator_ptrs.push_back(&g);
 
-  core::MixtureWeights weights(members.size());
-  const auto& evolved = outcome.master.results[best].mixture_weights;
-  if (evolved.size() == members.size()) {
-    weights.set_weights(evolved);
-  }
-  std::printf("mixture weights:");
-  for (const double w : weights.weights()) std::printf(" %.3f", w);
-  std::printf("\n");
-
-  const std::size_t count = static_cast<std::size_t>(cli.get_int("count"));
-  const tensor::Tensor samples = core::sample_mixture(
-      weights, generator_ptrs, config.arch.latent_dim, count, rng);
+  const auto count = static_cast<std::size_t>(cli.get_int("count"));
+  const tensor::Tensor samples = session.sample_best(outcome, count);
   std::printf("sample (ASCII):\n%s", data::ascii_art(samples.row_span(0)).c_str());
   if (data::write_pgm_grid(cli.get("out"), samples.data(), count, 4)) {
     std::printf("wrote %s\n", cli.get("out").c_str());

@@ -1,88 +1,87 @@
 // Quickstart: train a 2x2 cellular GAN grid on the synthetic MNIST stand-in
-// with both execution modes, then print the per-cell losses and an ASCII
-// sample from the best cell's mixture.
+// through the unified core::Session facade, then print the per-cell losses
+// and an ASCII sample from the best cell's mixture.
 //
-//   ./quickstart [--iterations N] [--grid 2] [--samples 4] [--threads T]
+//   ./quickstart [--iterations N] [--grid 2] [--samples 600] [--threads T]
+//                [--backend sequential|threads|distributed]
 //
 // Runs in well under a minute on a laptop: the example uses the tiny network
 // architecture; switch to --paper-arch to train the paper's full MLPs.
-// --threads T > 1 swaps the in-process trainer for the ThreadPool-backed
-// ParallelTrainer (same results, bit for bit — cells keep private rng
-// streams and exchange through the epoch-staged genome store).
+// --threads T > 1 selects the ThreadPool-backed threads backend (same
+// results, bit for bit — cells keep private rng streams and exchange through
+// the epoch-staged genome store). --distributed additionally replays the run
+// on the master/slave backend.
 #include <cstdio>
-#include <memory>
 
-#include "common/cli.hpp"
-#include "common/log.hpp"
-#include "core/distributed_trainer.hpp"
-#include "core/parallel_trainer.hpp"
-#include "core/sequential_trainer.hpp"
-#include "core/workload.hpp"
+#include "core/session.hpp"
 #include "data/pgm.hpp"
 #include "tensor/ops.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
 
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.iterations = 8;
+  defaults.threads = 1;
+
   common::CliParser cli("quickstart: minimal cellular GAN training run");
-  cli.add_flag("iterations", "8", "training epochs");
-  cli.add_flag("grid", "2", "grid side (grid x grid cells)");
-  cli.add_flag("samples", "600", "synthetic training samples");
-  cli.add_flag("paper-arch", "false", "use the paper's full-size MLPs");
-  cli.add_flag("threads", "1",
-               "worker threads for the in-process trainer (>1 = parallel)");
+  core::RunSpec::add_flags(cli, defaults);
   cli.add_flag("distributed", "true", "also run the master/slave version");
   if (!cli.parse(argc, argv)) return 1;
-
-  core::TrainingConfig config = core::TrainingConfig::tiny();
-  config.iterations = static_cast<std::uint32_t>(cli.get_int("iterations"));
-  config.grid_rows = config.grid_cols = static_cast<std::uint32_t>(cli.get_int("grid"));
-  if (cli.get_bool("paper-arch")) {
-    config.arch = nn::GanArch::paper();
-    config.batch_size = 100;
+  auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
+  // Convenience: `--threads T > 1` without an explicit backend means "run the
+  // in-process grid on T worker lanes".
+  if (spec->threads > 1 && !cli.was_set("backend")) {
+    spec->backend = core::Backend::kThreads;
   }
 
-  const auto dataset = core::make_matched_dataset(
-      config, static_cast<std::size_t>(cli.get_int("samples")), /*seed=*/7);
-  std::printf("dataset: %zu samples, %zu pixels each\n", dataset.size(),
-              static_cast<std::size_t>(dataset.images.cols()));
-
-  // --- in-process cellular training (the paper's baseline; --threads > 1
-  // steps the cells concurrently on a thread pool) --------------------------
-  const auto threads = static_cast<std::size_t>(cli.get_int("threads"));
-  std::unique_ptr<core::InProcessTrainer> trainer_ptr;
-  if (threads > 1) {
-    trainer_ptr = std::make_unique<core::ParallelTrainer>(config, dataset, threads);
-  } else {
-    trainer_ptr = std::make_unique<core::SequentialTrainer>(config, dataset);
+  core::Session session(*spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
   }
-  core::InProcessTrainer& trainer = *trainer_ptr;
-  const core::TrainOutcome outcome = trainer.run();
-  std::printf("\n%s run: %.2fs wall\n",
-              threads > 1 ? "multithread" : "single-core", outcome.wall_s);
-  for (int cell = 0; cell < trainer.cells(); ++cell) {
-    const auto coord = trainer.grid().coords_of(cell);
-    std::printf("  cell (%d,%d): G loss %.4f | D loss %.4f | G lr %.6f\n",
-                coord.row, coord.col, outcome.g_fitnesses[cell],
-                outcome.d_fitnesses[cell], trainer.cell(cell).g_learning_rate());
+  std::printf("dataset: %zu samples, %zu pixels each\n",
+              session.train_set().size(),
+              static_cast<std::size_t>(session.train_set().images.cols()));
+
+  // --- cellular training through the facade --------------------------------
+  const core::RunResult outcome = session.run();
+  std::printf("\n%s run: %.2fs wall\n", core::to_string(outcome.backend),
+              outcome.wall_s);
+  core::InProcessTrainer* trainer = session.trainer();
+  for (std::size_t cell = 0; cell < outcome.g_fitnesses.size(); ++cell) {
+    std::printf("  cell %zu: G loss %.4f | D loss %.4f", cell,
+                outcome.g_fitnesses[cell], outcome.d_fitnesses[cell]);
+    if (trainer != nullptr) {
+      std::printf(" | G lr %.6f",
+                  trainer->cell(static_cast<int>(cell)).g_learning_rate());
+    }
+    std::printf("\n");
   }
   std::printf("best cell: %d\n", outcome.best_cell);
 
   // --- the same training, distributed over master + one slave per cell -----
-  if (cli.get_bool("distributed")) {
-    const core::DistributedOutcome dist = core::run_distributed(config, dataset);
-    std::printf("\ndistributed run: %.2fs wall, %d slaves + master\n", dist.wall_s,
-                static_cast<int>(dist.master.results.size()));
+  if (cli.get_bool("distributed") &&
+      spec->backend != core::Backend::kDistributed) {
+    core::RunSpec dist_spec = *spec;
+    dist_spec.backend = core::Backend::kDistributed;
+    dist_spec.result_json.clear();  // --result-json describes the main run
+    core::Session dist_session(dist_spec);
+    dist_session.set_datasets(session.train_set(), session.test_set());
+    const core::RunResult dist = dist_session.run();
+    std::printf("\ndistributed run: %.2fs wall, %zu slaves + master\n",
+                dist.wall_s, dist.cell_results.size());
     std::printf("  best cell %d (G loss %.4f), heartbeat cycles %llu\n",
-                dist.master.best_cell,
-                dist.master.results[dist.master.best_cell].center.g_fitness,
-                static_cast<unsigned long long>(dist.master.heartbeat_cycles));
+                dist.best_cell,
+                dist.g_fitnesses[static_cast<std::size_t>(dist.best_cell)],
+                static_cast<unsigned long long>(dist.heartbeat_cycles));
   }
 
   // --- sample from the best cell's neighborhood mixture ---------------------
-  auto& best = trainer.cell(outcome.best_cell);
-  const tensor::Tensor samples = best.sample_from_mixture(4);
-  if (config.arch.image_dim == data::kImageDim) {
+  const tensor::Tensor samples = session.sample_best(outcome, 4);
+  if (spec->config.arch.image_dim == data::kImageDim) {
     std::printf("\nmixture sample from best cell (28x28 ASCII):\n%s\n",
                 data::ascii_art(samples.row_span(0)).c_str());
     if (data::write_pgm_grid("quickstart_samples.pgm", samples.data(), 4, 2)) {

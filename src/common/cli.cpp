@@ -13,7 +13,7 @@ CliParser::CliParser(std::string program_description)
 void CliParser::add_flag(const std::string& name, const std::string& default_value,
                          const std::string& help) {
   CG_EXPECT(!flags_.contains(name));
-  flags_[name] = Flag{default_value, default_value, help};
+  flags_[name] = Flag{default_value, default_value, help, /*set=*/false};
   order_.push_back(name);
 }
 
@@ -50,8 +50,15 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     it->second.value = value;
+    it->second.set = true;
   }
   return true;
+}
+
+bool CliParser::was_set(const std::string& name) const {
+  auto it = flags_.find(name);
+  CG_EXPECT(it != flags_.end());
+  return it->second.set;
 }
 
 std::string CliParser::get(const std::string& name) const {

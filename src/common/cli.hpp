@@ -30,6 +30,11 @@ class CliParser {
   double get_double(const std::string& name) const;
   bool get_bool(const std::string& name) const;
 
+  /// True when the flag was given explicitly on the command line (as opposed
+  /// to holding its registered default). Lets layered configuration (e.g.
+  /// core::RunSpec over a --spec file) apply only the flags the user typed.
+  bool was_set(const std::string& name) const;
+
   void print_usage() const;
 
  private:
@@ -37,6 +42,7 @@ class CliParser {
     std::string value;
     std::string default_value;
     std::string help;
+    bool set = false;
   };
   std::string description_;
   std::map<std::string, Flag> flags_;

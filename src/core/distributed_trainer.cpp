@@ -7,13 +7,19 @@
 
 namespace cellgan::core {
 
-double DistributedOutcome::slave_routine_virtual_min(const std::string& routine) const {
+double average_slave_routine_virtual_min(
+    std::span<const minimpi::Runtime::RankResult> ranks,
+    const std::string& routine) {
   if (ranks.size() <= 1) return 0.0;
   double total = 0.0;
   for (std::size_t r = 1; r < ranks.size(); ++r) {
     total += ranks[r].profiler.cost(routine).virtual_s;
   }
   return total / static_cast<double>(ranks.size() - 1) / 60.0;
+}
+
+double DistributedOutcome::slave_routine_virtual_min(const std::string& routine) const {
+  return average_slave_routine_virtual_min(ranks, routine);
 }
 
 double DistributedOutcome::slave_routine_wall_s(const std::string& routine) const {

@@ -4,6 +4,8 @@
 // WORLD exactly as Section III.D describes.
 #pragma once
 
+#include <span>
+
 #include "core/config.hpp"
 #include "core/cost_model.hpp"
 #include "core/master.hpp"
@@ -12,6 +14,13 @@
 #include "minimpi/runtime.hpp"
 
 namespace cellgan::core {
+
+/// Average of a routine's simulated minutes across slave ranks (index 0 is
+/// the master) — the per-slave view the paper's Table IV distributed column
+/// reports. Shared by DistributedOutcome and the Session facade's RunResult.
+double average_slave_routine_virtual_min(
+    std::span<const minimpi::Runtime::RankResult> ranks,
+    const std::string& routine);
 
 struct DistributedOutcome {
   double wall_s = 0.0;

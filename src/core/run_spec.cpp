@@ -1,0 +1,600 @@
+#include "core/run_spec.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "common/expect.hpp"
+
+namespace cellgan::core {
+
+const char* to_string(Backend backend) {
+  switch (backend) {
+    case Backend::kSequential: return "sequential";
+    case Backend::kThreads: return "threads";
+    case Backend::kDistributed: return "distributed";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> backend_from_string(std::string_view name) {
+  if (name == "sequential" || name == "seq") return Backend::kSequential;
+  if (name == "threads" || name == "parallel") return Backend::kThreads;
+  if (name == "distributed" || name == "dist") return Backend::kDistributed;
+  return std::nullopt;
+}
+
+const char* to_string(CostProfileKind kind) {
+  switch (kind) {
+    case CostProfileKind::kNone: return "none";
+    case CostProfileKind::kTable3: return "table3";
+    case CostProfileKind::kTable4: return "table4";
+  }
+  return "unknown";
+}
+
+std::optional<CostProfileKind> cost_profile_from_string(std::string_view name) {
+  if (name == "none") return CostProfileKind::kNone;
+  if (name == "table3") return CostProfileKind::kTable3;
+  if (name == "table4") return CostProfileKind::kTable4;
+  return std::nullopt;
+}
+
+std::optional<LossMode> loss_mode_from_string(std::string_view name) {
+  if (name == "heuristic") return LossMode::kHeuristic;
+  if (name == "minimax") return LossMode::kMinimax;
+  if (name == "lsq" || name == "least-squares") return LossMode::kLeastSquares;
+  if (name == "mustangs") return LossMode::kMustangs;
+  return std::nullopt;
+}
+
+std::optional<ExchangeMode> exchange_mode_from_string(std::string_view name) {
+  if (name == "allgather") return ExchangeMode::kAllgather;
+  if (name == "async-neighbors" || name == "async") {
+    return ExchangeMode::kAsyncNeighbors;
+  }
+  return std::nullopt;
+}
+
+// --- DatasetSpec ------------------------------------------------------------
+
+std::optional<DatasetSpec> DatasetSpec::parse(const std::string& text,
+                                              std::string* error) {
+  return parse(text, DatasetSpec{}, error);
+}
+
+std::optional<DatasetSpec> DatasetSpec::parse(const std::string& text,
+                                              const DatasetSpec& base,
+                                              std::string* error) {
+  const auto fail = [&](const std::string& message) -> std::optional<DatasetSpec> {
+    if (error != nullptr) *error = message;
+    return std::nullopt;
+  };
+  DatasetSpec spec = base;
+  if (text.rfind("idx:", 0) == 0) {
+    spec.kind = Kind::kIdx;
+    spec.idx_dir = text.substr(4);
+    if (spec.idx_dir.empty()) return fail("idx: dataset needs a directory");
+    return spec;
+  }
+  spec.kind = Kind::kSynthetic;
+  spec.idx_dir.clear();
+  if (text == "synthetic") return spec;
+  if (text.rfind("synthetic:", 0) == 0) {
+    // strtoull silently wraps negative or overflowing input, so digit runs
+    // are parsed through the checked helper.
+    const auto parse_unsigned = [](const std::string& digits, std::uint64_t& out) {
+      if (digits.empty() ||
+          digits.find_first_not_of("0123456789") != std::string::npos) {
+        return false;
+      }
+      errno = 0;
+      out = std::strtoull(digits.c_str(), nullptr, 10);
+      return errno != ERANGE;
+    };
+    std::string rest = text.substr(10);
+    std::string count = rest;
+    const auto at = rest.find('@');
+    if (at != std::string::npos) {
+      count = rest.substr(0, at);
+      const std::string seed_text = rest.substr(at + 1);
+      if (!parse_unsigned(seed_text, spec.seed)) {
+        return fail("bad dataset seed: '" + seed_text + "'");
+      }
+    }
+    std::uint64_t samples = 0;
+    if (!parse_unsigned(count, samples) || samples == 0) {
+      return fail("bad synthetic sample count: '" + count + "'");
+    }
+    spec.samples = static_cast<std::size_t>(samples);
+    return spec;
+  }
+  return fail("unknown dataset '" + text +
+              "' (want synthetic[:N[@SEED]] or idx:DIR)");
+}
+
+std::string DatasetSpec::to_text() const {
+  if (kind == Kind::kIdx) return "idx:" + idx_dir;
+  return "synthetic:" + std::to_string(samples) + "@" + std::to_string(seed);
+}
+
+// --- command-line flags -----------------------------------------------------
+
+void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
+  cli.add_flag("spec", "", "load a RunSpec JSON file first; explicit flags override");
+  cli.add_flag("backend", to_string(defaults.backend),
+               "execution backend: sequential | threads | distributed");
+  cli.add_flag("threads", std::to_string(defaults.threads),
+               "worker lanes for --backend threads");
+  cli.add_flag("grid", std::to_string(defaults.config.grid_rows),
+               "grid side (grid x grid cells)");
+  cli.add_flag("iterations", std::to_string(defaults.config.iterations),
+               "training epochs");
+  cli.add_flag("dataset", defaults.dataset.to_text(),
+               "training data: synthetic[:N[@SEED]] | idx:DIR");
+  cli.add_flag("samples", std::to_string(defaults.dataset.samples),
+               "shorthand for the synthetic dataset's sample count");
+  cli.add_flag("seed", std::to_string(defaults.config.seed), "global training seed");
+  cli.add_flag("loss", to_string(defaults.config.loss_mode),
+               "objective: heuristic | minimax | lsq | mustangs");
+  cli.add_flag("exchange", to_string(defaults.config.exchange_mode),
+               "genome exchange: allgather | async-neighbors");
+  cli.add_flag("batch-size", std::to_string(defaults.config.batch_size),
+               "training batch size");
+  cli.add_flag("batches-per-iteration",
+               std::to_string(defaults.config.batches_per_iteration),
+               "gradient batches per epoch per cell");
+  char dieting_default[32];
+  std::snprintf(dieting_default, sizeof(dieting_default), "%g",
+                defaults.config.data_dieting_fraction);
+  cli.add_flag("dieting", dieting_default,
+               "data-dieting fraction: each cell trains on this share of the data");
+  cli.add_flag("paper-arch",
+               defaults.config.arch == nn::GanArch::paper() ? "true" : "false",
+               "use the paper's full-size MLPs (Table I); upgrade-only");
+  cli.add_flag("cost-profile", to_string(defaults.cost_profile),
+               "virtual-time calibration: none | table3 | table4");
+  cli.add_flag("result-json", defaults.result_json,
+               "write the unified RunResult JSON to this file");
+}
+
+std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
+                                         const RunSpec& defaults) {
+  // Integer flags funnel through this guard before any unsigned cast, so a
+  // negative value is a diagnostic instead of a 2^64 wrap-around.
+  bool flags_ok = true;
+  const auto int_flag = [&](const char* name, std::int64_t min) -> std::int64_t {
+    const std::int64_t value = cli.get_int(name);
+    if (value < min) {
+      std::fprintf(stderr, "--%s must be >= %lld\n", name,
+                   static_cast<long long>(min));
+      flags_ok = false;
+    }
+    return value;
+  };
+  RunSpec spec = defaults;
+  if (cli.was_set("spec")) {
+    std::string error;
+    auto loaded = RunSpec::load(cli.get("spec"), &error);
+    if (!loaded) {
+      std::fprintf(stderr, "--spec %s: %s\n", cli.get("spec").c_str(), error.c_str());
+      return std::nullopt;
+    }
+    spec = *loaded;
+  }
+  if (cli.was_set("backend")) {
+    const auto backend = backend_from_string(cli.get("backend"));
+    if (!backend) {
+      std::fprintf(stderr, "unknown backend '%s' (want sequential | threads |"
+                   " distributed)\n", cli.get("backend").c_str());
+      return std::nullopt;
+    }
+    spec.backend = *backend;
+  }
+  if (cli.was_set("threads")) {
+    spec.threads = static_cast<std::size_t>(int_flag("threads", 1));
+  }
+  if (cli.was_set("grid")) {
+    spec.config.grid_rows = spec.config.grid_cols =
+        static_cast<std::uint32_t>(int_flag("grid", 1));
+  }
+  if (cli.was_set("iterations")) {
+    spec.config.iterations = static_cast<std::uint32_t>(int_flag("iterations", 0));
+  }
+  if (cli.was_set("dataset")) {
+    std::string error;
+    const auto dataset = DatasetSpec::parse(cli.get("dataset"), spec.dataset, &error);
+    if (!dataset) {
+      std::fprintf(stderr, "--dataset: %s\n", error.c_str());
+      return std::nullopt;
+    }
+    spec.dataset = *dataset;
+  }
+  if (cli.was_set("samples")) {
+    spec.dataset.samples = static_cast<std::size_t>(int_flag("samples", 1));
+  }
+  if (cli.was_set("seed")) {
+    spec.config.seed = static_cast<std::uint64_t>(int_flag("seed", 0));
+  }
+  if (cli.was_set("loss")) {
+    const auto loss = loss_mode_from_string(cli.get("loss"));
+    if (!loss) {
+      std::fprintf(stderr, "unknown loss '%s' (want heuristic | minimax | lsq |"
+                   " mustangs)\n", cli.get("loss").c_str());
+      return std::nullopt;
+    }
+    spec.config.loss_mode = *loss;
+  }
+  if (cli.was_set("exchange")) {
+    const auto exchange = exchange_mode_from_string(cli.get("exchange"));
+    if (!exchange) {
+      std::fprintf(stderr, "unknown exchange '%s' (want allgather |"
+                   " async-neighbors)\n", cli.get("exchange").c_str());
+      return std::nullopt;
+    }
+    spec.config.exchange_mode = *exchange;
+  }
+  if (cli.was_set("batch-size")) {
+    spec.config.batch_size = static_cast<std::uint32_t>(int_flag("batch-size", 1));
+  }
+  if (cli.was_set("batches-per-iteration")) {
+    spec.config.batches_per_iteration =
+        static_cast<std::uint32_t>(int_flag("batches-per-iteration", 1));
+  }
+  if (cli.was_set("dieting")) {
+    const double fraction = cli.get_double("dieting");
+    if (!(fraction > 0.0 && fraction <= 1.0)) {  // negated so NaN is rejected
+      std::fprintf(stderr, "--dieting must be in (0, 1]\n");
+      flags_ok = false;
+    }
+    spec.config.data_dieting_fraction = fraction;
+  }
+  // Upgrade-only: programs whose defaults already use the paper arch (with
+  // their own batch size) are untouched, and an explicit --batch-size wins.
+  if (cli.was_set("paper-arch") && cli.get_bool("paper-arch") &&
+      spec.config.arch != nn::GanArch::paper()) {
+    spec.config.arch = nn::GanArch::paper();
+    if (!cli.was_set("batch-size")) spec.config.batch_size = 100;
+  }
+  if (cli.was_set("cost-profile")) {
+    const auto kind = cost_profile_from_string(cli.get("cost-profile"));
+    if (!kind) {
+      std::fprintf(stderr, "unknown cost profile '%s' (want none | table3 |"
+                   " table4)\n", cli.get("cost-profile").c_str());
+      return std::nullopt;
+    }
+    spec.cost_profile = *kind;
+  }
+  if (cli.was_set("result-json")) spec.result_json = cli.get("result-json");
+  if (!flags_ok) return std::nullopt;
+  return spec;
+}
+
+std::optional<RunSpec> RunSpec::from_args(int argc, const char* const* argv,
+                                          const std::string& description,
+                                          const RunSpec& defaults) {
+  common::CliParser cli(description);
+  add_flags(cli, defaults);
+  if (!cli.parse(argc, argv)) return std::nullopt;
+  return from_cli(cli, defaults);
+}
+
+// --- JSON text form ---------------------------------------------------------
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& value) {
+  out += '"';
+  for (const char c : value) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string format_double(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Minimal parser for the subset RunSpec emits: one flat object of
+/// string/number values plus one nested "config" object.
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+    return false;
+  }
+  const std::string& error() const { return error_; }
+
+  void skip_space() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_space();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool peek(char c) {
+    skip_space();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  bool at_end() {
+    skip_space();
+    return pos_ >= text_.size();
+  }
+
+  bool read_string(std::string& out) {
+    if (!consume('"')) return false;
+    out.clear();
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) c = text_[pos_++];
+      out += c;
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool read_number(std::string& out) {
+    skip_space();
+    out.clear();
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      out += text_[pos_++];
+    }
+    if (out.empty()) return fail("expected a number");
+    return true;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+bool parse_u64(const std::string& digits, std::uint64_t& out) {
+  // strtoull wraps negative input; only plain digit runs are unsigned here.
+  if (digits.empty() ||
+      digits.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  errno = 0;
+  out = std::strtoull(digits.c_str(), nullptr, 10);
+  return errno != ERANGE;
+}
+
+bool parse_u32(const std::string& digits, std::uint32_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(digits, value) ||
+      value > std::numeric_limits<std::uint32_t>::max()) {
+    return false;
+  }
+  out = static_cast<std::uint32_t>(value);
+  return true;
+}
+
+bool parse_f64(const std::string& digits, double& out) {
+  char* end = nullptr;
+  out = std::strtod(digits.c_str(), &end);
+  return end != digits.c_str() && *end == '\0';
+}
+
+bool apply_config_key(JsonReader& reader, const std::string& key,
+                      TrainingConfig& config) {
+  std::string value;
+  if (key == "loss_mode" || key == "exchange_mode") {
+    if (!reader.read_string(value)) return false;
+    if (key == "loss_mode") {
+      const auto mode = loss_mode_from_string(value);
+      if (!mode) return reader.fail("unknown loss_mode '" + value + "'");
+      config.loss_mode = *mode;
+    } else {
+      const auto mode = exchange_mode_from_string(value);
+      if (!mode) return reader.fail("unknown exchange_mode '" + value + "'");
+      config.exchange_mode = *mode;
+    }
+    return true;
+  }
+  if (!reader.read_number(value)) return false;
+  std::size_t* size_field = key == "latent_dim"      ? &config.arch.latent_dim
+                            : key == "hidden_dim"    ? &config.arch.hidden_dim
+                            : key == "hidden_layers" ? &config.arch.hidden_layers
+                            : key == "image_dim"     ? &config.arch.image_dim
+                                                     : nullptr;
+  if (size_field != nullptr) {
+    std::uint64_t parsed = 0;
+    if (!parse_u64(value, parsed)) return reader.fail("bad " + key);
+    *size_field = static_cast<std::size_t>(parsed);
+    return true;
+  }
+  std::uint32_t* u32_field =
+      key == "iterations"                  ? &config.iterations
+      : key == "population_per_cell"       ? &config.population_per_cell
+      : key == "tournament_size"           ? &config.tournament_size
+      : key == "grid_rows"                 ? &config.grid_rows
+      : key == "grid_cols"                 ? &config.grid_cols
+      : key == "batch_size"                ? &config.batch_size
+      : key == "discriminator_skip_steps"  ? &config.discriminator_skip_steps
+      : key == "batches_per_iteration"     ? &config.batches_per_iteration
+      : key == "fitness_eval_samples"      ? &config.fitness_eval_samples
+                                           : nullptr;
+  if (u32_field != nullptr) {
+    if (!parse_u32(value, *u32_field)) return reader.fail("bad " + key);
+    return true;
+  }
+  double* f64_field =
+      key == "mixture_mutation_scale"   ? &config.mixture_mutation_scale
+      : key == "initial_learning_rate"  ? &config.initial_learning_rate
+      : key == "lr_mutation_sigma"      ? &config.lr_mutation_sigma
+      : key == "lr_mutation_probability" ? &config.lr_mutation_probability
+      : key == "data_dieting_fraction"  ? &config.data_dieting_fraction
+                                        : nullptr;
+  if (f64_field != nullptr) {
+    if (!parse_f64(value, *f64_field)) return reader.fail("bad " + key);
+    return true;
+  }
+  if (key == "seed") {
+    if (!parse_u64(value, config.seed)) return reader.fail("bad seed");
+    return true;
+  }
+  return reader.fail("unknown config key '" + key + "'");
+}
+
+bool parse_object(JsonReader& reader,
+                  const std::function<bool(JsonReader&, const std::string&)>& on_key) {
+  if (!reader.consume('{')) return false;
+  if (reader.peek('}')) return reader.consume('}');
+  for (;;) {
+    std::string key;
+    if (!reader.read_string(key)) return false;
+    if (!reader.consume(':')) return false;
+    if (!on_key(reader, key)) return false;
+    if (reader.peek(',')) {
+      if (!reader.consume(',')) return false;
+      continue;
+    }
+    return reader.consume('}');
+  }
+}
+
+}  // namespace
+
+std::string RunSpec::to_text() const {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"backend\": \"" << to_string(backend) << "\",\n";
+  out << "  \"threads\": " << threads << ",\n";
+  std::string dataset_text;
+  append_escaped(dataset_text, dataset.to_text());
+  out << "  \"dataset\": " << dataset_text << ",\n";
+  out << "  \"cost_profile\": \"" << to_string(cost_profile) << "\",\n";
+  std::string result_text;
+  append_escaped(result_text, result_json);
+  out << "  \"result_json\": " << result_text << ",\n";
+  out << "  \"config\": {\n";
+  out << "    \"latent_dim\": " << config.arch.latent_dim << ",\n";
+  out << "    \"hidden_dim\": " << config.arch.hidden_dim << ",\n";
+  out << "    \"hidden_layers\": " << config.arch.hidden_layers << ",\n";
+  out << "    \"image_dim\": " << config.arch.image_dim << ",\n";
+  out << "    \"iterations\": " << config.iterations << ",\n";
+  out << "    \"population_per_cell\": " << config.population_per_cell << ",\n";
+  out << "    \"tournament_size\": " << config.tournament_size << ",\n";
+  out << "    \"grid_rows\": " << config.grid_rows << ",\n";
+  out << "    \"grid_cols\": " << config.grid_cols << ",\n";
+  out << "    \"mixture_mutation_scale\": " << format_double(config.mixture_mutation_scale)
+      << ",\n";
+  out << "    \"initial_learning_rate\": " << format_double(config.initial_learning_rate)
+      << ",\n";
+  out << "    \"lr_mutation_sigma\": " << format_double(config.lr_mutation_sigma)
+      << ",\n";
+  out << "    \"lr_mutation_probability\": "
+      << format_double(config.lr_mutation_probability) << ",\n";
+  out << "    \"batch_size\": " << config.batch_size << ",\n";
+  out << "    \"discriminator_skip_steps\": " << config.discriminator_skip_steps
+      << ",\n";
+  out << "    \"batches_per_iteration\": " << config.batches_per_iteration << ",\n";
+  out << "    \"fitness_eval_samples\": " << config.fitness_eval_samples << ",\n";
+  out << "    \"loss_mode\": \"" << core::to_string(config.loss_mode) << "\",\n";
+  out << "    \"exchange_mode\": \"" << core::to_string(config.exchange_mode)
+      << "\",\n";
+  out << "    \"data_dieting_fraction\": "
+      << format_double(config.data_dieting_fraction) << ",\n";
+  out << "    \"seed\": " << config.seed << "\n";
+  out << "  }\n";
+  out << "}\n";
+  return out.str();
+}
+
+std::optional<RunSpec> RunSpec::from_text(const std::string& text,
+                                          std::string* error) {
+  RunSpec spec;
+  JsonReader reader(text);
+  const auto on_top_key = [&](JsonReader& r, const std::string& key) -> bool {
+    std::string value;
+    if (key == "backend") {
+      if (!r.read_string(value)) return false;
+      const auto backend = backend_from_string(value);
+      if (!backend) return r.fail("unknown backend '" + value + "'");
+      spec.backend = *backend;
+      return true;
+    }
+    if (key == "threads") {
+      if (!r.read_number(value)) return false;
+      std::uint64_t threads = 0;
+      if (!parse_u64(value, threads) || threads == 0) return r.fail("bad threads");
+      spec.threads = static_cast<std::size_t>(threads);
+      return true;
+    }
+    if (key == "dataset") {
+      if (!r.read_string(value)) return false;
+      std::string dataset_error;
+      const auto dataset = DatasetSpec::parse(value, &dataset_error);
+      if (!dataset) return r.fail(dataset_error);
+      spec.dataset = *dataset;
+      return true;
+    }
+    if (key == "cost_profile") {
+      if (!r.read_string(value)) return false;
+      const auto kind = cost_profile_from_string(value);
+      if (!kind) return r.fail("unknown cost_profile '" + value + "'");
+      spec.cost_profile = *kind;
+      return true;
+    }
+    if (key == "result_json") return r.read_string(spec.result_json);
+    if (key == "config") {
+      return parse_object(r, [&](JsonReader& cr, const std::string& config_key) {
+        return apply_config_key(cr, config_key, spec.config);
+      });
+    }
+    return r.fail("unknown key '" + key + "'");
+  };
+  if (!parse_object(reader, on_top_key) || !reader.at_end()) {
+    if (error != nullptr) {
+      *error = reader.error().empty() ? "malformed RunSpec text" : reader.error();
+    }
+    return std::nullopt;
+  }
+  return spec;
+}
+
+std::optional<RunSpec> RunSpec::load(const std::string& path, std::string* error) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_text(text.str(), error);
+}
+
+bool RunSpec::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out.good()) return false;
+  out << to_text();
+  return out.good();
+}
+
+}  // namespace cellgan::core

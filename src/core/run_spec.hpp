@@ -1,0 +1,119 @@
+// RunSpec — the one description of a training run, whatever executes it.
+//
+// The paper presents a single cellular-training algorithm with three
+// execution vehicles (single core, p cores, distributed master/slave —
+// Tables III/IV). RunSpec captures everything a run needs — the
+// TrainingConfig, which Backend executes it, the dataset to resolve
+// (synthetic stand-in or real MNIST IDX files on disk), the virtual-time
+// cost-model calibration, and output options — so examples, benchmarks and
+// CI all describe runs the same way and core::Session (core/session.hpp)
+// can execute them behind one API.
+//
+// A RunSpec is buildable from command-line flags (add_flags/from_cli over
+// common::CliParser) and round-trips through a JSON text form
+// (to_text/from_text), so any run can be saved next to its results and
+// replayed exactly (`cellgan_run --spec run.json`).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/cli.hpp"
+#include "core/config.hpp"
+
+namespace cellgan::core {
+
+/// Which execution vehicle runs the grid (Table III's three columns).
+enum class Backend : std::uint32_t {
+  kSequential = 0,   ///< one process, cells stepped one at a time
+  kThreads = 1,      ///< one process, cells stepped on ThreadPool lanes
+  kDistributed = 2,  ///< minimpi master + one slave rank per cell
+};
+
+inline constexpr Backend kAllBackends[] = {Backend::kSequential, Backend::kThreads,
+                                           Backend::kDistributed};
+
+const char* to_string(Backend backend);
+std::optional<Backend> backend_from_string(std::string_view name);
+
+/// Which CostProfile calibrates the virtual clocks (empty model = pure
+/// wall-clock runs; table3/table4 reproduce the paper's two — mutually
+/// inconsistent — calibration targets, see core/cost_model.hpp).
+enum class CostProfileKind : std::uint32_t { kNone = 0, kTable3 = 1, kTable4 = 2 };
+
+const char* to_string(CostProfileKind kind);
+std::optional<CostProfileKind> cost_profile_from_string(std::string_view name);
+
+std::optional<LossMode> loss_mode_from_string(std::string_view name);
+std::optional<ExchangeMode> exchange_mode_from_string(std::string_view name);
+
+/// Where the training data comes from. Text grammar (the `--dataset` flag):
+///   synthetic              procedural stand-in, keeping the program's
+///                          default sample count/seed
+///   synthetic:N            N training samples
+///   synthetic:N@SEED       N samples drawn with SEED
+///   idx:DIR                real MNIST IDX files under DIR (hard error when
+///                          missing — no silent fallback)
+struct DatasetSpec {
+  enum class Kind : std::uint32_t { kSynthetic = 0, kIdx = 1 };
+
+  Kind kind = Kind::kSynthetic;
+  std::string idx_dir;         ///< kIdx only
+  std::size_t samples = 600;   ///< kSynthetic: training samples (test = /6)
+  std::uint64_t seed = 7;      ///< kSynthetic: generator seed
+
+  static std::optional<DatasetSpec> parse(const std::string& text,
+                                          std::string* error = nullptr);
+  /// Parse on top of `base`: a bare `synthetic` keeps the base's sample
+  /// count/seed (the program's defaults) instead of resetting them.
+  static std::optional<DatasetSpec> parse(const std::string& text,
+                                          const DatasetSpec& base,
+                                          std::string* error);
+  std::string to_text() const;
+
+  friend bool operator==(const DatasetSpec&, const DatasetSpec&) = default;
+};
+
+struct RunSpec {
+  TrainingConfig config;
+  Backend backend = Backend::kSequential;
+  std::size_t threads = 2;  ///< worker lanes for Backend::kThreads
+  DatasetSpec dataset;
+  CostProfileKind cost_profile = CostProfileKind::kNone;
+  /// When non-empty, Session::run() writes the unified RunResult as JSON here.
+  std::string result_json;
+
+  /// Register the shared flags on `cli`, with defaults taken from
+  /// `defaults` so each program's --help shows its own baseline. Programs
+  /// may register extra flags of their own before parse().
+  static void add_flags(common::CliParser& cli, const RunSpec& defaults);
+
+  /// Build a spec from parsed flags: start from `defaults` (or from the file
+  /// named by an explicit --spec), then apply exactly the flags the user
+  /// passed. Returns nullopt (after printing a diagnostic) on a malformed
+  /// value. Must be given the same `defaults` as add_flags.
+  static std::optional<RunSpec> from_cli(const common::CliParser& cli,
+                                         const RunSpec& defaults);
+
+  /// Convenience for programs with no extra flags: parser + add_flags +
+  /// parse + from_cli in one call. Returns nullopt on --help or bad flags.
+  static std::optional<RunSpec> from_args(int argc, const char* const* argv,
+                                          const std::string& description,
+                                          const RunSpec& defaults);
+
+  /// JSON text form; round-trips exactly (doubles printed with %.17g).
+  std::string to_text() const;
+  static std::optional<RunSpec> from_text(const std::string& text,
+                                          std::string* error = nullptr);
+
+  /// Load/save the JSON text form from/to a file.
+  static std::optional<RunSpec> load(const std::string& path,
+                                     std::string* error = nullptr);
+  bool save(const std::string& path) const;
+
+  friend bool operator==(const RunSpec&, const RunSpec&) = default;
+};
+
+}  // namespace cellgan::core

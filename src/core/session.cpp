@@ -1,0 +1,393 @@
+#include "core/session.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "core/grid.hpp"
+#include "core/mixture.hpp"
+#include "core/parallel_trainer.hpp"
+#include "core/sequential_trainer.hpp"
+#include "core/workload.hpp"
+#include "nn/gan_models.hpp"
+
+namespace cellgan::core {
+
+// --- RunResult --------------------------------------------------------------
+
+double RunResult::slave_routine_virtual_min(const std::string& routine) const {
+  return average_slave_routine_virtual_min(ranks, routine);
+}
+
+std::string to_json(const RunSpec& spec, const RunResult& result) {
+  std::string out = "{\n  \"spec\": ";
+  // RunSpec::to_text() is already JSON; trim its trailing newline to nest it.
+  std::string spec_text = spec.to_text();
+  while (!spec_text.empty() && spec_text.back() == '\n') spec_text.pop_back();
+  out += spec_text;
+  out += ",\n  \"result\": {\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "    \"backend\": \"%s\",\n",
+                to_string(result.backend));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "    \"wall_s\": %.6f,\n    \"virtual_s\": %.6f,\n"
+                "    \"virtual_min\": %.6f,\n    \"train_flops\": %.0f,\n"
+                "    \"best_cell\": %d,\n",
+                result.wall_s, result.virtual_s, result.virtual_s / 60.0,
+                result.train_flops, result.best_cell);
+  out += line;
+  const auto fitness_array = [&](const char* name,
+                                 const std::vector<double>& values) {
+    out += "    \"";
+    out += name;
+    out += "\": [";
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      std::snprintf(line, sizeof(line), "%s%.9g", i == 0 ? "" : ", ", values[i]);
+      out += line;
+    }
+    out += "],\n";
+  };
+  fitness_array("g_fitnesses", result.g_fitnesses);
+  fitness_array("d_fitnesses", result.d_fitnesses);
+  out += "    \"routines\": {";
+  const auto names = result.profiler.names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto cost = result.profiler.cost(names[i]);
+    std::snprintf(line, sizeof(line),
+                  "%s\n      \"%s\": {\"wall_s\": %.6f, \"virtual_s\": %.6f,"
+                  " \"calls\": %llu}",
+                  i == 0 ? "" : ",", names[i].c_str(), cost.wall_s, cost.virtual_s,
+                  static_cast<unsigned long long>(cost.calls));
+    out += line;
+  }
+  out += names.empty() ? "},\n" : "\n    },\n";
+  std::snprintf(line, sizeof(line),
+                "    \"ranks\": %zu,\n    \"heartbeat_cycles\": %llu\n  }\n}\n",
+                result.ranks.size(),
+                static_cast<unsigned long long>(result.heartbeat_cycles));
+  out += line;
+  return out;
+}
+
+bool write_result_json(const std::string& path, const RunSpec& spec,
+                       const RunResult& result) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string json = to_json(spec, result);
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  std::fclose(f);
+  return ok;
+}
+
+// --- built-in backends ------------------------------------------------------
+
+namespace {
+
+/// SequentialTrainer / ParallelTrainer behind the facade. The referenced
+/// dataset and cost model live in the owning Session and outlive the backend.
+class InProcessBackend final : public SessionBackend {
+ public:
+  InProcessBackend(Backend kind, std::unique_ptr<InProcessTrainer> trainer)
+      : kind_(kind), trainer_(std::move(trainer)) {}
+
+  RunResult run() override {
+    TrainOutcome outcome = trainer_->run();
+    RunResult result;
+    result.backend = kind_;
+    result.wall_s = outcome.wall_s;
+    result.virtual_s = outcome.virtual_s;
+    result.train_flops = outcome.train_flops;
+    result.profiler = std::move(outcome.profiler);
+    result.g_fitnesses = std::move(outcome.g_fitnesses);
+    result.d_fitnesses = std::move(outcome.d_fitnesses);
+    result.best_cell = outcome.best_cell;
+    return result;
+  }
+
+  InProcessTrainer* trainer() override { return trainer_.get(); }
+
+ private:
+  Backend kind_;
+  std::unique_ptr<InProcessTrainer> trainer_;
+};
+
+/// run_distributed behind the facade.
+class DistributedBackend final : public SessionBackend {
+ public:
+  explicit DistributedBackend(const BackendContext& context)
+      : spec_(context.spec), train_set_(context.train_set),
+        cost_model_(context.cost_model), master_options_(context.master_options) {}
+
+  RunResult run() override {
+    DistributedOutcome outcome =
+        run_distributed(spec_.config, train_set_, cost_model_, master_options_);
+    RunResult result;
+    result.backend = Backend::kDistributed;
+    result.wall_s = outcome.wall_s;
+    result.virtual_s = outcome.virtual_makespan_s;
+    result.best_cell = outcome.master.best_cell;
+    result.g_fitnesses.reserve(outcome.master.results.size());
+    result.d_fitnesses.reserve(outcome.master.results.size());
+    for (const auto& cell : outcome.master.results) {
+      result.g_fitnesses.push_back(cell.center.g_fitness);
+      result.d_fitnesses.push_back(cell.center.d_fitness);
+    }
+    for (const auto& rank : outcome.ranks) result.profiler.merge(rank.profiler);
+    result.cell_results = std::move(outcome.master.results);
+    result.ranks = std::move(outcome.ranks);
+    result.node_names = std::move(outcome.master.node_names);
+    result.heartbeat_cycles = outcome.master.heartbeat_cycles;
+    return result;
+  }
+
+ private:
+  const RunSpec& spec_;
+  const data::Dataset& train_set_;
+  CostModel cost_model_;  // by value: the Session may be reconfigured
+  Master::Options master_options_;
+};
+
+}  // namespace
+
+// --- BackendRegistry --------------------------------------------------------
+
+BackendRegistry::BackendRegistry() {
+  // Built-ins are registered here (not via static initializers, which a
+  // static-library link may drop) so the registry is always complete.
+  register_backend(to_string(Backend::kSequential),
+                   [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
+                     return std::make_unique<InProcessBackend>(
+                         Backend::kSequential,
+                         std::make_unique<SequentialTrainer>(
+                             context.spec.config, context.train_set,
+                             context.cost_model));
+                   });
+  register_backend(to_string(Backend::kThreads),
+                   [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
+                     return std::make_unique<InProcessBackend>(
+                         Backend::kThreads,
+                         std::make_unique<ParallelTrainer>(
+                             context.spec.config, context.train_set,
+                             context.spec.threads, context.cost_model));
+                   });
+  register_backend(to_string(Backend::kDistributed),
+                   [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
+                     return std::make_unique<DistributedBackend>(context);
+                   });
+}
+
+BackendRegistry& BackendRegistry::instance() {
+  static BackendRegistry registry;
+  return registry;
+}
+
+void BackendRegistry::register_backend(const std::string& name,
+                                       BackendFactory factory) {
+  CG_EXPECT(factory != nullptr);
+  factories_[name] = std::move(factory);
+}
+
+bool BackendRegistry::has(const std::string& name) const {
+  return factories_.contains(name);
+}
+
+std::unique_ptr<SessionBackend> BackendRegistry::create(
+    const std::string& name, const BackendContext& context) const {
+  const auto it = factories_.find(name);
+  if (it == factories_.end()) return nullptr;
+  return it->second(context);
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+// --- Session ----------------------------------------------------------------
+
+Session::Session(RunSpec spec) : spec_(std::move(spec)) {}
+
+Session::~Session() = default;
+
+void Session::set_cost_model(CostModel model) {
+  CG_EXPECT(!prepared_);
+  cost_override_ = std::move(model);
+}
+
+void Session::set_master_options(Master::Options options) {
+  CG_EXPECT(!prepared_);
+  master_options_ = options;
+}
+
+void Session::set_datasets(const data::Dataset& train, const data::Dataset& test) {
+  CG_EXPECT(!prepared_);
+  external_train_ = &train;
+  external_test_ = &test;
+}
+
+bool Session::prepare() {
+  if (prepared_) return true;
+  if (!error_.empty()) return false;
+
+  // 1. Resolve the dataset (unless the caller supplied resolved ones).
+  const auto& config = spec_.config;
+  if (external_train_ != nullptr) {
+    // nothing to do
+  } else if (spec_.dataset.kind == DatasetSpec::Kind::kSynthetic) {
+    train_set_ = make_matched_dataset(config, spec_.dataset.samples,
+                                      spec_.dataset.seed);
+    test_set_ = make_matched_dataset(
+        config, std::max<std::size_t>(1, spec_.dataset.samples / 6),
+        spec_.dataset.seed + 1);
+  } else {
+    if (config.arch.image_dim > data::kImageDim) {
+      error_ = "IDX MNIST provides " + std::to_string(data::kImageDim) +
+               "-pixel images but the architecture wants " +
+               std::to_string(config.arch.image_dim) +
+               "; use a synthetic dataset for larger resolutions";
+      return false;
+    }
+    auto loaded = data::load_mnist_idx(spec_.dataset.idx_dir, &error_);
+    if (!loaded) return false;
+    train_set_ = std::move(loaded->first);
+    test_set_ = std::move(loaded->second);
+    if (config.arch.image_dim != data::kImageDim) {
+      const auto side = static_cast<std::size_t>(std::lround(
+          std::sqrt(static_cast<double>(config.arch.image_dim))));
+      if (side * side != config.arch.image_dim) {
+        error_ = "architecture image_dim " + std::to_string(config.arch.image_dim) +
+                 " is not square; cannot downsample IDX images to it";
+        return false;
+      }
+      train_set_ = data::downsampled(train_set_, side);
+      test_set_ = data::downsampled(test_set_, side);
+    }
+  }
+
+  // 2. Resolve the cost model: explicit override, else the spec's profile
+  // calibrated against this exact configuration (targets normalized to the
+  // run's iteration count, as the scaling benchmarks do).
+  if (cost_override_.has_value()) {
+    cost_model_ = *cost_override_;
+  } else if (spec_.cost_profile == CostProfileKind::kNone) {
+    cost_model_ = CostModel{};
+  } else {
+    const data::Dataset& train =
+        external_train_ != nullptr ? *external_train_ : train_set_;
+    const WorkloadProbe probe = TrainerCore::measure_workload(config, train);
+    CostProfile profile = spec_.cost_profile == CostProfileKind::kTable3
+                              ? CostProfile::table3()
+                              : CostProfile::table4();
+    profile.reference_iterations = static_cast<double>(config.iterations);
+    cost_model_ = CostModel::calibrated(profile, probe);
+  }
+
+  // 3. Check the backend is resolvable; it is constructed lazily on run(),
+  // so dataset-only callers never pay for an unused trainer grid.
+  if (!BackendRegistry::instance().has(to_string(spec_.backend))) {
+    error_ = "no backend registered under '" + std::string(to_string(spec_.backend)) +
+             "' (have:";
+    for (const auto& name : BackendRegistry::instance().names()) {
+      error_ += " " + name;
+    }
+    error_ += ")";
+    return false;
+  }
+  prepared_ = true;
+  return true;
+}
+
+SessionBackend* Session::ensure_backend() {
+  if (!prepare()) return nullptr;
+  if (backend_ == nullptr) {
+    const BackendContext context{spec_, train_set(), cost_model_, master_options_};
+    backend_ = BackendRegistry::instance().create(to_string(spec_.backend), context);
+  }
+  return backend_.get();
+}
+
+RunResult Session::run() {
+  SessionBackend* backend = ensure_backend();
+  if (backend == nullptr) {
+    std::fprintf(stderr, "[session] %s\n", error_.c_str());
+  }
+  CG_EXPECT(backend != nullptr);
+  RunResult result = backend->run();
+  if (!spec_.result_json.empty()) {
+    write_result_json(spec_.result_json, spec_, result);
+  }
+  return result;
+}
+
+const data::Dataset& Session::train_set() const {
+  CG_EXPECT(prepared_);
+  return external_train_ != nullptr ? *external_train_ : train_set_;
+}
+
+const data::Dataset& Session::test_set() const {
+  CG_EXPECT(prepared_);
+  return external_test_ != nullptr ? *external_test_ : test_set_;
+}
+
+const CostModel& Session::cost_model() const {
+  CG_EXPECT(prepared_);
+  return cost_model_;
+}
+
+InProcessTrainer* Session::trainer() {
+  SessionBackend* backend = ensure_backend();
+  return backend == nullptr ? nullptr : backend->trainer();
+}
+
+Checkpoint Session::checkpoint() {
+  InProcessTrainer* live = trainer();
+  CG_EXPECT(live != nullptr);
+  return live->checkpoint();
+}
+
+bool Session::restore(const Checkpoint& snapshot) {
+  InProcessTrainer* live = trainer();
+  if (live == nullptr) return false;
+  live->restore(snapshot);
+  return true;
+}
+
+tensor::Tensor Session::sample_best(const RunResult& result, std::size_t count) {
+  CG_EXPECT(prepared_);
+  if (!result.distributed()) {
+    InProcessTrainer* live = trainer();
+    CG_EXPECT(live != nullptr);
+    return live->cell(result.best_cell).sample_from_mixture(count);
+  }
+  // Reassemble the best cell's neighborhood mixture from the master's
+  // collected center genomes (Section II.B: the returned generative model).
+  const auto& config = spec_.config;
+  Grid grid(static_cast<int>(config.grid_rows), static_cast<int>(config.grid_cols));
+  const auto members = grid.neighborhood_of(result.best_cell);
+  common::Rng rng(config.seed ^ 0xabcdULL);
+  std::vector<nn::Sequential> generators;
+  generators.reserve(members.size());
+  for (const int member : members) {
+    generators.push_back(nn::make_generator(config.arch, rng));
+    generators.back().load_parameters(
+        result.cell_results[static_cast<std::size_t>(member)].center.generator_params);
+  }
+  std::vector<nn::Sequential*> generator_ptrs;
+  generator_ptrs.reserve(generators.size());
+  for (auto& generator : generators) generator_ptrs.push_back(&generator);
+  MixtureWeights weights(members.size());
+  const auto& evolved =
+      result.cell_results[static_cast<std::size_t>(result.best_cell)].mixture_weights;
+  if (evolved.size() == members.size()) weights.set_weights(evolved);
+  return sample_mixture(weights, generator_ptrs, config.arch.latent_dim, count, rng);
+}
+
+}  // namespace cellgan::core

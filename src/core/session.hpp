@@ -1,0 +1,186 @@
+// core::Session — one runtime facade over the three execution backends.
+//
+// A Session takes a RunSpec, resolves its dataset (synthetic stand-in or
+// real MNIST IDX files, downsampled to the configured architecture),
+// calibrates the virtual-time cost model when the spec asks for one,
+// constructs the right backend through the BackendRegistry, runs it, and
+// returns one unified RunResult that subsumes both TrainOutcome (the
+// in-process trainers) and DistributedOutcome (the master/slave system).
+// Examples, benchmarks and CI all go through this seam, so a new execution
+// vehicle (e.g. a sockets-backed minimpi) plugs in by registering a backend
+// instead of migrating every call site.
+//
+// The facade is a pure wrapper: Backend::kSequential is bit-identical to
+// calling SequentialTrainer directly, kThreads to ParallelTrainer, and
+// kDistributed to run_distributed (the backend-parity suite pins this).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/distributed_trainer.hpp"
+#include "core/master.hpp"
+#include "core/run_spec.hpp"
+#include "core/trainer_core.hpp"
+#include "data/dataset.hpp"
+
+namespace cellgan::core {
+
+/// Unified result of a Session run, whichever backend executed it.
+struct RunResult {
+  Backend backend = Backend::kSequential;
+  double wall_s = 0.0;
+  double virtual_s = 0.0;  ///< serial sum / max-over-lanes / master makespan
+  double train_flops = 0.0;            ///< in-process backends only (0 otherwise)
+  common::Profiler profiler;           ///< per-routine totals (all ranks/lanes)
+  std::vector<double> g_fitnesses;     ///< final per-cell generator losses
+  std::vector<double> d_fitnesses;
+  int best_cell = 0;                   ///< argmin generator fitness
+
+  // Distributed detail (empty for the in-process backends).
+  std::vector<protocol::SlaveResult> cell_results;  ///< indexed by cell id
+  std::vector<minimpi::Runtime::RankResult> ranks;  ///< 0 = master, 1.. = slaves
+  std::vector<std::string> node_names;
+  std::uint64_t heartbeat_cycles = 0;
+
+  bool distributed() const { return !ranks.empty(); }
+
+  /// Average of a routine's simulated minutes across slaves (the per-slave
+  /// view the paper's Table IV distributed column reports). 0 in-process.
+  double slave_routine_virtual_min(const std::string& routine) const;
+};
+
+/// Serialize spec + result as JSON (the CI bench artifact format).
+std::string to_json(const RunSpec& spec, const RunResult& result);
+bool write_result_json(const std::string& path, const RunSpec& spec,
+                       const RunResult& result);
+
+/// One execution vehicle behind the Session facade.
+class SessionBackend {
+ public:
+  virtual ~SessionBackend() = default;
+
+  virtual RunResult run() = 0;
+
+  /// The live in-process trainer (sampling, checkpoint/restore); nullptr for
+  /// backends that run outside this process' address space.
+  virtual InProcessTrainer* trainer() { return nullptr; }
+};
+
+/// Everything a backend factory may need to build its vehicle.
+struct BackendContext {
+  const RunSpec& spec;
+  const data::Dataset& train_set;
+  const CostModel& cost_model;
+  const Master::Options& master_options;
+};
+
+using BackendFactory = std::function<std::unique_ptr<SessionBackend>(const BackendContext&)>;
+
+/// Name -> factory map the Session resolves backends through. The three
+/// built-ins ("sequential", "threads", "distributed") self-register; an
+/// alternative implementation (a sockets-backed distributed runtime, a GPU
+/// vehicle) registers under its own name — or re-registers a built-in name
+/// to swap the implementation behind every existing call site.
+class BackendRegistry {
+ public:
+  static BackendRegistry& instance();
+
+  /// Register (or replace) the factory for `name`.
+  void register_backend(const std::string& name, BackendFactory factory);
+
+  bool has(const std::string& name) const;
+
+  /// nullptr when no factory is registered under `name`.
+  std::unique_ptr<SessionBackend> create(const std::string& name,
+                                         const BackendContext& context) const;
+
+  std::vector<std::string> names() const;
+
+ private:
+  BackendRegistry();
+  std::map<std::string, BackendFactory> factories_;
+};
+
+class Session {
+ public:
+  explicit Session(RunSpec spec);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  const RunSpec& spec() const { return spec_; }
+
+  /// Resolve the dataset and cost model and check the spec's backend is
+  /// registered. Returns false — with a descriptive error() — when the
+  /// dataset cannot be loaded (e.g. missing IDX files) or no backend is
+  /// registered for the spec. Idempotent; run() calls it implicitly. The
+  /// backend itself is constructed lazily on run(), so callers that only
+  /// need the resolved dataset pay nothing for the trainer grid.
+  bool prepare();
+  const std::string& error() const { return error_; }
+
+  /// Override the calibrated cost model (benchmarks with custom profiles).
+  /// Call before prepare().
+  void set_cost_model(CostModel model);
+  /// Use already-resolved datasets instead of resolving spec.dataset — sweep
+  /// benchmarks share one resolved dataset across many sessions instead of
+  /// reloading/regenerating it per point. Both must outlive the session.
+  /// Call before prepare().
+  void set_datasets(const data::Dataset& train, const data::Dataset& test);
+  /// Master options for the distributed backend (heartbeat tuning).
+  void set_master_options(Master::Options options);
+
+  /// Execute the run. CG_EXPECTs that prepare() succeeded (call it first to
+  /// handle failures gracefully). Writes spec.result_json when set.
+  RunResult run();
+
+  /// Resolved datasets; valid after a successful prepare().
+  const data::Dataset& train_set() const;
+  const data::Dataset& test_set() const;
+
+  /// The resolved cost model; valid after a successful prepare(). Lets a
+  /// benchmark calibrate once and share the model across sessions via
+  /// set_cost_model.
+  const CostModel& cost_model() const;
+
+  /// The live in-process trainer; nullptr for the distributed backend.
+  InProcessTrainer* trainer();
+
+  /// Checkpoint/restore, forwarded to the in-process trainer (returns
+  /// false / CG_EXPECTs on the distributed backend).
+  Checkpoint checkpoint();
+  bool restore(const Checkpoint& snapshot);
+
+  /// Sample `count` images from the best cell's neighborhood mixture — the
+  /// generative model the paper's system returns. Works on every backend:
+  /// in-process it samples the live best cell, distributed it reconstructs
+  /// the mixture from the master's collected genomes.
+  tensor::Tensor sample_best(const RunResult& result, std::size_t count);
+
+ private:
+  /// Construct the backend if prepare() succeeds; nullptr on failure.
+  SessionBackend* ensure_backend();
+
+  RunSpec spec_;
+  Master::Options master_options_;
+  std::optional<CostModel> cost_override_;
+
+  bool prepared_ = false;
+  std::string error_;
+  data::Dataset train_set_;
+  data::Dataset test_set_;
+  const data::Dataset* external_train_ = nullptr;
+  const data::Dataset* external_test_ = nullptr;
+  CostModel cost_model_;
+  std::unique_ptr<SessionBackend> backend_;
+};
+
+}  // namespace cellgan::core

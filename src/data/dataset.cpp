@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <fstream>
 
 #include "common/log.hpp"
 #include "data/idx.hpp"
@@ -68,7 +69,48 @@ bool load_idx_pair(const std::string& image_path, const std::string& label_path,
   return true;
 }
 
+bool file_exists(const std::string& path) { return std::ifstream(path).good(); }
+
 }  // namespace
+
+std::optional<std::pair<Dataset, Dataset>> load_mnist_idx(const std::string& dir,
+                                                          std::string* error) {
+  const char* names[] = {"train-images-idx3-ubyte", "train-labels-idx1-ubyte",
+                         "t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte"};
+  std::string missing;
+  for (const char* name : names) {
+    if (!file_exists(dir + "/" + name)) {
+      if (!missing.empty()) missing += ", ";
+      missing += name;
+    }
+  }
+  if (!missing.empty()) {
+    if (error != nullptr) {
+      *error = "MNIST IDX files missing under '" + dir + "': " + missing;
+    }
+    return std::nullopt;
+  }
+  Dataset train, test;
+  if (!load_idx_pair(dir + "/train-images-idx3-ubyte",
+                     dir + "/train-labels-idx1-ubyte", train)) {
+    if (error != nullptr) {
+      *error = "MNIST IDX train pair under '" + dir +
+               "' is unreadable or has an unexpected shape (want " +
+               std::to_string(kImageSide) + "x" + std::to_string(kImageSide) +
+               " images with matching label count)";
+    }
+    return std::nullopt;
+  }
+  if (!load_idx_pair(dir + "/t10k-images-idx3-ubyte",
+                     dir + "/t10k-labels-idx1-ubyte", test)) {
+    if (error != nullptr) {
+      *error = "MNIST IDX test pair under '" + dir +
+               "' is unreadable or has an unexpected shape";
+    }
+    return std::nullopt;
+  }
+  return std::make_pair(std::move(train), std::move(test));
+}
 
 Dataset downsampled(const Dataset& dataset, std::size_t new_side) {
   const std::size_t old_dim = dataset.images.cols();
@@ -108,14 +150,11 @@ std::pair<Dataset, Dataset> load_mnist_or_synthetic(const std::string& dir,
                                                     std::size_t synthetic_train,
                                                     std::size_t synthetic_test,
                                                     std::uint64_t seed) {
-  Dataset train, test;
-  if (!dir.empty() &&
-      load_idx_pair(dir + "/train-images-idx3-ubyte", dir + "/train-labels-idx1-ubyte",
-                    train) &&
-      load_idx_pair(dir + "/t10k-images-idx3-ubyte", dir + "/t10k-labels-idx1-ubyte",
-                    test)) {
-    common::log_info() << "loaded real MNIST from " << dir;
-    return {std::move(train), std::move(test)};
+  if (!dir.empty()) {
+    if (auto loaded = load_mnist_idx(dir)) {
+      common::log_info() << "loaded real MNIST from " << dir;
+      return std::move(*loaded);
+    }
   }
   common::log_info() << "MNIST IDX files not found; using synthetic stand-in ("
                      << synthetic_train << " train / " << synthetic_test << " test)";

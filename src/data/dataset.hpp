@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -33,6 +35,14 @@ struct Dataset {
   /// Per-class counts (histogram over labels).
   std::vector<std::size_t> class_histogram() const;
 };
+
+/// Load the four MNIST IDX files (train-images-idx3-ubyte,
+/// train-labels-idx1-ubyte, t10k-images-idx3-ubyte, t10k-labels-idx1-ubyte)
+/// from `dir`. On failure returns nullopt and, when `error` is non-null,
+/// writes a message naming the missing or malformed files so callers can
+/// surface an actionable diagnostic instead of silently falling back.
+std::optional<std::pair<Dataset, Dataset>> load_mnist_idx(const std::string& dir,
+                                                          std::string* error = nullptr);
 
 /// Load MNIST from IDX files when they exist at `dir` (train-images-idx3-ubyte
 /// etc.); otherwise synthesize a procedural stand-in with the same shape

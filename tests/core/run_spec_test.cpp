@@ -1,0 +1,255 @@
+// RunSpec: flag parsing over common::cli, the JSON text form, and the exact
+// args -> spec -> text -> spec round trip the reproducible-run workflow
+// relies on.
+#include "core/run_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testsupport/temp_dir.hpp"
+
+namespace cellgan::core {
+namespace {
+
+/// Parse `args` through add_flags/from_cli with `defaults`.
+std::optional<RunSpec> parse_args(std::vector<const char*> args,
+                                  const RunSpec& defaults) {
+  args.insert(args.begin(), "prog");
+  common::CliParser cli("test");
+  RunSpec::add_flags(cli, defaults);
+  if (!cli.parse(static_cast<int>(args.size()), args.data())) return std::nullopt;
+  return RunSpec::from_cli(cli, defaults);
+}
+
+TEST(RunSpecTest, BackendNamesRoundTrip) {
+  for (const Backend backend : kAllBackends) {
+    const auto parsed = backend_from_string(to_string(backend));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, backend);
+  }
+  EXPECT_FALSE(backend_from_string("gpu").has_value());
+  EXPECT_EQ(backend_from_string("seq"), Backend::kSequential);
+  EXPECT_EQ(backend_from_string("parallel"), Backend::kThreads);
+}
+
+TEST(RunSpecTest, DatasetSpecParses) {
+  const auto synthetic = DatasetSpec::parse("synthetic");
+  ASSERT_TRUE(synthetic.has_value());
+  EXPECT_EQ(synthetic->kind, DatasetSpec::Kind::kSynthetic);
+
+  const auto sized = DatasetSpec::parse("synthetic:1234");
+  ASSERT_TRUE(sized.has_value());
+  EXPECT_EQ(sized->samples, 1234u);
+
+  const auto seeded = DatasetSpec::parse("synthetic:64@99");
+  ASSERT_TRUE(seeded.has_value());
+  EXPECT_EQ(seeded->samples, 64u);
+  EXPECT_EQ(seeded->seed, 99u);
+  EXPECT_EQ(seeded->to_text(), "synthetic:64@99");
+
+  const auto idx = DatasetSpec::parse("idx:/data/mnist");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(idx->kind, DatasetSpec::Kind::kIdx);
+  EXPECT_EQ(idx->idx_dir, "/data/mnist");
+  EXPECT_EQ(idx->to_text(), "idx:/data/mnist");
+
+  std::string error;
+  EXPECT_FALSE(DatasetSpec::parse("mnist", &error).has_value());
+  EXPECT_NE(error.find("unknown dataset"), std::string::npos);
+  EXPECT_FALSE(DatasetSpec::parse("idx:", &error).has_value());
+  EXPECT_FALSE(DatasetSpec::parse("synthetic:zero", &error).has_value());
+  EXPECT_FALSE(DatasetSpec::parse("synthetic:64@x", &error).has_value());
+  // Negative counts must be rejected, not wrapped to 2^64 by strtoull.
+  EXPECT_FALSE(DatasetSpec::parse("synthetic:-5", &error).has_value());
+  EXPECT_FALSE(DatasetSpec::parse("synthetic:64@-1", &error).has_value());
+  EXPECT_FALSE(DatasetSpec::parse("synthetic:0", &error).has_value());
+}
+
+TEST(RunSpecTest, BareSyntheticDatasetKeepsProgramDefaults) {
+  // `--dataset synthetic` must not reset a program's sample count/seed.
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  defaults.dataset.samples = 1200;
+  defaults.dataset.seed = 42;
+  const auto spec = parse_args({"--dataset", "synthetic"}, defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->dataset.kind, DatasetSpec::Kind::kSynthetic);
+  EXPECT_EQ(spec->dataset.samples, 1200u);
+  EXPECT_EQ(spec->dataset.seed, 42u);
+
+  // Switching back from an idx base clears the directory too.
+  defaults.dataset.kind = DatasetSpec::Kind::kIdx;
+  defaults.dataset.idx_dir = "/data/mnist";
+  const auto back = parse_args({"--dataset", "synthetic"}, defaults);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dataset.kind, DatasetSpec::Kind::kSynthetic);
+  EXPECT_TRUE(back->dataset.idx_dir.empty());
+}
+
+TEST(RunSpecTest, FlagsOverrideDefaults) {
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  const auto spec = parse_args(
+      {"--backend", "threads", "--threads", "4", "--grid", "3", "--iterations",
+       "17", "--dataset", "synthetic:128@5", "--seed", "7", "--loss", "mustangs",
+       "--exchange", "async-neighbors", "--dieting", "0.5", "--cost-profile",
+       "table4", "--result-json", "out.json"},
+      defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->backend, Backend::kThreads);
+  EXPECT_EQ(spec->threads, 4u);
+  EXPECT_EQ(spec->config.grid_rows, 3u);
+  EXPECT_EQ(spec->config.grid_cols, 3u);
+  EXPECT_EQ(spec->config.iterations, 17u);
+  EXPECT_EQ(spec->dataset.samples, 128u);
+  EXPECT_EQ(spec->dataset.seed, 5u);
+  EXPECT_EQ(spec->config.seed, 7u);
+  EXPECT_EQ(spec->config.loss_mode, LossMode::kMustangs);
+  EXPECT_EQ(spec->config.exchange_mode, ExchangeMode::kAsyncNeighbors);
+  EXPECT_DOUBLE_EQ(spec->config.data_dieting_fraction, 0.5);
+  EXPECT_EQ(spec->cost_profile, CostProfileKind::kTable4);
+  EXPECT_EQ(spec->result_json, "out.json");
+}
+
+TEST(RunSpecTest, UnsetFlagsPreserveCustomDefaults) {
+  // A program may pre-configure state no flag can express (a custom
+  // architecture); flags the user did not pass must not clobber it.
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  defaults.config.arch.image_dim = 1024;
+  defaults.config.arch.hidden_dim = 96;
+  defaults.config.batches_per_iteration = 2;
+  const auto spec = parse_args({"--iterations", "5"}, defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->config.iterations, 5u);
+  EXPECT_EQ(spec->config.arch.image_dim, 1024u);
+  EXPECT_EQ(spec->config.arch.hidden_dim, 96u);
+  EXPECT_EQ(spec->config.batches_per_iteration, 2u);
+}
+
+TEST(RunSpecTest, PaperArchFlag) {
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  const auto spec = parse_args({"--paper-arch", "true"}, defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->config.arch, nn::GanArch::paper());
+  EXPECT_EQ(spec->config.batch_size, 100u);
+
+  // An explicit --batch-size wins over the paper-arch batch default.
+  const auto sized =
+      parse_args({"--paper-arch", "true", "--batch-size", "37"}, defaults);
+  ASSERT_TRUE(sized.has_value());
+  EXPECT_EQ(sized->config.batch_size, 37u);
+
+  // Upgrade-only: a program already defaulting to the paper arch (with its
+  // own batch size) is untouched by a redundant --paper-arch true.
+  RunSpec paper_defaults;
+  paper_defaults.config = TrainingConfig::tiny();
+  paper_defaults.config.arch = nn::GanArch::paper();
+  paper_defaults.config.batch_size = 50;
+  const auto noop = parse_args({"--paper-arch", "true"}, paper_defaults);
+  ASSERT_TRUE(noop.has_value());
+  EXPECT_EQ(noop->config.batch_size, 50u);
+}
+
+TEST(RunSpecTest, BadValuesAreRejected) {
+  RunSpec defaults;
+  EXPECT_FALSE(parse_args({"--backend", "gpu"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--loss", "wasserstein"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--dataset", "nope"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--cost-profile", "table9"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--threads", "0"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--grid", "0"}, defaults).has_value());
+  // Negative integers must be rejected before any unsigned cast wraps them.
+  EXPECT_FALSE(parse_args({"--threads", "-1"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--samples", "-1"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--iterations", "-3"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--seed", "-1"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--batch-size", "0"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--dieting", "0"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--dieting", "1.5"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--dieting", "nan"}, defaults).has_value());
+}
+
+TEST(RunSpecTest, ArgsToTextToSpecRoundTrip) {
+  // The reproducibility contract: parse args, serialize, parse the text —
+  // the two specs must be exactly equal (operator==, covering every field).
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  const auto spec = parse_args(
+      {"--backend", "distributed", "--grid", "3", "--iterations", "21",
+       "--dataset", "idx:/data/mnist", "--loss", "lsq", "--exchange",
+       "async-neighbors", "--dieting", "0.25", "--seed", "12345",
+       "--cost-profile", "table3", "--batch-size", "37", "--paper-arch", "true"},
+      defaults);
+  ASSERT_TRUE(spec.has_value());
+
+  const std::string text = spec->to_text();
+  std::string error;
+  const auto reparsed = RunSpec::from_text(text, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, *spec);
+}
+
+TEST(RunSpecTest, DefaultSpecTextRoundTrip) {
+  const RunSpec spec;
+  const auto reparsed = RunSpec::from_text(spec.to_text());
+  ASSERT_TRUE(reparsed.has_value());
+  EXPECT_EQ(*reparsed, spec);
+}
+
+TEST(RunSpecTest, FromTextRejectsMalformedInput) {
+  std::string error;
+  EXPECT_FALSE(RunSpec::from_text("", &error).has_value());
+  EXPECT_FALSE(RunSpec::from_text("{\"backend\": \"warp\"}", &error).has_value());
+  EXPECT_NE(error.find("unknown backend"), std::string::npos);
+  EXPECT_FALSE(RunSpec::from_text("{\"no_such_key\": 1}", &error).has_value());
+  EXPECT_FALSE(RunSpec::from_text("{\"threads\": }", &error).has_value());
+  EXPECT_FALSE(RunSpec::from_text("{\"threads\": -1}", &error).has_value());
+  EXPECT_FALSE(
+      RunSpec::from_text("{\"config\": {\"iterations\": -2}}", &error).has_value());
+  EXPECT_FALSE(
+      RunSpec::from_text("{\"config\": {\"bogus\": 3}}", &error).has_value());
+}
+
+TEST(RunSpecTest, SaveAndLoadFile) {
+  testsupport::TempDir dir("run_spec");
+  RunSpec spec;
+  spec.backend = Backend::kThreads;
+  spec.threads = 3;
+  spec.config = TrainingConfig::tiny();
+  spec.config.iterations = 9;
+  const std::string path = dir.file("spec.json").string();
+  ASSERT_TRUE(spec.save(path));
+  std::string error;
+  const auto loaded = RunSpec::load(path, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(*loaded, spec);
+
+  EXPECT_FALSE(RunSpec::load(dir.file("missing.json").string(), &error).has_value());
+  EXPECT_NE(error.find("cannot open"), std::string::npos);
+}
+
+TEST(RunSpecTest, SpecFileFlagLoadsAndExplicitFlagsWin) {
+  testsupport::TempDir dir("run_spec_flag");
+  RunSpec saved;
+  saved.backend = Backend::kDistributed;
+  saved.config = TrainingConfig::tiny();
+  saved.config.iterations = 33;
+  saved.config.grid_rows = saved.config.grid_cols = 3;
+  const std::string path = dir.file("spec.json").string();
+  ASSERT_TRUE(saved.save(path));
+
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  const auto spec = parse_args(
+      {"--spec", path.c_str(), "--iterations", "5"}, defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->backend, Backend::kDistributed);  // from the file
+  EXPECT_EQ(spec->config.grid_rows, 3u);            // from the file
+  EXPECT_EQ(spec->config.iterations, 5u);           // explicit flag wins
+}
+
+}  // namespace
+}  // namespace cellgan::core

@@ -1,0 +1,285 @@
+// Backend parity of the core::Session facade: a Session run must be a pure
+// wrapper — bit-identical to calling the legacy entry points
+// (SequentialTrainer, ParallelTrainer, run_distributed) directly with the
+// same configuration — plus the facade-only surfaces: IDX dataset
+// resolution with clear errors, the backend registry, checkpoint interop
+// and the RunResult JSON artifact.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/parallel_trainer.hpp"
+#include "core/sequential_trainer.hpp"
+#include "core/workload.hpp"
+#include "data/idx.hpp"
+#include "testsupport/temp_dir.hpp"
+
+namespace cellgan::core {
+namespace {
+
+RunSpec small_spec(Backend backend, int side, int iterations) {
+  RunSpec spec;
+  spec.backend = backend;
+  spec.config = TrainingConfig::tiny();
+  spec.config.grid_rows = spec.config.grid_cols = static_cast<std::uint32_t>(side);
+  spec.config.iterations = static_cast<std::uint32_t>(iterations);
+  spec.dataset.samples = 100;
+  spec.dataset.seed = 21;
+  return spec;
+}
+
+/// The legacy calibration the spec's table3 profile must reproduce.
+CostModel legacy_table3_cost(const TrainingConfig& config,
+                             const data::Dataset& dataset) {
+  const WorkloadProbe probe = SequentialTrainer::measure_workload(config, dataset);
+  CostProfile profile = CostProfile::table3();
+  profile.reference_iterations = static_cast<double>(config.iterations);
+  return CostModel::calibrated(profile, probe);
+}
+
+void expect_bit_identical(const RunResult& facade, const TrainOutcome& legacy) {
+  ASSERT_EQ(facade.g_fitnesses.size(), legacy.g_fitnesses.size());
+  for (std::size_t i = 0; i < legacy.g_fitnesses.size(); ++i) {
+    EXPECT_EQ(facade.g_fitnesses[i], legacy.g_fitnesses[i]) << "cell " << i;
+    EXPECT_EQ(facade.d_fitnesses[i], legacy.d_fitnesses[i]) << "cell " << i;
+  }
+  EXPECT_EQ(facade.best_cell, legacy.best_cell);
+  EXPECT_EQ(facade.train_flops, legacy.train_flops);
+  EXPECT_EQ(facade.virtual_s, legacy.virtual_s);
+}
+
+TEST(SessionTest, SequentialBackendBitIdenticalToLegacy) {
+  const RunSpec spec = small_spec(Backend::kSequential, 2, 3);
+  Session session(spec);
+  const RunResult facade = session.run();
+
+  const auto dataset = make_matched_dataset(spec.config, 100, 21);
+  SequentialTrainer legacy(spec.config, dataset);
+  expect_bit_identical(facade, legacy.run());
+  EXPECT_FALSE(facade.distributed());
+  EXPECT_NE(session.trainer(), nullptr);
+}
+
+TEST(SessionTest, SequentialBackendBitIdenticalWithCostModel) {
+  RunSpec spec = small_spec(Backend::kSequential, 2, 3);
+  spec.cost_profile = CostProfileKind::kTable3;
+  Session session(spec);
+  const RunResult facade = session.run();
+
+  const auto dataset = make_matched_dataset(spec.config, 100, 21);
+  SequentialTrainer legacy(spec.config, dataset,
+                           legacy_table3_cost(spec.config, dataset));
+  expect_bit_identical(facade, legacy.run());
+  EXPECT_GT(facade.virtual_s, 0.0);
+}
+
+TEST(SessionTest, ThreadsBackendBitIdenticalToLegacy) {
+  RunSpec spec = small_spec(Backend::kThreads, 2, 3);
+  spec.threads = 2;
+  Session session(spec);
+  const RunResult facade = session.run();
+
+  const auto dataset = make_matched_dataset(spec.config, 100, 21);
+  ParallelTrainer legacy(spec.config, dataset, 2);
+  expect_bit_identical(facade, legacy.run());
+}
+
+TEST(SessionTest, DistributedBackendBitIdenticalToLegacy) {
+  RunSpec spec = small_spec(Backend::kDistributed, 2, 2);
+  spec.cost_profile = CostProfileKind::kTable3;
+  Session session(spec);
+  const RunResult facade = session.run();
+
+  const auto dataset = make_matched_dataset(spec.config, 100, 21);
+  const DistributedOutcome legacy = run_distributed(
+      spec.config, dataset, legacy_table3_cost(spec.config, dataset));
+  ASSERT_EQ(facade.g_fitnesses.size(), legacy.master.results.size());
+  for (std::size_t i = 0; i < legacy.master.results.size(); ++i) {
+    EXPECT_EQ(facade.g_fitnesses[i], legacy.master.results[i].center.g_fitness);
+    EXPECT_EQ(facade.d_fitnesses[i], legacy.master.results[i].center.d_fitness);
+  }
+  EXPECT_EQ(facade.best_cell, legacy.master.best_cell);
+  EXPECT_EQ(facade.virtual_s, legacy.virtual_makespan_s);
+  EXPECT_TRUE(facade.distributed());
+  EXPECT_EQ(facade.ranks.size(), legacy.ranks.size());
+  EXPECT_EQ(facade.cell_results.size(), 4u);
+  EXPECT_EQ(session.trainer(), nullptr);
+}
+
+TEST(SessionTest, AllBackendsAgreeOnFitnesses) {
+  // The cross-backend guarantee behind the whole facade: same spec, same
+  // final fitness trajectory, whichever vehicle executed it.
+  const RunSpec base = small_spec(Backend::kSequential, 2, 2);
+  Session sequential(base);
+  const RunResult reference = sequential.run();
+  for (const Backend backend : {Backend::kThreads, Backend::kDistributed}) {
+    RunSpec spec = base;
+    spec.backend = backend;
+    Session session(spec);
+    const RunResult outcome = session.run();
+    ASSERT_EQ(outcome.g_fitnesses.size(), reference.g_fitnesses.size());
+    for (std::size_t i = 0; i < reference.g_fitnesses.size(); ++i) {
+      EXPECT_EQ(outcome.g_fitnesses[i], reference.g_fitnesses[i])
+          << to_string(backend) << " cell " << i;
+    }
+    EXPECT_EQ(outcome.best_cell, reference.best_cell) << to_string(backend);
+  }
+}
+
+TEST(SessionTest, SampleBestWorksOnEveryBackend) {
+  for (const Backend backend : kAllBackends) {
+    RunSpec spec = small_spec(backend, 2, 2);
+    Session session(spec);
+    const RunResult outcome = session.run();
+    const tensor::Tensor samples = session.sample_best(outcome, 3);
+    EXPECT_EQ(samples.rows(), 3u) << to_string(backend);
+    EXPECT_EQ(samples.cols(), spec.config.arch.image_dim) << to_string(backend);
+  }
+}
+
+TEST(SessionTest, ExternalDatasetsMatchResolvedOnes) {
+  // Sweep benchmarks resolve once and share via set_datasets; results must
+  // equal a session that resolved the same spec itself, with no copy made.
+  const RunSpec spec = small_spec(Backend::kSequential, 2, 2);
+  Session resolved(spec);
+  const RunResult reference = resolved.run();
+
+  const auto train = make_matched_dataset(spec.config, 100, 21);
+  const auto test = make_matched_dataset(spec.config, 16, 22);
+  Session external(spec);
+  external.set_datasets(train, test);
+  const RunResult outcome = external.run();
+  ASSERT_EQ(outcome.g_fitnesses.size(), reference.g_fitnesses.size());
+  for (std::size_t i = 0; i < reference.g_fitnesses.size(); ++i) {
+    EXPECT_EQ(outcome.g_fitnesses[i], reference.g_fitnesses[i]);
+  }
+  EXPECT_EQ(&external.train_set(), &train);
+  EXPECT_EQ(&external.test_set(), &test);
+}
+
+TEST(SessionTest, CheckpointInteropWithLegacyTrainer) {
+  const RunSpec spec = small_spec(Backend::kSequential, 2, 2);
+  Session original(spec);
+  (void)original.run();
+  const Checkpoint snapshot = original.checkpoint();
+
+  Session resumed(spec);
+  ASSERT_TRUE(resumed.restore(snapshot));
+  const RunResult facade = resumed.run();
+
+  const auto dataset = make_matched_dataset(spec.config, 100, 21);
+  SequentialTrainer legacy(spec.config, dataset);
+  legacy.restore(snapshot);
+  expect_bit_identical(facade, legacy.run());
+}
+
+TEST(SessionTest, IdxDatasetResolvesAndDownsamples) {
+  testsupport::TempDir dir("session_idx");
+  // Write a tiny 28x28 IDX quartet; the tiny architecture (64 pixels) makes
+  // the Session downsample to 8x8 on load.
+  const auto write_pair = [&](const char* image_name, const char* label_name,
+                              std::uint32_t count) {
+    data::IdxImages images;
+    images.count = count;
+    images.rows = images.cols = 28;
+    images.pixels.assign(count * 28 * 28, 128);
+    ASSERT_TRUE(data::write_idx_images(dir.file(image_name).string(), images));
+    std::vector<std::uint8_t> labels(count, 3);
+    ASSERT_TRUE(data::write_idx_labels(dir.file(label_name).string(), labels));
+  };
+  write_pair("train-images-idx3-ubyte", "train-labels-idx1-ubyte", 32);
+  write_pair("t10k-images-idx3-ubyte", "t10k-labels-idx1-ubyte", 8);
+
+  RunSpec spec = small_spec(Backend::kSequential, 2, 1);
+  spec.dataset.kind = DatasetSpec::Kind::kIdx;
+  spec.dataset.idx_dir = dir.path().string();
+  Session session(spec);
+  ASSERT_TRUE(session.prepare()) << session.error();
+  EXPECT_EQ(session.train_set().size(), 32u);
+  EXPECT_EQ(session.test_set().size(), 8u);
+  EXPECT_EQ(session.train_set().images.cols(), spec.config.arch.image_dim);
+  const RunResult outcome = session.run();
+  EXPECT_EQ(outcome.g_fitnesses.size(), 4u);
+}
+
+TEST(SessionTest, MissingIdxFilesGiveClearError) {
+  testsupport::TempDir dir("session_idx_missing");
+  RunSpec spec = small_spec(Backend::kSequential, 2, 1);
+  spec.dataset.kind = DatasetSpec::Kind::kIdx;
+  spec.dataset.idx_dir = dir.path().string();
+  Session session(spec);
+  EXPECT_FALSE(session.prepare());
+  EXPECT_NE(session.error().find("train-images-idx3-ubyte"), std::string::npos)
+      << session.error();
+  EXPECT_NE(session.error().find(dir.path().string()), std::string::npos);
+  // prepare() stays failed (no half-initialized state).
+  EXPECT_FALSE(session.prepare());
+}
+
+TEST(SessionTest, IdxRefusesUpscaling) {
+  testsupport::TempDir dir("session_idx_big");
+  RunSpec spec = small_spec(Backend::kSequential, 2, 1);
+  spec.config.arch.image_dim = 1024;  // 32x32 > MNIST's 28x28
+  spec.dataset.kind = DatasetSpec::Kind::kIdx;
+  spec.dataset.idx_dir = dir.path().string();
+  Session session(spec);
+  EXPECT_FALSE(session.prepare());
+  EXPECT_NE(session.error().find("synthetic"), std::string::npos)
+      << session.error();
+}
+
+TEST(SessionTest, ResultJsonWritten) {
+  testsupport::TempDir dir("session_json");
+  RunSpec spec = small_spec(Backend::kSequential, 2, 1);
+  spec.result_json = dir.file("result.json").string();
+  Session session(spec);
+  (void)session.run();
+  std::ifstream in(spec.result_json);
+  ASSERT_TRUE(in.good());
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("\"backend\": \"sequential\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"g_fitnesses\""), std::string::npos);
+  EXPECT_NE(text.str().find("\"spec\""), std::string::npos);
+}
+
+TEST(SessionTest, RegistryAcceptsNewBackends) {
+  // The extension seam: a new execution vehicle registers a factory and is
+  // constructible through the same registry the built-ins use.
+  auto& registry = BackendRegistry::instance();
+  const auto names = registry.names();
+  EXPECT_GE(names.size(), 3u);
+  for (const Backend backend : kAllBackends) {
+    EXPECT_NE(std::find(names.begin(), names.end(), to_string(backend)),
+              names.end());
+  }
+
+  class EchoBackend final : public SessionBackend {
+   public:
+    RunResult run() override {
+      RunResult result;
+      result.best_cell = 7;
+      return result;
+    }
+  };
+  registry.register_backend("test-echo", [](const BackendContext&) {
+    return std::make_unique<EchoBackend>();
+  });
+
+  const RunSpec spec = small_spec(Backend::kSequential, 2, 1);
+  const data::Dataset dataset = make_matched_dataset(spec.config, 16, 1);
+  const CostModel cost;
+  const Master::Options options;
+  const BackendContext context{spec, dataset, cost, options};
+  auto backend = registry.create("test-echo", context);
+  ASSERT_NE(backend, nullptr);
+  EXPECT_EQ(backend->run().best_cell, 7);
+  EXPECT_EQ(backend->trainer(), nullptr);
+  EXPECT_EQ(registry.create("no-such-backend", context), nullptr);
+}
+
+}  // namespace
+}  // namespace cellgan::core
