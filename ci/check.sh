@@ -35,6 +35,16 @@ if [ -z "$TIER1" ] || [ "$TIER1" -ne "$TOTAL" ]; then
   exit 1
 fi
 
+# Multi-process smoke at reduced scale: fork a world of 3 real processes
+# (1x2 grid + master) over the TCP transport and require rank 0's RunResult
+# to match the in-process distributed backend bit for bit. This also runs as
+# the `examples.launch_tcp_smoke` ctest; the explicit invocation archives
+# the rank JSONs as CI artifacts.
+echo "=== smoke: cellgan_launch world=3 over TCP + parity check ==="
+./examples/cellgan_launch --grid-rows 1 --grid-cols 2 --iterations 2 \
+  --samples 64 --cost-profile table3 \
+  --rank-results "$BUILD/SMOKE_launch_tcp" --verify-parity true
+
 if [ "$RUN_BENCH" -eq 1 ]; then
   echo "=== bench: table3_scaling (reduced scale) -> BENCH_parallel.json ==="
   BENCH_THREADS=$(( JOBS < 2 ? 2 : JOBS ))

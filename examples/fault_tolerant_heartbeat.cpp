@@ -58,6 +58,10 @@ int main(int argc, char** argv) {
       master_options.heartbeat.interval_s = 0.005;
       master_options.heartbeat.reply_timeout_s = 0.01;
       master_options.heartbeat.miss_threshold = 3;
+      // Worst case of this demo: a slave that never resumes. The
+      // deadline-aware receive turns that from an infinite hang into a named
+      // minimpi::TimeoutError identifying the awaited Finished report.
+      master_options.slave_timeout_s = 120.0;
       core::Master master(world, *global, config, core::CostModel{},
                           master_options);
       // Note: detection is wired through the monitor inside Master; the

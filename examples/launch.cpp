@@ -1,0 +1,253 @@
+// cellgan_launch — the local substitute for `mpirun`: fork one OS process
+// per world rank (grid cells + 1 master), wire the rendezvous into each
+// child through the CELLGAN_RANK / CELLGAN_WORLD / CELLGAN_ENDPOINT
+// environment, and run every rank through the Session facade's
+// `distributed-tcp` backend (real sockets between real processes).
+//
+//   ./cellgan_launch --grid 2 --iterations 4                # 5 processes
+//   ./cellgan_launch --grid-rows 1 --grid-cols 2 --samples 64  # world of 3
+//   ./cellgan_launch ... --verify-parity   # assert rank 0's RunResult JSON
+//                                          # matches the in-process
+//                                          # `distributed` backend bit for bit
+//
+// Each rank writes <--rank-results>.rank<R>.json; rank 0's file carries the
+// aggregated result (fitnesses, best cell, virtual makespan). The same
+// backend works across terminals/machines without this launcher: start each
+// process by hand with the three CELLGAN_* variables exported (see README
+// "Running distributed").
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "minimpi/bootstrap.hpp"
+
+namespace {
+
+using namespace cellgan;
+
+/// Child body: become one rank of the world and run it through the Session
+/// facade, exactly as a hand-started `cellgan_run --backend distributed-tcp`
+/// would. Returns the process exit code.
+int run_rank(core::RunSpec spec, int rank, int world_size,
+             const std::string& endpoint, const std::string& results_prefix) {
+  ::setenv(minimpi::kEnvRank, std::to_string(rank).c_str(), 1);
+  ::setenv(minimpi::kEnvWorld, std::to_string(world_size).c_str(), 1);
+  ::setenv(minimpi::kEnvEndpoint, endpoint.c_str(), 1);
+  spec.backend = core::Backend::kDistributedTcp;
+  spec.result_json = results_prefix + ".rank" + std::to_string(rank) + ".json";
+  try {
+    core::Session session(std::move(spec));
+    if (!session.prepare()) {
+      std::fprintf(stderr, "[rank %d] %s\n", rank, session.error().c_str());
+      return 2;
+    }
+    const core::RunResult result = session.run();
+    if (rank == 0) {
+      std::printf("[rank 0] world of %d done: best cell %d", world_size,
+                  result.best_cell);
+      if (result.virtual_s > 0.0) {
+        std::printf(", virtual %.2f min", result.virtual_s / 60.0);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "[rank %d] %s\n", rank, e.what());
+    return 3;
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return text.str();
+}
+
+/// First `"key": value` line of a RunResult JSON (the result-level keys all
+/// appear before the per-routine blocks), value trimmed of the trailing
+/// comma. Empty when absent.
+std::string extract_value(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto at = json.find(needle);
+  if (at == std::string::npos) return "";
+  const auto begin = at + needle.size();
+  auto end = json.find('\n', begin);
+  if (end == std::string::npos) end = json.size();
+  std::string value = json.substr(begin, end - begin);
+  while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+    value.pop_back();
+  }
+  while (!value.empty() && value.front() == ' ') value.erase(value.begin());
+  return value;
+}
+
+/// Compare the deterministic result fields of two RunResult JSON artifacts.
+/// Wall-clock and heartbeat counters legitimately differ run to run; the
+/// training outcome and the virtual-time accounting must not.
+bool results_match(const std::string& tcp_json, const std::string& inproc_json) {
+  static const char* kKeys[] = {"virtual_s",   "virtual_min", "train_flops",
+                                "best_cell",   "g_fitnesses", "d_fitnesses",
+                                "ranks"};
+  bool ok = true;
+  for (const char* key : kKeys) {
+    const std::string tcp_value = extract_value(tcp_json, key);
+    const std::string inproc_value = extract_value(inproc_json, key);
+    if (tcp_value.empty() || tcp_value != inproc_value) {
+      std::fprintf(stderr, "parity mismatch on \"%s\":\n  tcp:     %s\n"
+                   "  inproc:  %s\n", key, tcp_value.c_str(), inproc_value.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.iterations = 4;
+  defaults.backend = core::Backend::kDistributedTcp;
+
+  common::CliParser cli(
+      "cellgan_launch: fork one process per rank and train over TCP");
+  core::RunSpec::add_flags(cli, defaults);
+  cli.add_flag("grid-rows", "0", "grid rows (0 = keep --grid / spec value)");
+  cli.add_flag("grid-cols", "0", "grid cols (0 = keep --grid / spec value)");
+  cli.add_flag("world", "0", "expected world size (0 = grid cells + 1)");
+  cli.add_flag("endpoint", "", "rank 0 rendezvous host:port (default: pick a"
+               " free loopback port)");
+  cli.add_flag("rank-results", "cellgan_launch",
+               "per-rank RunResult JSON prefix (<prefix>.rank<R>.json)");
+  cli.add_flag("verify-parity", "false",
+               "after the run, execute the in-process distributed backend on"
+               " the same spec and require rank 0's result JSON to match");
+  cli.add_flag("launch-timeout", "300", "seconds before hung ranks are killed");
+  if (!cli.parse(argc, argv)) return 1;
+  auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
+  if (cli.get_int("grid-rows") > 0) {
+    spec->config.grid_rows = static_cast<std::uint32_t>(cli.get_int("grid-rows"));
+  }
+  if (cli.get_int("grid-cols") > 0) {
+    spec->config.grid_cols = static_cast<std::uint32_t>(cli.get_int("grid-cols"));
+  }
+
+  const int world_size = static_cast<int>(spec->config.grid_cells()) + 1;
+  if (cli.get_int("world") != 0 && cli.get_int("world") != world_size) {
+    std::fprintf(stderr, "--world %lld does not match the grid (%u cells + 1"
+                 " master = %d ranks)\n", static_cast<long long>(cli.get_int("world")),
+                 spec->config.grid_cells(), world_size);
+    return 1;
+  }
+  std::string endpoint = cli.get("endpoint");
+  if (endpoint.empty()) endpoint = minimpi::pick_local_endpoint();
+  const std::string results_prefix = cli.get("rank-results");
+
+  std::printf("launching %d ranks (%ux%u grid + master), rendezvous %s\n",
+              world_size, spec->config.grid_rows, spec->config.grid_cols,
+              endpoint.c_str());
+  std::fflush(stdout);
+  std::fflush(stderr);
+
+  // Fork before any thread/pool exists in this process; each child becomes
+  // one rank end to end (dataset load, bootstrap, training, result JSON).
+  std::vector<pid_t> children;
+  children.reserve(static_cast<std::size_t>(world_size));
+  for (int rank = 0; rank < world_size; ++rank) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      for (const pid_t child : children) ::kill(child, SIGKILL);
+      return 1;
+    }
+    if (pid == 0) {
+      ::_exit(run_rank(*spec, rank, world_size, endpoint, results_prefix));
+    }
+    children.push_back(pid);
+  }
+
+  // Reap with a deadline so a wedged rank fails the launch instead of
+  // hanging it.
+  const double timeout_s = static_cast<double>(cli.get_int("launch-timeout"));
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<bool> done(children.size(), false);
+  int failures = 0;
+  std::size_t remaining = children.size();
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t i = 0; i < children.size(); ++i) {
+      if (done[i]) continue;
+      int status = 0;
+      const pid_t reaped = ::waitpid(children[i], &status, WNOHANG);
+      if (reaped == children[i]) {
+        done[i] = true;
+        --remaining;
+        progressed = true;
+        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+          std::fprintf(stderr, "rank %zu failed (status %d)\n", i,
+                       WIFEXITED(status) ? WEXITSTATUS(status) : -1);
+          ++failures;
+        }
+      }
+    }
+    if (remaining == 0) break;
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed > timeout_s) {
+      std::fprintf(stderr, "launch timed out after %.0fs; killing %zu ranks\n",
+                   timeout_s, remaining);
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!done[i]) ::kill(children[i], SIGKILL);
+      }
+      for (std::size_t i = 0; i < children.size(); ++i) {
+        if (!done[i]) ::waitpid(children[i], nullptr, 0);
+      }
+      return 1;
+    }
+    if (!progressed) ::usleep(20 * 1000);
+  }
+  if (failures > 0) return 1;
+
+  const std::string rank0_json = results_prefix + ".rank0.json";
+  std::printf("all %d ranks exited cleanly; rank 0 result: %s\n", world_size,
+              rank0_json.c_str());
+
+  if (!cli.get_bool("verify-parity")) return 0;
+
+  // Reference run: the very same spec through the in-process `distributed`
+  // backend (thread-per-rank simulation). Per-rank outcomes must match the
+  // multi-process run bit for bit.
+  std::printf("verify-parity: running the in-process distributed backend...\n");
+  core::RunSpec reference = *spec;
+  reference.backend = core::Backend::kDistributed;
+  reference.result_json = results_prefix + ".inproc.json";
+  core::Session session(reference);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "reference run: %s\n", session.error().c_str());
+    return 1;
+  }
+  (void)session.run();
+  const std::string tcp_json = read_file(rank0_json);
+  const std::string inproc_json = read_file(reference.result_json);
+  if (tcp_json.empty() || inproc_json.empty()) {
+    std::fprintf(stderr, "parity: missing result JSON (%s / %s)\n",
+                 rank0_json.c_str(), reference.result_json.c_str());
+    return 1;
+  }
+  if (!results_match(tcp_json, inproc_json)) return 1;
+  std::printf("parity OK: distributed-tcp == distributed on virtual time,"
+              " fitnesses and best cell\n");
+  return 0;
+}

@@ -11,6 +11,8 @@
 // the unified RunResult (CI archives one per push as a bench artifact).
 #include <cstdio>
 
+#include <exception>
+
 #include "core/session.hpp"
 
 int main(int argc, char** argv) {
@@ -51,7 +53,15 @@ int main(int argc, char** argv) {
               spec->config.grid_cols, spec->config.iterations,
               session.train_set().size());
 
-  const core::RunResult result = session.run();
+  core::RunResult result;
+  try {
+    result = session.run();
+  } catch (const std::exception& e) {
+    // Named runtime errors (e.g. minimpi Bootstrap/Timeout/TransportError
+    // from the distributed-tcp backend) become a diagnostic, not a terminate.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::printf("wall %.2fs", result.wall_s);
   if (result.virtual_s > 0.0) {
     std::printf(" | virtual %.2f min", result.virtual_s / 60.0);
@@ -66,7 +76,13 @@ int main(int argc, char** argv) {
     std::printf("  cell %zu: G loss %.4f | D loss %.4f\n", cell,
                 result.g_fitnesses[cell], result.d_fitnesses[cell]);
   }
-  std::printf("best cell: %d (G loss %.4f)\n", result.best_cell,
-              result.g_fitnesses[static_cast<std::size_t>(result.best_cell)]);
+  if (result.g_fitnesses.empty()) {
+    // A non-master rank of a multi-process world: the aggregate lives at
+    // rank 0; this process only has its own rank's outcome.
+    std::printf("rank done; aggregated results are collected at rank 0\n");
+  } else {
+    std::printf("best cell: %d (G loss %.4f)\n", result.best_cell,
+                result.g_fitnesses[static_cast<std::size_t>(result.best_cell)]);
+  }
   return 0;
 }

@@ -1,11 +1,46 @@
 #include "core/distributed_trainer.hpp"
 
 #include <mutex>
+#include <utility>
 
 #include "common/timer.hpp"
 #include "core/slave.hpp"
+#include "minimpi/bootstrap.hpp"
+#include "minimpi/errors.hpp"
+#include "minimpi/tcp_transport.hpp"
 
 namespace cellgan::core {
+
+namespace {
+
+/// One rank's life in the master/slave deployment — identical whether the
+/// world is thread-per-rank or one process per rank, which is what makes the
+/// TCP deployment bit-compatible with the in-process simulation.
+void distributed_rank_main(minimpi::Comm& world, const TrainingConfig& config,
+                           const data::Dataset& dataset,
+                           const CostModel& cost_model,
+                           const Master::Options& master_options,
+                           MasterOutcome* master_outcome,
+                           std::mutex* outcome_mutex) {
+  // Communicator contexts (Section III.D): LOCAL excludes the master,
+  // GLOBAL includes everyone. Splits are collective over WORLD.
+  auto local = world.split(world.rank() == 0 ? -1 : 0, world.rank());
+  auto global = world.split(0, world.rank());
+  CG_EXPECT(global.has_value());
+
+  if (world.rank() == 0) {
+    Master master(world, *global, config, cost_model, master_options);
+    MasterOutcome outcome = master.run();
+    std::lock_guard<std::mutex> lock(*outcome_mutex);
+    *master_outcome = std::move(outcome);
+  } else {
+    CG_EXPECT(local.has_value());
+    Slave slave(world, *local, *global, dataset, cost_model);
+    slave.run();
+  }
+}
+
+}  // namespace
 
 double average_slave_routine_virtual_min(
     std::span<const minimpi::Runtime::RankResult> ranks,
@@ -49,27 +84,70 @@ DistributedOutcome run_distributed(const TrainingConfig& config,
   common::WallTimer wall;
 
   auto rank_results = runtime.run([&](minimpi::Comm& world) {
-    // Communicator contexts (Section III.D): LOCAL excludes the master,
-    // GLOBAL includes everyone. Splits are collective over WORLD.
-    auto local = world.split(world.rank() == 0 ? -1 : 0, world.rank());
-    auto global = world.split(0, world.rank());
-    CG_EXPECT(global.has_value());
-
-    if (world.rank() == 0) {
-      Master master(world, *global, config, cost_model, master_options);
-      MasterOutcome master_outcome = master.run();
-      std::lock_guard<std::mutex> lock(outcome_mutex);
-      outcome.master = std::move(master_outcome);
-    } else {
-      CG_EXPECT(local.has_value());
-      Slave slave(world, *local, *global, dataset, cost_model);
-      slave.run();
-    }
+    distributed_rank_main(world, config, dataset, cost_model, master_options,
+                          &outcome.master, &outcome_mutex);
   });
 
   outcome.wall_s = wall.elapsed_s();
   outcome.ranks = std::move(rank_results);
   outcome.virtual_makespan_s = outcome.master.virtual_makespan_s;
+  return outcome;
+}
+
+std::optional<TcpWorld> tcp_world_from_env(std::string* error) {
+  const auto env = minimpi::world_from_env(error);
+  if (!env) return std::nullopt;
+  TcpWorld world;
+  world.world_size = env->world_size;
+  world.rank = env->rank;
+  world.rendezvous = env->rendezvous;
+  return world;
+}
+
+DistributedOutcome run_distributed_tcp(const TcpWorld& world_config,
+                                       const TrainingConfig& config,
+                                       const data::Dataset& dataset,
+                                       const CostModel& cost_model,
+                                       Master::Options master_options) {
+  const int expected_world = static_cast<int>(config.grid_cells()) + 1;
+  if (world_config.world_size != expected_world) {
+    throw minimpi::BootstrapError(
+        "bootstrap: world size " + std::to_string(world_config.world_size) +
+        " does not match the configured grid (" + std::to_string(expected_world) +
+        " = " + std::to_string(config.grid_cells()) + " cells + 1 master)");
+  }
+
+  minimpi::TcpTransportOptions transport_options;
+  transport_options.world_size = world_config.world_size;
+  transport_options.rank = world_config.rank;
+  transport_options.rendezvous = world_config.rendezvous;
+  transport_options.timeout_s = world_config.timeout_s;
+  auto transport = std::make_unique<minimpi::TcpTransport>(transport_options);
+  if (world_config.rank == 0 && world_config.on_listening) {
+    world_config.on_listening(transport->rendezvous_endpoint());
+  }
+
+  // Same world size, net model and seed as the in-process Runtime in
+  // run_distributed — the per-rank virtual clocks and jitter streams line up
+  // exactly, so this rank's outcome is bit-identical to its simulated twin.
+  minimpi::Runtime runtime(world_config.world_size, world_config.rank,
+                           std::move(transport), cost_model.net_config(),
+                           config.seed);
+
+  DistributedOutcome outcome;
+  std::mutex outcome_mutex;
+  common::WallTimer wall;
+  auto rank_results = runtime.run([&](minimpi::Comm& world) {
+    distributed_rank_main(world, config, dataset, cost_model, master_options,
+                          &outcome.master, &outcome_mutex);
+  });
+
+  outcome.wall_s = wall.elapsed_s();
+  outcome.ranks = std::move(rank_results);
+  outcome.virtual_makespan_s =
+      world_config.rank == 0
+          ? outcome.master.virtual_makespan_s
+          : outcome.ranks[static_cast<std::size_t>(world_config.rank)].virtual_time_s;
   return outcome;
 }
 

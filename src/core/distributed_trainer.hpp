@@ -4,7 +4,10 @@
 // WORLD exactly as Section III.D describes.
 #pragma once
 
+#include <functional>
+#include <optional>
 #include <span>
+#include <string>
 
 #include "core/config.hpp"
 #include "core/cost_model.hpp"
@@ -44,5 +47,37 @@ DistributedOutcome run_distributed(const TrainingConfig& config,
                                    const data::Dataset& dataset,
                                    const CostModel& cost_model,
                                    Master::Options master_options);
+
+// ---- multi-process deployment (TCP transport) -------------------------------
+
+/// This process' identity within a multi-process world (one process per
+/// rank; rank 0 is the master). Usually read from the environment that
+/// `cellgan_launch` exports — see minimpi/bootstrap.hpp.
+struct TcpWorld {
+  int world_size = 0;
+  int rank = -1;
+  std::string rendezvous;   ///< rank 0's host:port (rank 0 binds it)
+  double timeout_s = 60.0;  ///< bootstrap / rendezvous deadline
+  /// Test hook: invoked on rank 0 with the actual rendezvous endpoint once
+  /// the listener is bound (resolves a port-0 request before peers dial in).
+  std::function<void(const std::string&)> on_listening;
+};
+
+/// Build a TcpWorld from CELLGAN_RANK / CELLGAN_WORLD / CELLGAN_ENDPOINT.
+/// nullopt (with a diagnostic) when the environment describes no world.
+std::optional<TcpWorld> tcp_world_from_env(std::string* error);
+
+/// Run this process' rank of the master/slave training over real sockets.
+/// Exactly the same per-rank code as run_distributed — same seeds, same
+/// virtual-time accounting — so per-rank outcomes are bit-identical to the
+/// in-process simulation. The returned outcome carries this rank's results:
+/// on rank 0 the full MasterOutcome and makespan, on slaves their own rank
+/// entry only. Throws minimpi::BootstrapError / TimeoutError /
+/// TransportError when the world cannot be formed or a peer dies.
+DistributedOutcome run_distributed_tcp(const TcpWorld& world,
+                                       const TrainingConfig& config,
+                                       const data::Dataset& dataset,
+                                       const CostModel& cost_model = {},
+                                       Master::Options master_options = {});
 
 }  // namespace cellgan::core

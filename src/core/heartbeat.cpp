@@ -29,6 +29,17 @@ std::vector<protocol::StatusReply> HeartbeatMonitor::snapshot() const {
   return latest_;
 }
 
+std::vector<int> HeartbeatMonitor::unresponsive() const {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<int> ranks;
+  for (std::size_t s = 0; s < consecutive_misses_.size(); ++s) {
+    if (consecutive_misses_[s] >= options_.miss_threshold) {
+      ranks.push_back(static_cast<int>(s) + 1);
+    }
+  }
+  return ranks;
+}
+
 void HeartbeatMonitor::set_on_unresponsive(std::function<void(int)> callback) {
   std::lock_guard<std::mutex> lock(state_mutex_);
   on_unresponsive_ = std::move(callback);

@@ -46,6 +46,10 @@ class HeartbeatMonitor {
   /// Number of completed polling cycles so far.
   std::uint64_t cycles() const { return cycles_.load(); }
 
+  /// World ranks currently at or past the miss threshold — the liveness
+  /// verdict the master consults before declaring a silent slave dead.
+  std::vector<int> unresponsive() const;
+
   /// Invoked (from the heartbeat thread) when a slave crosses the miss
   /// threshold. Argument is the slave's world rank.
   void set_on_unresponsive(std::function<void(int)> callback);

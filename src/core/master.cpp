@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "minimpi/errors.hpp"
 
 namespace cellgan::core {
 
@@ -26,10 +27,18 @@ MasterOutcome Master::run() {
   const int slaves = world_.size() - 1;
   MasterOutcome outcome;
 
+  // Deadline-aware control-plane receive when the caller bounded its
+  // patience with slaves (Options::slave_timeout_s).
+  const auto recv_control = [&](int source, int tag) {
+    return options_.slave_timeout_s > 0.0
+               ? world_.recv_timeout(source, tag, options_.slave_timeout_s)
+               : world_.recv(source, tag);
+  };
+
   // 1. Gather information about the computing infrastructure.
   outcome.node_names.resize(slaves);
   for (int i = 0; i < slaves; ++i) {
-    const auto m = world_.recv(minimpi::kAnySource, protocol::kNodeName);
+    const auto m = recv_control(minimpi::kAnySource, protocol::kNodeName);
     outcome.node_names[m.source - 1] =
         std::string(m.payload.begin(), m.payload.end());
   }
@@ -53,9 +62,35 @@ MasterOutcome Master::run() {
   HeartbeatMonitor heartbeat(world_, options_.heartbeat);
   if (options_.enable_heartbeat) heartbeat.start();
 
-  // 6. Wait for every slave to report Finished (any order).
+  // 6. Wait for every slave to report Finished (any order). With a slave
+  // timeout configured the wait is liveness-aware, not duration-bounded: a
+  // quiet interval only becomes TimeoutError when the heartbeat monitor also
+  // finds a slave unresponsive (or is disabled), so an honest long training
+  // run can take arbitrarily long while a dead peer is still named quickly.
+  const auto recv_finished = [&]() -> minimpi::Message {
+    if (options_.slave_timeout_s <= 0.0) {
+      return world_.recv(minimpi::kAnySource, protocol::kFinished);
+    }
+    for (;;) {
+      auto m = world_.recv_for(minimpi::kAnySource, protocol::kFinished,
+                               options_.slave_timeout_s);
+      if (m) return std::move(*m);
+      const std::vector<int> stuck =
+          options_.enable_heartbeat ? heartbeat.unresponsive() : std::vector<int>{};
+      if (!options_.enable_heartbeat || !stuck.empty()) {
+        std::string names;
+        for (const int rank : stuck) names += " " + std::to_string(rank);
+        throw minimpi::TimeoutError(
+            "master: no Finished report within " +
+            std::to_string(options_.slave_timeout_s) + "s" +
+            (stuck.empty() ? " (heartbeat disabled)"
+                           : " and unresponsive slave rank(s):" + names));
+      }
+      // Every slave still answers heartbeats: keep waiting.
+    }
+  };
   for (int i = 0; i < slaves; ++i) {
-    const auto m = world_.recv(minimpi::kAnySource, protocol::kFinished);
+    const auto m = recv_finished();
     common::log_debug() << "master: slave rank " << m.source << " finished";
   }
   if (options_.enable_heartbeat) heartbeat.stop();

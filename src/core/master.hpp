@@ -36,6 +36,17 @@ class Master {
   struct Options {
     bool enable_heartbeat = true;
     HeartbeatMonitor::Options heartbeat;
+    /// When > 0, the master's waits on slave control messages (node names at
+    /// startup, Finished reports at the end) use deadline-aware receives: a
+    /// slave that dies surfaces as minimpi::TimeoutError naming the awaited
+    /// message instead of hanging the run forever. The Finished wait is
+    /// liveness-gated: while the heartbeat monitor still gets replies from
+    /// every slave the master keeps waiting, so the timeout does not bound
+    /// honest training time. 0 keeps the historical blocking waits. (The
+    /// final GLOBAL result gather is not yet deadline-aware — a slave dying
+    /// *after* its Finished report still blocks it; rank-failure recovery is
+    /// a ROADMAP item.)
+    double slave_timeout_s = 0.0;
   };
 
   Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "common/expect.hpp"
+#include "core/session.hpp"  // BackendRegistry: parse-time backend validation
 
 namespace cellgan::core {
 
@@ -19,6 +20,7 @@ const char* to_string(Backend backend) {
     case Backend::kSequential: return "sequential";
     case Backend::kThreads: return "threads";
     case Backend::kDistributed: return "distributed";
+    case Backend::kDistributedTcp: return "distributed-tcp";
   }
   return "unknown";
 }
@@ -27,8 +29,50 @@ std::optional<Backend> backend_from_string(std::string_view name) {
   if (name == "sequential" || name == "seq") return Backend::kSequential;
   if (name == "threads" || name == "parallel") return Backend::kThreads;
   if (name == "distributed" || name == "dist") return Backend::kDistributed;
+  if (name == "distributed-tcp" || name == "tcp") return Backend::kDistributedTcp;
   return std::nullopt;
 }
+
+std::string registered_backend_names() {
+  std::string joined;
+  for (const auto& name : BackendRegistry::instance().names()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+namespace {
+
+/// Resolve a user-supplied backend name against both the enum vocabulary and
+/// the live registry; on failure `error` holds a diagnostic listing every
+/// registered backend (the parse-time rejection that used to happen only
+/// inside Session::run).
+std::optional<Backend> resolve_backend_name(const std::string& name,
+                                            std::string* error) {
+  const auto backend = backend_from_string(name);
+  if (!backend) {
+    if (BackendRegistry::instance().has(name)) {
+      // Registered under a name outside the RunSpec vocabulary (custom
+      // vehicles normally re-register a built-in name to swap it everywhere).
+      *error = "backend '" + name + "' is registered with the Session but is "
+               "not a RunSpec backend; re-register it as one of: sequential, "
+               "threads, distributed, distributed-tcp";
+    } else {
+      *error = "unknown backend '" + name + "' (registered: " +
+               registered_backend_names() + ")";
+    }
+    return std::nullopt;
+  }
+  if (!BackendRegistry::instance().has(to_string(*backend))) {
+    *error = "backend '" + name + "' is not registered in this build (registered: " +
+             registered_backend_names() + ")";
+    return std::nullopt;
+  }
+  return backend;
+}
+
+}  // namespace
 
 const char* to_string(CostProfileKind kind) {
   switch (kind) {
@@ -129,7 +173,8 @@ std::string DatasetSpec::to_text() const {
 void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
   cli.add_flag("spec", "", "load a RunSpec JSON file first; explicit flags override");
   cli.add_flag("backend", to_string(defaults.backend),
-               "execution backend: sequential | threads | distributed");
+               "execution backend: sequential | threads | distributed |"
+               " distributed-tcp");
   cli.add_flag("threads", std::to_string(defaults.threads),
                "worker lanes for --backend threads");
   cli.add_flag("grid", std::to_string(defaults.config.grid_rows),
@@ -189,10 +234,10 @@ std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
     spec = *loaded;
   }
   if (cli.was_set("backend")) {
-    const auto backend = backend_from_string(cli.get("backend"));
+    std::string backend_error;
+    const auto backend = resolve_backend_name(cli.get("backend"), &backend_error);
     if (!backend) {
-      std::fprintf(stderr, "unknown backend '%s' (want sequential | threads |"
-                   " distributed)\n", cli.get("backend").c_str());
+      std::fprintf(stderr, "--backend: %s\n", backend_error.c_str());
       return std::nullopt;
     }
     spec.backend = *backend;
@@ -535,8 +580,9 @@ std::optional<RunSpec> RunSpec::from_text(const std::string& text,
     std::string value;
     if (key == "backend") {
       if (!r.read_string(value)) return false;
-      const auto backend = backend_from_string(value);
-      if (!backend) return r.fail("unknown backend '" + value + "'");
+      std::string backend_error;
+      const auto backend = resolve_backend_name(value, &backend_error);
+      if (!backend) return r.fail(backend_error);
       spec.backend = *backend;
       return true;
     }

@@ -25,18 +25,31 @@
 
 namespace cellgan::core {
 
-/// Which execution vehicle runs the grid (Table III's three columns).
+/// Which execution vehicle runs the grid (Table III's three columns, plus
+/// the multi-process deployment of the same master/slave system).
 enum class Backend : std::uint32_t {
   kSequential = 0,   ///< one process, cells stepped one at a time
   kThreads = 1,      ///< one process, cells stepped on ThreadPool lanes
-  kDistributed = 2,  ///< minimpi master + one slave rank per cell
+  kDistributed = 2,  ///< minimpi master + one slave rank per cell (threads)
+  /// One OS process per rank, frames over TCP sockets; this process runs the
+  /// single rank named by the CELLGAN_RANK/CELLGAN_WORLD/CELLGAN_ENDPOINT
+  /// environment (exported by `cellgan_launch`). Per-rank outcomes are
+  /// bit-identical to kDistributed on the same seed.
+  kDistributedTcp = 3,
 };
 
+/// The vehicles a single process can run self-contained (kDistributedTcp is
+/// excluded: it needs a multi-process world around it).
 inline constexpr Backend kAllBackends[] = {Backend::kSequential, Backend::kThreads,
                                            Backend::kDistributed};
 
 const char* to_string(Backend backend);
 std::optional<Backend> backend_from_string(std::string_view name);
+
+/// ", "-joined names currently registered in the BackendRegistry — the
+/// vocabulary `--backend` / RunSpec parsing validates against (and prints in
+/// its errors), so an unregistered name fails at parse time, not mid-run.
+std::string registered_backend_names();
 
 /// Which CostProfile calibrates the virtual clocks (empty model = pure
 /// wall-clock runs; table3/table4 reproduce the paper's two — mutually

@@ -7,6 +7,7 @@
 
 #include "common/expect.hpp"
 #include "core/grid.hpp"
+#include "minimpi/bootstrap.hpp"
 #include "core/mixture.hpp"
 #include "core/parallel_trainer.hpp"
 #include "core/sequential_trainer.hpp"
@@ -117,6 +118,29 @@ class InProcessBackend final : public SessionBackend {
   std::unique_ptr<InProcessTrainer> trainer_;
 };
 
+/// One DistributedOutcome -> RunResult mapping for both distributed
+/// backends, keeping their JSON artifacts field-for-field comparable (the
+/// cellgan_launch --verify-parity contract).
+RunResult distributed_run_result(Backend kind, DistributedOutcome outcome) {
+  RunResult result;
+  result.backend = kind;
+  result.wall_s = outcome.wall_s;
+  result.virtual_s = outcome.virtual_makespan_s;
+  result.best_cell = outcome.master.best_cell;
+  result.g_fitnesses.reserve(outcome.master.results.size());
+  result.d_fitnesses.reserve(outcome.master.results.size());
+  for (const auto& cell : outcome.master.results) {
+    result.g_fitnesses.push_back(cell.center.g_fitness);
+    result.d_fitnesses.push_back(cell.center.d_fitness);
+  }
+  for (const auto& rank : outcome.ranks) result.profiler.merge(rank.profiler);
+  result.cell_results = std::move(outcome.master.results);
+  result.ranks = std::move(outcome.ranks);
+  result.node_names = std::move(outcome.master.node_names);
+  result.heartbeat_cycles = outcome.master.heartbeat_cycles;
+  return result;
+}
+
 /// run_distributed behind the facade.
 class DistributedBackend final : public SessionBackend {
  public:
@@ -125,25 +149,9 @@ class DistributedBackend final : public SessionBackend {
         cost_model_(context.cost_model), master_options_(context.master_options) {}
 
   RunResult run() override {
-    DistributedOutcome outcome =
-        run_distributed(spec_.config, train_set_, cost_model_, master_options_);
-    RunResult result;
-    result.backend = Backend::kDistributed;
-    result.wall_s = outcome.wall_s;
-    result.virtual_s = outcome.virtual_makespan_s;
-    result.best_cell = outcome.master.best_cell;
-    result.g_fitnesses.reserve(outcome.master.results.size());
-    result.d_fitnesses.reserve(outcome.master.results.size());
-    for (const auto& cell : outcome.master.results) {
-      result.g_fitnesses.push_back(cell.center.g_fitness);
-      result.d_fitnesses.push_back(cell.center.d_fitness);
-    }
-    for (const auto& rank : outcome.ranks) result.profiler.merge(rank.profiler);
-    result.cell_results = std::move(outcome.master.results);
-    result.ranks = std::move(outcome.ranks);
-    result.node_names = std::move(outcome.master.node_names);
-    result.heartbeat_cycles = outcome.master.heartbeat_cycles;
-    return result;
+    return distributed_run_result(
+        Backend::kDistributed,
+        run_distributed(spec_.config, train_set_, cost_model_, master_options_));
   }
 
  private:
@@ -151,6 +159,40 @@ class DistributedBackend final : public SessionBackend {
   const data::Dataset& train_set_;
   CostModel cost_model_;  // by value: the Session may be reconfigured
   Master::Options master_options_;
+};
+
+/// run_distributed_tcp behind the facade: this process hosts one rank of a
+/// multi-process world described by the CELLGAN_* environment (exported by
+/// cellgan_launch).
+class TcpDistributedBackend final : public SessionBackend {
+ public:
+  TcpDistributedBackend(const BackendContext& context, TcpWorld world)
+      : spec_(context.spec), train_set_(context.train_set),
+        cost_model_(context.cost_model), master_options_(context.master_options),
+        world_(std::move(world)) {
+    // Over real processes a dead slave otherwise hangs the master forever
+    // (its clean socket close is indistinguishable from early completion):
+    // arm the liveness-gated timeout by default so the worst case is a named
+    // TimeoutError. Heartbeat replies keep an honest long run alive past the
+    // deadline; callers can still pin their own via Session::set_master_options.
+    if (master_options_.slave_timeout_s <= 0.0) {
+      master_options_.slave_timeout_s = 600.0;
+    }
+  }
+
+  RunResult run() override {
+    return distributed_run_result(
+        Backend::kDistributedTcp,
+        run_distributed_tcp(world_, spec_.config, train_set_, cost_model_,
+                            master_options_));
+  }
+
+ private:
+  const RunSpec& spec_;
+  const data::Dataset& train_set_;
+  CostModel cost_model_;  // by value: the Session may be reconfigured
+  Master::Options master_options_;
+  TcpWorld world_;
 };
 
 }  // namespace
@@ -179,6 +221,23 @@ BackendRegistry::BackendRegistry() {
   register_backend(to_string(Backend::kDistributed),
                    [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
                      return std::make_unique<DistributedBackend>(context);
+                   });
+  register_backend(to_string(Backend::kDistributedTcp),
+                   [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
+                     std::string env_error;
+                     auto world = tcp_world_from_env(&env_error);
+                     if (!world) {
+                       if (context.error != nullptr) {
+                         *context.error =
+                             "distributed-tcp: " + env_error +
+                             " (start this rank through cellgan_launch, or export " +
+                             std::string(minimpi::kEnvRank) + "/" +
+                             minimpi::kEnvWorld + "/" + minimpi::kEnvEndpoint + ")";
+                       }
+                       return nullptr;
+                     }
+                     return std::make_unique<TcpDistributedBackend>(context,
+                                                                    std::move(*world));
                    });
 }
 
@@ -308,18 +367,28 @@ bool Session::prepare() {
 SessionBackend* Session::ensure_backend() {
   if (!prepare()) return nullptr;
   if (backend_ == nullptr) {
-    const BackendContext context{spec_, train_set(), cost_model_, master_options_};
+    const BackendContext context{spec_, train_set(), cost_model_, master_options_,
+                                 &error_};
     backend_ = BackendRegistry::instance().create(to_string(spec_.backend), context);
+    if (backend_ == nullptr && error_.empty()) {
+      error_ = "backend '" + std::string(to_string(spec_.backend)) +
+               "' failed to initialize";
+    }
   }
   return backend_.get();
 }
 
 RunResult Session::run() {
+  if (!prepare()) {
+    std::fprintf(stderr, "[session] %s\n", error_.c_str());
+    CG_EXPECT(prepared_);  // contract: call prepare() first to handle failures
+  }
   SessionBackend* backend = ensure_backend();
   if (backend == nullptr) {
-    std::fprintf(stderr, "[session] %s\n", error_.c_str());
+    // prepare() succeeded but the factory could not build its vehicle (e.g.
+    // distributed-tcp without a CELLGAN_* world): a named, catchable error.
+    throw std::runtime_error(error_);
   }
-  CG_EXPECT(backend != nullptr);
   RunResult result = backend->run();
   if (!spec_.result_json.empty()) {
     write_result_json(spec_.result_json, spec_, result);

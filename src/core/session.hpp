@@ -79,15 +79,19 @@ struct BackendContext {
   const data::Dataset& train_set;
   const CostModel& cost_model;
   const Master::Options& master_options;
+  /// When set, a factory that cannot build its vehicle (e.g. distributed-tcp
+  /// without the CELLGAN_* environment) writes the reason here and returns
+  /// nullptr; the Session surfaces it through error().
+  std::string* error = nullptr;
 };
 
 using BackendFactory = std::function<std::unique_ptr<SessionBackend>(const BackendContext&)>;
 
-/// Name -> factory map the Session resolves backends through. The three
-/// built-ins ("sequential", "threads", "distributed") self-register; an
-/// alternative implementation (a sockets-backed distributed runtime, a GPU
-/// vehicle) registers under its own name — or re-registers a built-in name
-/// to swap the implementation behind every existing call site.
+/// Name -> factory map the Session resolves backends through. The four
+/// built-ins ("sequential", "threads", "distributed", "distributed-tcp")
+/// self-register; an alternative implementation (a shared-memory transport,
+/// a GPU vehicle) registers under its own name — or re-registers a built-in
+/// name to swap the implementation behind every existing call site.
 class BackendRegistry {
  public:
   static BackendRegistry& instance();
@@ -139,7 +143,10 @@ class Session {
   void set_master_options(Master::Options options);
 
   /// Execute the run. CG_EXPECTs that prepare() succeeded (call it first to
-  /// handle failures gracefully). Writes spec.result_json when set.
+  /// handle failures gracefully); throws std::runtime_error carrying error()
+  /// when the prepared backend cannot be constructed (e.g. distributed-tcp
+  /// without a CELLGAN_* world in the environment). Writes spec.result_json
+  /// when set.
   RunResult run();
 
   /// Resolved datasets; valid after a successful prepare().

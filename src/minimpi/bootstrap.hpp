@@ -1,0 +1,92 @@
+// Rendezvous/bootstrap of a multi-process minimpi world.
+//
+// Deployment contract (mirrors an mpirun rank file): every process knows its
+// rank, the world size, and the *rendezvous endpoint* — the host:port where
+// rank 0 listens. Each peer binds its own ephemeral listener, registers
+// (rank, endpoint) with rank 0, receives the full rank -> endpoint table
+// back, and the processes then dial a full mesh (rank i connects to every
+// j < i; the registration connection doubles as the 0<->i link). The three
+// values arrive through the CELLGAN_RANK / CELLGAN_WORLD / CELLGAN_ENDPOINT
+// environment variables, which is what `cellgan_launch` exports into the
+// processes it forks.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cellgan::minimpi {
+
+inline constexpr const char* kEnvRank = "CELLGAN_RANK";
+inline constexpr const char* kEnvWorld = "CELLGAN_WORLD";
+inline constexpr const char* kEnvEndpoint = "CELLGAN_ENDPOINT";
+
+/// host:port pair. Host must be a numeric IPv4 address (the launcher and the
+/// two-terminal workflow both use explicit addresses; name resolution is a
+/// deployment concern this layer stays out of).
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+
+  std::string to_string() const;
+  static std::optional<Endpoint> parse(const std::string& text,
+                                       std::string* error = nullptr);
+};
+
+/// The identity a process needs to join a world, as read from the
+/// CELLGAN_* environment. nullopt (with a diagnostic naming the missing or
+/// malformed variable) when the environment does not describe a world.
+struct WorldEnv {
+  int world_size = 0;
+  int rank = -1;
+  std::string rendezvous;  ///< rank 0's endpoint, unparsed
+};
+
+std::optional<WorldEnv> world_from_env(std::string* error);
+
+// ---- socket helpers (shared by the TCP transport and the launcher) ---------
+
+/// Bind + listen on `endpoint` (port 0 = ephemeral). Returns the fd, or -1
+/// with `error` set.
+int listen_on(const Endpoint& endpoint, std::string* error);
+
+/// The actual bound address of a listening socket (resolves port 0).
+Endpoint local_endpoint_of(int listen_fd);
+
+/// Dial `endpoint`, retrying until `timeout_s` elapses (peers may start
+/// before the listener is up). Returns the fd, or -1 with `error` set.
+int connect_with_retry(const Endpoint& endpoint, double timeout_s,
+                       std::string* error);
+
+/// Write exactly `n` bytes (EINTR-safe, SIGPIPE suppressed). False on error.
+bool write_all(int fd, const void* data, std::size_t n);
+
+/// Read exactly `n` bytes. False on EOF or error (check errno / bytes read
+/// via `got` when provided).
+bool read_exact(int fd, void* data, std::size_t n, std::size_t* got = nullptr);
+
+/// Reserve-and-release an ephemeral loopback port for a process that must
+/// announce an endpoint before binding it (the launcher). The tiny window
+/// between release and the child's bind is unavoidable without fd passing;
+/// acceptable for a local launcher.
+std::string pick_local_endpoint();
+
+// ---- mesh bootstrap ---------------------------------------------------------
+
+/// Fully-connected world as seen by one rank.
+struct Mesh {
+  /// One connected socket per peer world rank; entry [own rank] is -1.
+  std::vector<int> peer_fds;
+  /// rank -> listener endpoint table (informational once the mesh is up).
+  std::vector<std::string> endpoints;
+};
+
+/// Run the rendezvous protocol over `listen_fd` (this rank's bound listener;
+/// for rank 0 it must be bound to the rendezvous endpoint). Blocking; throws
+/// BootstrapError naming the first rank/step that failed once `timeout_s`
+/// elapses. On return every peer_fds entry is a connected stream socket.
+Mesh bootstrap_mesh(int listen_fd, int rank, int world_size,
+                    const Endpoint& rendezvous, double timeout_s);
+
+}  // namespace cellgan::minimpi

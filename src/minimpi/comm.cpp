@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "minimpi/errors.hpp"
+
 namespace cellgan::minimpi {
 
 namespace {
@@ -14,14 +16,15 @@ constexpr int kTagAllgather = -6;
 }  // namespace
 
 Comm::Comm(Runtime& runtime, int context_id, int local_rank)
-    : runtime_(&runtime), context_id_(context_id), local_rank_(local_rank) {}
+    : runtime_(&runtime), context_id_(context_id),
+      context_(&runtime.context(context_id)), local_rank_(local_rank) {}
 
 int Comm::size() const {
-  return static_cast<int>(runtime_->context(context_id_).members.size());
+  return static_cast<int>(context_->members.size());
 }
 
 int Comm::world_rank_of(int local_rank) const {
-  const auto& members = runtime_->context(context_id_).members;
+  const auto& members = context_->members;
   CG_EXPECT(local_rank >= 0 && local_rank < static_cast<int>(members.size()));
   return members[local_rank];
 }
@@ -39,8 +42,7 @@ common::Rng& Comm::jitter_rng() {
 }
 
 void Comm::send(int dst, int tag, std::span<const std::uint8_t> bytes) {
-  CommContext& ctx = runtime_->context(context_id_);
-  CG_EXPECT(dst >= 0 && dst < static_cast<int>(ctx.members.size()));
+  CG_EXPECT(dst >= 0 && dst < size());
   const NetModel& net = runtime_->net();
   common::VirtualClock& my_clock = clock();
   // Sender is busy for the serialization/transfer cost, then the message
@@ -59,22 +61,21 @@ void Comm::send(int dst, int tag, std::span<const std::uint8_t> bytes) {
   m.tag = tag;
   m.arrival_vt = arrival;
   m.payload.assign(bytes.begin(), bytes.end());
-  ctx.mailboxes[dst]->push(std::move(m));
+  runtime_->dispatch(context_->key, context_->members[dst], dst, std::move(m));
 }
 
 void Comm::send_oob(int dst, int tag, std::span<const std::uint8_t> bytes) {
-  CommContext& ctx = runtime_->context(context_id_);
-  CG_EXPECT(dst >= 0 && dst < static_cast<int>(ctx.members.size()));
+  CG_EXPECT(dst >= 0 && dst < size());
   Message m;
   m.source = local_rank_;
   m.tag = tag;
   m.arrival_vt = 0.0;
   m.payload.assign(bytes.begin(), bytes.end());
-  ctx.mailboxes[dst]->push(std::move(m));
+  runtime_->dispatch(context_->key, context_->members[dst], dst, std::move(m));
 }
 
 Message Comm::recv(int src, int tag) {
-  Message m = runtime_->context(context_id_).mailboxes[local_rank_]->pop(src, tag);
+  Message m = context_->mailboxes[local_rank_]->pop(src, tag);
   const NetModel& net = runtime_->net();
   if (net.enabled()) {
     common::VirtualClock& my_clock = clock();
@@ -85,8 +86,7 @@ Message Comm::recv(int src, int tag) {
 }
 
 std::optional<Message> Comm::recv_for(int src, int tag, double timeout_s) {
-  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->pop_for(src, tag,
-                                                                          timeout_s);
+  auto m = context_->mailboxes[local_rank_]->pop_for(src, tag, timeout_s);
   if (m && runtime_->net().enabled()) {
     clock().wait_until(m->arrival_vt);
     clock().advance(runtime_->net().recv_cost_s(m->payload.size()));
@@ -94,8 +94,23 @@ std::optional<Message> Comm::recv_for(int src, int tag, double timeout_s) {
   return m;
 }
 
+Message Comm::recv_timeout(int src, int tag, double timeout_s) {
+  auto m = recv_for(src, tag, timeout_s);
+  if (!m) {
+    const auto name = [](int value, const char* any) {
+      return value < 0 ? std::string(any) : std::to_string(value);
+    };
+    throw TimeoutError("recv timed out after " + std::to_string(timeout_s) +
+                       "s waiting for (source=" + name(src, "any") +
+                       ", tag=" + name(tag, "any") + ") on rank " +
+                       std::to_string(local_rank_) + " of a " +
+                       std::to_string(size()) + "-member communicator");
+  }
+  return std::move(*m);
+}
+
 std::optional<Message> Comm::try_recv(int src, int tag) {
-  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->try_pop(src, tag);
+  auto m = context_->mailboxes[local_rank_]->try_pop(src, tag);
   if (m && runtime_->net().enabled()) {
     clock().wait_until(m->arrival_vt);
     clock().advance(runtime_->net().recv_cost_s(m->payload.size()));
@@ -106,16 +121,16 @@ std::optional<Message> Comm::try_recv(int src, int tag) {
 std::optional<Message> Comm::try_recv_arrived(int src, int tag) {
   const NetModel& net = runtime_->net();
   if (!net.enabled()) {
-    return runtime_->context(context_id_).mailboxes[local_rank_]->try_pop(src, tag);
+    return context_->mailboxes[local_rank_]->try_pop(src, tag);
   }
-  auto m = runtime_->context(context_id_).mailboxes[local_rank_]->try_pop_arrived(
+  auto m = context_->mailboxes[local_rank_]->try_pop_arrived(
       src, tag, clock().now());
   if (m) clock().advance(net.recv_cost_s(m->payload.size()));
   return m;
 }
 
 bool Comm::probe(int src, int tag) {
-  return runtime_->context(context_id_).mailboxes[local_rank_]->probe(src, tag);
+  return context_->mailboxes[local_rank_]->probe(src, tag);
 }
 
 void Comm::barrier() {
@@ -179,7 +194,6 @@ std::vector<std::vector<std::uint8_t>> Comm::allgather(
   out[local_rank_].assign(bytes.begin(), bytes.end());
   if (n == 1) return out;
 
-  CommContext& ctx = runtime_->context(context_id_);
   const NetModel& net = runtime_->net();
   double completes_at = 0.0;
   if (net.enabled()) {
@@ -194,7 +208,7 @@ std::vector<std::vector<std::uint8_t>> Comm::allgather(
     m.tag = kTagAllgather;
     m.arrival_vt = completes_at;
     m.payload.assign(bytes.begin(), bytes.end());
-    ctx.mailboxes[r]->push(std::move(m));
+    runtime_->dispatch(context_->key, context_->members[r], r, std::move(m));
   }
   for (int r = 0; r < n; ++r) {
     if (r == local_rank_) continue;

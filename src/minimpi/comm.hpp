@@ -56,6 +56,12 @@ class Comm {
   Message recv(int src, int tag);
   /// Timed receive (real time); nullopt on timeout.
   std::optional<Message> recv_for(int src, int tag, double timeout_s);
+  /// Deadline-aware receive: like recv, but a peer that stays silent for
+  /// `timeout_s` real seconds raises TimeoutError (errors.hpp) naming the
+  /// awaited (source, tag) — a dead peer becomes a named error instead of an
+  /// infinite hang. Used by the multi-process transport's control paths and
+  /// any caller that must survive peer loss.
+  Message recv_timeout(int src, int tag, double timeout_s);
   /// Non-blocking receive.
   std::optional<Message> try_recv(int src, int tag);
   /// Non-blocking receive that only yields messages already arrived in
@@ -97,6 +103,11 @@ class Comm {
 
   Runtime* runtime_;
   int context_id_;
+  /// Resolved once at construction: CommContext storage is stable (owned by
+  /// the Runtime through unique_ptr) and immutable after creation, so the
+  /// per-message paths read membership/key/mailboxes without touching the
+  /// runtime-wide context lock.
+  CommContext* context_;
   int local_rank_;
 };
 

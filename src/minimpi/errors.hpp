@@ -1,0 +1,43 @@
+// Named error types for the message-passing runtime.
+//
+// The thread-per-rank simulator could afford to model every failure as a
+// fail-stop abort; a multi-process deployment cannot — a dead peer, a
+// malformed wire frame or a bootstrap that never completes must surface as a
+// *named* error the caller can report (and a test can assert on) instead of
+// an infinite hang. All runtime errors derive from MiniMpiError so callers
+// can catch the whole family at the process boundary.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cellgan::minimpi {
+
+/// Base class of every error raised by the minimpi runtime.
+class MiniMpiError : public std::runtime_error {
+ public:
+  explicit MiniMpiError(const std::string& message) : std::runtime_error(message) {}
+};
+
+/// A deadline-aware receive expired before a matching message arrived —
+/// the visible symptom of a dead or wedged peer.
+class TimeoutError : public MiniMpiError {
+ public:
+  using MiniMpiError::MiniMpiError;
+};
+
+/// The wire carried something that is not a valid frame, or a frame was
+/// addressed to a (context, rank) this process cannot deliver to.
+class TransportError : public MiniMpiError {
+ public:
+  using MiniMpiError::MiniMpiError;
+};
+
+/// The rendezvous/mesh build of a multi-process world failed (peer missing,
+/// endpoint unusable, handshake garbled).
+class BootstrapError : public MiniMpiError {
+ public:
+  using MiniMpiError::MiniMpiError;
+};
+
+}  // namespace cellgan::minimpi

@@ -39,9 +39,14 @@ Message Mailbox::pop(int source, int tag) {
 }
 
 std::optional<Message> Mailbox::pop_for(int source, int tag, double timeout_s) {
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                            std::chrono::duration<double>(timeout_s));
+  return pop_until(source, tag,
+                   std::chrono::steady_clock::now() +
+                       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                           std::chrono::duration<double>(timeout_s)));
+}
+
+std::optional<Message> Mailbox::pop_until(
+    int source, int tag, std::chrono::steady_clock::time_point deadline) {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (auto m = extract_locked(source, tag)) return m;

@@ -6,6 +6,7 @@
 // the timed variant backs the heartbeat protocol's "wait X seconds" poll.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -26,6 +27,13 @@ class Mailbox {
 
   /// Like pop() but gives up after `timeout_s` real seconds.
   std::optional<Message> pop_for(int source, int tag, double timeout_s);
+
+  /// Deadline-aware pop: like pop_for but against an absolute deadline, so a
+  /// caller waiting on several sources can share one overall budget. The
+  /// building block of Comm::recv_timeout (a dead peer surfaces as a named
+  /// error instead of an infinite hang).
+  std::optional<Message> pop_until(int source, int tag,
+                                   std::chrono::steady_clock::time_point deadline);
 
   /// Non-blocking: remove and return a matching message if one is queued.
   std::optional<Message> try_pop(int source, int tag);

@@ -1,0 +1,131 @@
+// Transport seam of the minimpi runtime.
+//
+// A Transport moves *frames* — a Message plus the (context, destination)
+// addressing the mailbox layer needs — between world ranks. The Runtime
+// routes every send through its Transport and receives every delivery
+// through a frame sink, so the execution substrate is pluggable:
+//
+//   InProcTransport  all ranks live in one process (thread-per-rank); a
+//                    frame is handed straight back to the owning Runtime's
+//                    sink — bit-identical to the historical direct mailbox
+//                    push.
+//   TcpTransport     one process per rank; frames are length-prefix encoded
+//                    and carried over POSIX sockets (tcp_transport.hpp).
+//
+// The wire format lives here (encode_frame / decode_frame_header) so that
+// framing is testable without sockets and shared by every remote transport.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cellgan::minimpi {
+
+/// One routed message: Message fields plus addressing. `context_key` is the
+/// process-independent communicator id (Runtime derives equal keys for equal
+/// split sequences on every member), `src_rank` / `dst_rank` are local ranks
+/// within that communicator.
+struct Frame {
+  std::uint64_t context_key = 0;
+  std::int32_t src_rank = 0;
+  std::int32_t dst_rank = 0;
+  std::int32_t tag = 0;
+  double arrival_vt = 0.0;  ///< simulated arrival stamp (see message.hpp)
+  std::vector<std::uint8_t> payload;
+};
+
+// ---- wire format -----------------------------------------------------------
+//
+// [magic u32][context_key u64][src i32][dst i32][tag i32][arrival_vt f64]
+// [payload_len u64][payload bytes], all fields little-endian.
+
+/// Little-endian integer codec shared by every wire format in minimpi (frame
+/// headers here, bootstrap handshake messages, split contributions).
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+inline constexpr std::uint32_t kFrameMagic = 0x31464743;  // "CGF1"
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 8 + 4 + 4 + 4 + 8 + 8;
+/// Upper bound on a frame payload: far above any genome/result message but
+/// small enough that a corrupted length field cannot trigger a huge
+/// allocation before being rejected.
+inline constexpr std::uint64_t kMaxFramePayload = 1ULL << 30;
+
+/// Serialize header + payload into one contiguous buffer.
+std::vector<std::uint8_t> encode_frame(const Frame& frame);
+
+enum class FrameDecodeStatus {
+  kOk,           ///< header valid; *payload_len more bytes complete the frame
+  kNeedMore,     ///< fewer than kFrameHeaderBytes available
+  kBadMagic,     ///< bytes do not start a frame
+  kOversized,    ///< payload length exceeds kMaxFramePayload
+};
+
+const char* to_string(FrameDecodeStatus status);
+
+/// Validate and decode a frame header from the front of `bytes`. On kOk the
+/// header fields of `out` are filled (payload untouched) and `payload_len`
+/// receives the advertised payload size.
+FrameDecodeStatus decode_frame_header(std::span<const std::uint8_t> bytes,
+                                      Frame* out, std::uint64_t* payload_len);
+
+// ---- transport interface ---------------------------------------------------
+
+/// Delivery callback: invoked (possibly from a background receiver thread)
+/// with every frame addressed to this process. The Runtime installs its
+/// ingest function here.
+using FrameSink = std::function<void(Frame)>;
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Install the delivery callback. Must be called before start()/send().
+  void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+
+  /// Establish connectivity (blocking). InProc: no-op. Tcp: rendezvous with
+  /// every peer and spawn the per-peer I/O threads; throws BootstrapError.
+  virtual void start() {}
+
+  /// Deliver `frame` to `dst_world_rank`. Never blocks on the destination
+  /// consuming it (buffered-send semantics, like Comm::send).
+  virtual void send(int dst_world_rank, Frame frame) = 0;
+
+  /// Flush queued outbound frames and release I/O resources. Idempotent.
+  virtual void shutdown() {}
+
+  virtual const char* name() const = 0;
+
+ protected:
+  FrameSink sink_;
+};
+
+/// The historical single-process path behind the Transport interface: every
+/// world rank shares one Runtime, so delivery is the owning Runtime's sink.
+class InProcTransport final : public Transport {
+ public:
+  void send(int dst_world_rank, Frame frame) override;
+  const char* name() const override { return "inproc"; }
+};
+
+}  // namespace cellgan::minimpi

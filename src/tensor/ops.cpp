@@ -83,6 +83,26 @@ void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t row_begi
   }
 }
 
+// Fan an elementwise map over [0, n) out to the process pool. Chunks are
+// independent and each output element depends on exactly its own inputs, so
+// results are bit-identical to the serial loop at any thread count. Below
+// the cutoff the pool dispatch overhead dwarfs the loop itself — the GAN's
+// activation/gradient tensors only clear it at real batch sizes.
+constexpr std::size_t kElementwiseParallelCutoff = 1 << 14;
+
+// Templated so the common below-cutoff case is a direct call into the body
+// (no std::function type erasure on the per-step hot path); the wrapper is
+// only materialized when the pool dispatch actually happens.
+template <typename Body>
+void elementwise_for(std::size_t n, Body&& body) {
+  auto& pool = common::global_pool();
+  if (pool.size() > 1 && n >= kElementwiseParallelCutoff) {
+    pool.parallel_for(n, body);
+  } else {
+    body(0, n);
+  }
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
@@ -150,8 +170,15 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
 Tensor add(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.same_shape(b));
   Tensor c(a.rows(), a.cols());
+  // Flops on the caller's counter (same convention as matmul): worker
+  // threads would otherwise swallow them.
   count_flops(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] + b.data()[i];
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] + bp[i];
+  });
   return c;
 }
 
@@ -159,7 +186,12 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.same_shape(b));
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] - b.data()[i];
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] - bp[i];
+  });
   return c;
 }
 
@@ -167,29 +199,55 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.same_shape(b));
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * b.data()[i];
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] * bp[i];
+  });
   return c;
 }
 
 Tensor scale(const Tensor& a, float s) {
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
-  for (std::size_t i = 0; i < a.size(); ++i) c.data()[i] = a.data()[i] * s;
+  const float* ap = a.data().data();
+  float* cp = c.data().data();
+  elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] * s;
+  });
   return c;
 }
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   CG_EXPECT(x.same_shape(y));
   count_flops(2ULL * x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y.data()[i] += alpha * x.data()[i];
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) yp[i] += alpha * xp[i];
+  });
 }
 
 void add_row_bias(Tensor& a, const Tensor& bias) {
   CG_EXPECT(bias.rows() == 1 && bias.cols() == a.cols());
   count_flops(a.size());
-  for (std::size_t r = 0; r < a.rows(); ++r) {
-    auto row = a.row_span(r);
-    for (std::size_t c = 0; c < a.cols(); ++c) row[c] += bias.data()[c];
+  const float* bp = bias.data().data();
+  float* ap = a.data().data();
+  const std::size_t cols = a.cols();
+  const auto body = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t r = begin; r < end; ++r) {
+      float* row = ap + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) row[c] += bp[c];
+    }
+  };
+  // Chunked over rows, but gated on total elements: the work per row is
+  // `cols` flops, so a rows-only threshold would leave wide matrices serial.
+  auto& pool = common::global_pool();
+  if (pool.size() > 1 && a.size() >= kElementwiseParallelCutoff && a.rows() >= 2) {
+    pool.parallel_for(a.rows(), body);
+  } else {
+    body(0, a.rows());
   }
 }
 
@@ -206,7 +264,11 @@ Tensor col_sum(const Tensor& a) {
 Tensor tanh_forward(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   count_flops(8ULL * x.size());  // tanh ~ several flops; fixed estimate
-  for (std::size_t i = 0; i < x.size(); ++i) y.data()[i] = std::tanh(x.data()[i]);
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) yp[i] = std::tanh(xp[i]);
+  });
   return y;
 }
 
@@ -214,21 +276,30 @@ Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
   CG_EXPECT(dy.same_shape(y));
   Tensor dx(y.rows(), y.cols());
   count_flops(3ULL * y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const float yi = y.data()[i];
-    dx.data()[i] = dy.data()[i] * (1.0f - yi * yi);
-  }
+  const float* dyp = dy.data().data();
+  const float* yp = y.data().data();
+  float* dxp = dx.data().data();
+  elementwise_for(y.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float yi = yp[i];
+      dxp[i] = dyp[i] * (1.0f - yi * yi);
+    }
+  });
   return dx;
 }
 
 Tensor sigmoid_forward(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   count_flops(8ULL * x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const float v = x.data()[i];
-    y.data()[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                            : std::exp(v) / (1.0f + std::exp(v));
-  }
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float v = xp[i];
+      yp[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                        : std::exp(v) / (1.0f + std::exp(v));
+    }
+  });
   return y;
 }
 
@@ -236,20 +307,29 @@ Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
   CG_EXPECT(dy.same_shape(y));
   Tensor dx(y.rows(), y.cols());
   count_flops(3ULL * y.size());
-  for (std::size_t i = 0; i < y.size(); ++i) {
-    const float yi = y.data()[i];
-    dx.data()[i] = dy.data()[i] * yi * (1.0f - yi);
-  }
+  const float* dyp = dy.data().data();
+  const float* yp = y.data().data();
+  float* dxp = dx.data().data();
+  elementwise_for(y.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float yi = yp[i];
+      dxp[i] = dyp[i] * yi * (1.0f - yi);
+    }
+  });
   return dx;
 }
 
 Tensor leaky_relu_forward(const Tensor& x, float negative_slope) {
   Tensor y(x.rows(), x.cols());
   count_flops(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const float v = x.data()[i];
-    y.data()[i] = v >= 0.0f ? v : negative_slope * v;
-  }
+  const float* xp = x.data().data();
+  float* yp = y.data().data();
+  elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const float v = xp[i];
+      yp[i] = v >= 0.0f ? v : negative_slope * v;
+    }
+  });
   return y;
 }
 
@@ -257,9 +337,14 @@ Tensor leaky_relu_backward(const Tensor& dy, const Tensor& x, float negative_slo
   CG_EXPECT(dy.same_shape(x));
   Tensor dx(x.rows(), x.cols());
   count_flops(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    dx.data()[i] = dy.data()[i] * (x.data()[i] >= 0.0f ? 1.0f : negative_slope);
-  }
+  const float* dyp = dy.data().data();
+  const float* xp = x.data().data();
+  float* dxp = dx.data().data();
+  elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      dxp[i] = dyp[i] * (xp[i] >= 0.0f ? 1.0f : negative_slope);
+    }
+  });
   return dx;
 }
 

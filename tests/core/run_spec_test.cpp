@@ -31,6 +31,26 @@ TEST(RunSpecTest, BackendNamesRoundTrip) {
   EXPECT_FALSE(backend_from_string("gpu").has_value());
   EXPECT_EQ(backend_from_string("seq"), Backend::kSequential);
   EXPECT_EQ(backend_from_string("parallel"), Backend::kThreads);
+  EXPECT_EQ(backend_from_string("distributed-tcp"), Backend::kDistributedTcp);
+  EXPECT_EQ(backend_from_string("tcp"), Backend::kDistributedTcp);
+  EXPECT_STREQ(to_string(Backend::kDistributedTcp), "distributed-tcp");
+}
+
+TEST(RunSpecTest, UnknownBackendRejectedAtParseTimeWithRegistry) {
+  // The parse-time gate: an unregistered backend name fails in from_text —
+  // not later inside Session::run — and the diagnostic lists what IS
+  // registered so the caller can fix the spec without reading code.
+  std::string error;
+  EXPECT_FALSE(RunSpec::from_text("{\"backend\": \"warp\"}", &error).has_value());
+  EXPECT_NE(error.find("unknown backend 'warp'"), std::string::npos) << error;
+  EXPECT_NE(error.find("registered:"), std::string::npos) << error;
+  for (const char* name : {"sequential", "threads", "distributed", "distributed-tcp"}) {
+    EXPECT_NE(error.find(name), std::string::npos) << "missing " << name;
+  }
+  // Every registered built-in parses, including the multi-process backend.
+  const auto spec = RunSpec::from_text("{\"backend\": \"distributed-tcp\"}", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->backend, Backend::kDistributedTcp);
 }
 
 TEST(RunSpecTest, DatasetSpecParses) {

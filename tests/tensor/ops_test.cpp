@@ -67,6 +67,70 @@ TEST(OpsTest, MatmulThreadedMatchesSerial) {
   expect_near(serial, threaded, 1e-5f);
 }
 
+TEST(OpsTest, ElementwiseThreadedIsBitIdenticalToSerial) {
+  // Above the elementwise cutoff the maps fan out over the pool; chunked
+  // execution must not change a single bit (each output element depends only
+  // on its own inputs, so there is no summation-order slack to hide behind).
+  common::Rng rng(321);
+  Tensor a = Tensor::randn(200, 120, rng);  // 24000 elements > cutoff
+  Tensor b = Tensor::randn(200, 120, rng);
+  const Tensor sum_serial = add(a, b);
+  const Tensor diff_serial = sub(a, b);
+  const Tensor prod_serial = mul(a, b);
+  const Tensor scaled_serial = scale(a, 0.37f);
+  const Tensor tanh_serial = tanh_forward(a);
+  const Tensor sig_serial = sigmoid_forward(a);
+  const Tensor relu_serial = leaky_relu_forward(a, 0.2f);
+  const Tensor dtanh_serial = tanh_backward(b, tanh_serial);
+  const Tensor dsig_serial = sigmoid_backward(b, sig_serial);
+  const Tensor drelu_serial = leaky_relu_backward(b, a, 0.2f);
+  Tensor axpy_serial = b;
+  axpy(0.11f, a, axpy_serial);
+
+  common::set_global_pool_threads(3);
+  const auto expect_same = [](const Tensor& threaded, const Tensor& serial) {
+    ASSERT_EQ(threaded.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(threaded.data()[i], serial.data()[i]) << "element " << i;
+    }
+  };
+  expect_same(add(a, b), sum_serial);
+  expect_same(sub(a, b), diff_serial);
+  expect_same(mul(a, b), prod_serial);
+  expect_same(scale(a, 0.37f), scaled_serial);
+  expect_same(tanh_forward(a), tanh_serial);
+  expect_same(sigmoid_forward(a), sig_serial);
+  expect_same(leaky_relu_forward(a, 0.2f), relu_serial);
+  expect_same(tanh_backward(b, tanh_serial), dtanh_serial);
+  expect_same(sigmoid_backward(b, sig_serial), dsig_serial);
+  expect_same(leaky_relu_backward(b, a, 0.2f), drelu_serial);
+  Tensor axpy_threaded = b;
+  axpy(0.11f, a, axpy_threaded);
+  expect_same(axpy_threaded, axpy_serial);
+  common::set_global_pool_threads(1);
+}
+
+TEST(OpsTest, AddRowBiasThreadedIsBitIdenticalToSerial) {
+  // Tall-skinny and short-wide shapes: both cross the element cutoff (the
+  // gate is total elements, not rows) and both must chunk bit-identically.
+  for (const auto& [rows, cols] : {std::pair<std::size_t, std::size_t>{20000, 4},
+                                   std::pair<std::size_t, std::size_t>{64, 512}}) {
+    common::Rng rng(654);
+    Tensor a = Tensor::randn(rows, cols, rng);
+    Tensor bias = Tensor::randn(1, cols, rng);
+    Tensor serial = a;
+    add_row_bias(serial, bias);
+    common::set_global_pool_threads(3);
+    Tensor threaded = a;
+    add_row_bias(threaded, bias);
+    common::set_global_pool_threads(1);
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(threaded.data()[i], serial.data()[i])
+          << rows << "x" << cols << " element " << i;
+    }
+  }
+}
+
 TEST(OpsTest, MatmulTnEqualsTransposedMatmul) {
   common::Rng rng(7);
   Tensor a = Tensor::randn(5, 3, rng);  // (k x m): treated as A^T
