@@ -4,9 +4,11 @@
 #   ci/check.sh [--bench] [build-dir]
 #
 # --bench additionally runs the perf bed at reduced scale and records the
-# numbers (BENCH_parallel.json and the unified-runner RunResult
-# BENCH_session.json in the build dir, plus Google-Benchmark JSON for
-# micro_tensor when it was built), so perf PRs can show deltas.
+# numbers (BENCH_parallel.json, the unified-runner RunResult
+# BENCH_session.json, the Table II metric sweep BENCH_metrics.json and a
+# smoke-run telemetry stream SMOKE_telemetry.jsonl in the build dir, plus
+# Google-Benchmark JSON for micro_tensor when it was built), so perf and
+# quality PRs can show deltas.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -54,6 +56,18 @@ if [ "$RUN_BENCH" -eq 1 ]; then
   ./examples/cellgan_run --backend threads --threads "$BENCH_THREADS" \
     --iterations 4 --grid 2 --samples 64 --cost-profile table3 \
     --result-json "$BUILD/BENCH_session.json"
+  echo "=== bench: table2_metrics (reduced scale) -> BENCH_metrics.json ==="
+  ./bench/table2_metrics --iterations 4 --samples 96 --max-side 2 \
+    --eval-every 2 --eval-samples 48 --json "$BUILD/BENCH_metrics.json"
+  echo "=== smoke: observability (eval + telemetry) -> SMOKE_telemetry.jsonl ==="
+  rm -f "$BUILD/SMOKE_telemetry.jsonl"
+  ./examples/cellgan_run --backend threads --threads 2 --iterations 4 \
+    --grid 2 --samples 64 --cost-profile table3 --eval-every 2 \
+    --eval-samples 48 --telemetry "$BUILD/SMOKE_telemetry.jsonl"
+  grep -q '"event":"metrics"' "$BUILD/SMOKE_telemetry.jsonl" || {
+    echo "error: telemetry stream has no metrics records" >&2
+    exit 1
+  }
   if [ -x ./bench/micro_tensor ]; then
     echo "=== bench: micro_tensor -> BENCH_micro_tensor.json ==="
     ./bench/micro_tensor --benchmark_min_time=0.05 \

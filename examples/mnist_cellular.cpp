@@ -1,26 +1,28 @@
 // Full cellular GAN training run — the paper's workload, end to end, driven
 // through the unified core::Session facade: resolves the dataset (real IDX
 // files via --dataset idx:<dir>, otherwise the synthetic stand-in), trains a
-// toroidal grid on the chosen backend, evaluates the final mixtures with the
-// inception-score analogue, FID and mode coverage, and writes a tile of
-// generated digits as a PGM.
+// toroidal grid on the chosen backend, evaluates the mixtures through the
+// observer bus (metrics::EvaluatorObserver — inception-score analogue, FID,
+// mode coverage; per-epoch with --eval-every, final epoch by default), and
+// writes a tile of generated digits as a PGM.
 //
 //   ./mnist_cellular --grid 3 --iterations 20 --backend sequential
 //   ./mnist_cellular --backend distributed --samples 2000
 //   ./mnist_cellular --dataset idx:/data/mnist --paper-arch true
+//   ./mnist_cellular --eval-every 5 --telemetry run.jsonl
+//       --checkpoint-every 10 --checkpoint-path rolling.ckpt
 //
 // With a reduced architecture, synthetic glyphs are rendered natively at the
 // configured resolution (the repo-wide make_matched_dataset convention —
 // this replaced the pre-facade behavior of downsampling 28x28 renders, so
 // metric numbers differ from older runs); IDX images are area-averaged down.
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "core/session.hpp"
 #include "data/pgm.hpp"
-#include "metrics/fid.hpp"
-#include "metrics/inception_score.hpp"
-#include "metrics/mode_coverage.hpp"
+#include "metrics/evaluator_observer.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
@@ -45,6 +47,11 @@ int main(int argc, char** argv) {
   if (cli.was_set("seed") && !cli.was_set("dataset")) {
     spec->dataset.seed = spec->config.seed;
   }
+  // Always evaluate at least the final epoch (the run's headline numbers);
+  // --eval-every N adds the per-epoch trajectory.
+  if (spec->observers.eval_every == 0) {
+    spec->observers.eval_every = spec->config.iterations;
+  }
 
   core::Session session(*spec);
   if (!session.prepare()) {
@@ -67,6 +74,20 @@ int main(int argc, char** argv) {
                 snapshot->iteration);
   }
 
+  // Metric evaluation rides the observer bus — the same seam telemetry and
+  // checkpoint policies use, on every backend (pre-observability this was an
+  // inline post-run block that only saw the local process). Non-rank-0 TCP
+  // ranks never receive the stream and skip the evaluator entirely.
+  std::unique_ptr<metrics::EvaluatorObserver> evaluator;
+  if (core::Session::hosts_observer_stream(*spec)) {
+    metrics::EvaluatorOptions eval_options;
+    eval_options.eval_every = spec->observers.eval_every;
+    eval_options.samples = spec->observers.eval_samples;
+    evaluator = std::make_unique<metrics::EvaluatorObserver>(
+        session.spec().config, session.test_set(), eval_options);
+    session.observers().subscribe(evaluator.get());
+  }
+
   const core::RunResult outcome = session.run();
   const double best_g_fitness =
       outcome.g_fitnesses[static_cast<std::size_t>(outcome.best_cell)];
@@ -80,22 +101,21 @@ int main(int argc, char** argv) {
   }
   std::printf("best generator loss: %.4f\n", best_g_fitness);
 
-  const auto& train_set = session.train_set();
-  const auto& test_set = session.test_set();
-  common::Rng metric_rng(config.seed ^ 0x3e7ULL);
-  metrics::Classifier classifier(metric_rng, /*hidden_dim=*/64,
-                                 config.arch.image_dim);
-  classifier.train(train_set, /*epochs=*/3, /*batch_size=*/50,
-                   /*learning_rate=*/1e-3, metric_rng);
-  std::printf("classifier accuracy on held-out set: %.3f\n",
-              classifier.accuracy(test_set));
-  std::printf("inception score (analogue): %.3f\n",
-              metrics::inception_score(classifier, samples));
-  std::printf("FID (analogue): %.3f\n",
-              metrics::fid_score(classifier, test_set.images, samples));
-  const auto modes = metrics::mode_report(classifier, samples);
-  std::printf("modes covered: %zu/10, TVD from uniform: %.3f\n",
-              modes.modes_covered, modes.tvd_from_uniform);
+  if (evaluator != nullptr) {
+    for (const auto& snapshot : evaluator->history()) {
+      std::printf("epoch %u: mixture IS %.3f | FID %.3f | modes %zu/10 |"
+                  " TVD %.3f\n",
+                  snapshot.epoch + 1, snapshot.mixture_is, snapshot.fid,
+                  snapshot.modes_covered, snapshot.tvd_from_uniform);
+    }
+  }
+  if (outcome.metrics.has_value()) {
+    std::printf("inception score (analogue): %.3f\n", outcome.metrics->mixture_is);
+    std::printf("FID (analogue): %.3f\n", outcome.metrics->fid);
+    std::printf("modes covered: %zu/10, TVD from uniform: %.3f\n",
+                outcome.metrics->modes_covered,
+                outcome.metrics->tvd_from_uniform);
+  }
   if (config.arch.image_dim == data::kImageDim &&
       data::write_pgm_grid(cli.get("out"), samples.data(), samples.rows(), 8)) {
     std::printf("wrote %s\n", cli.get("out").c_str());

@@ -5,15 +5,22 @@
 //   ./cellgan_run --backend threads --threads 4 --cost-profile table3
 //   ./cellgan_run --backend distributed --dataset idx:/data/mnist
 //   ./cellgan_run --spec run.json --result-json result.json
+//   ./cellgan_run --eval-every 5 --telemetry run.jsonl
+//   ./cellgan_run --list-backends
 //
 // --dump-spec writes the resolved RunSpec as JSON so any run can be saved
 // next to its results and replayed exactly with --spec; --result-json writes
 // the unified RunResult (CI archives one per push as a bench artifact).
+// --eval-every attaches a metrics::EvaluatorObserver (per-epoch IS / FID /
+// mode coverage over the held-out set) and --telemetry streams every
+// training event as JSONL — the same observer bus all four backends publish.
 #include <cstdio>
 
 #include <exception>
+#include <memory>
 
 #include "core/session.hpp"
+#include "metrics/evaluator_observer.hpp"
 
 int main(int argc, char** argv) {
   using namespace cellgan;
@@ -26,7 +33,17 @@ int main(int argc, char** argv) {
   core::RunSpec::add_flags(cli, defaults);
   cli.add_flag("dump-spec", "", "write the resolved RunSpec JSON to this file");
   cli.add_flag("dry-run", "false", "resolve and print the spec, skip training");
+  cli.add_flag("list-backends", "false",
+               "print the registered backend names and exit");
   if (!cli.parse(argc, argv)) return 1;
+
+  if (cli.get_bool("list-backends")) {
+    for (const auto& name : core::BackendRegistry::instance().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+
   const auto spec = core::RunSpec::from_cli(cli, defaults);
   if (!spec) return 1;
 
@@ -52,6 +69,20 @@ int main(int argc, char** argv) {
               core::to_string(spec->backend), spec->config.grid_rows,
               spec->config.grid_cols, spec->config.iterations,
               session.train_set().size());
+
+  // Metric evaluation rides the observer bus: IS / FID / mode coverage over
+  // the held-out set every --eval-every epochs, on whichever backend runs.
+  // (Non-rank-0 TCP ranks never receive the stream, so they skip the
+  // evaluator — and its classifier-training cost — entirely.)
+  std::unique_ptr<metrics::EvaluatorObserver> evaluator;
+  if (spec->observers.eval_every > 0 && core::Session::hosts_observer_stream(*spec)) {
+    metrics::EvaluatorOptions options;
+    options.eval_every = spec->observers.eval_every;
+    options.samples = spec->observers.eval_samples;
+    evaluator = std::make_unique<metrics::EvaluatorObserver>(
+        session.spec().config, session.test_set(), options);
+    session.observers().subscribe(evaluator.get());
+  }
 
   core::RunResult result;
   try {
@@ -83,6 +114,20 @@ int main(int argc, char** argv) {
   } else {
     std::printf("best cell: %d (G loss %.4f)\n", result.best_cell,
                 result.g_fitnesses[static_cast<std::size_t>(result.best_cell)]);
+  }
+  if (evaluator != nullptr) {
+    for (const auto& snapshot : evaluator->history()) {
+      std::printf("  epoch %u: mixture IS %.3f | FID %.3f | modes %zu/10 |"
+                  " tvd %.3f\n",
+                  snapshot.epoch + 1, snapshot.mixture_is, snapshot.fid,
+                  snapshot.modes_covered, snapshot.tvd_from_uniform);
+    }
+  }
+  if (result.metrics.has_value()) {
+    std::printf("final metrics (epoch %u): mixture IS %.3f | FID %.3f |"
+                " modes %zu/10\n",
+                result.metrics->epoch + 1, result.metrics->mixture_is,
+                result.metrics->fid, result.metrics->modes_covered);
   }
   return 0;
 }

@@ -30,24 +30,38 @@ bool CliParser::parse(int argc, const char* const* argv) {
       return false;
     }
     std::string name, value;
+    bool have_value = false;
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
       name = arg.substr(2, eq - 2);
       value = arg.substr(eq + 1);
+      have_value = true;
     } else {
       name = arg.substr(2);
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
-        print_usage();
-        return false;
-      }
-      value = argv[++i];
     }
     auto it = flags_.find(name);
     if (it == flags_.end()) {
       std::fprintf(stderr, "unknown flag: --%s\n", name.c_str());
       print_usage();
       return false;
+    }
+    if (!have_value) {
+      // Boolean flags (registered with a true/false default) may stand
+      // alone: `--list-backends` means `--list-backends true`. The next
+      // token is consumed as the value only when it is not another flag.
+      const bool boolean_flag = it->second.default_value == "true" ||
+                                it->second.default_value == "false";
+      const bool next_is_flag =
+          i + 1 >= argc || std::string(argv[i + 1]).rfind("--", 0) == 0;
+      if (boolean_flag && next_is_flag) {
+        value = "true";
+      } else if (i + 1 >= argc) {
+        std::fprintf(stderr, "flag --%s expects a value\n", name.c_str());
+        print_usage();
+        return false;
+      } else {
+        value = argv[++i];
+      }
     }
     it->second.value = value;
     it->second.set = true;

@@ -2,6 +2,9 @@
 //
 // Supports `--name value` and `--name=value`; every flag is registered with a
 // default and a help string, and `--help` prints the generated usage text.
+// Flags registered with a "true"/"false" default are boolean and may stand
+// alone (`--list-backends` == `--list-backends true`) when the next token is
+// another flag or the end of the line.
 #pragma once
 
 #include <cstdint>

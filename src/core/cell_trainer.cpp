@@ -319,6 +319,24 @@ CellGenome CellTrainer::center_genome() {
   return g;
 }
 
+CellEpochRecord CellTrainer::epoch_record(std::uint32_t epoch, double virtual_s) {
+  CellEpochRecord record;
+  record.cell = static_cast<std::uint32_t>(cell_);
+  record.epoch = epoch;
+  record.g_fitness = g_fitness_;
+  record.d_fitness = d_fitness_;
+  record.g_learning_rate = g_optimizer_.learning_rate();
+  record.d_learning_rate = d_optimizer_.learning_rate();
+  record.loss_kind = static_cast<std::uint32_t>(current_loss_);
+  record.virtual_s = virtual_s;
+  record.train_flops = total_train_flops_;
+  if (config_.genome_record_epoch(epoch)) {
+    record.genome = center_genome().serialize();
+    record.mixture_weights = mixture_.weights();
+  }
+  return record;
+}
+
 tensor::Tensor CellTrainer::sample_from_mixture(std::size_t count) {
   CG_EXPECT(count > 0);
   std::vector<std::size_t> counts(mixture_.size(), 0);

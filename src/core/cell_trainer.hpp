@@ -32,6 +32,7 @@
 #include "core/gan_losses.hpp"
 #include "core/genome.hpp"
 #include "core/mixture.hpp"
+#include "core/observer.hpp"
 #include "data/dataloader.hpp"
 #include "nn/gan_models.hpp"
 #include "nn/optimizer.hpp"
@@ -67,6 +68,14 @@ class CellTrainer {
 
   /// Snapshot of the center (params + hyperparams + fitness).
   CellGenome center_genome();
+
+  /// Assemble this cell's observer record for `epoch` (fitnesses, learning
+  /// rates, loss kind, cumulative train flops; on the configured
+  /// genome_record_every cadence also the serialized center genome and
+  /// mixture weights). `virtual_s` is supplied by the caller — the cell's
+  /// own charge accumulator in-process, the rank clock on a slave — which
+  /// is the only field that differs between the two publishers.
+  CellEpochRecord epoch_record(std::uint32_t epoch, double virtual_s);
 
   /// Restore the center pair (and optionally the mixture) from a checkpoint
   /// snapshot: parameters, learning rates, fitnesses and iteration counter.

@@ -12,7 +12,8 @@ namespace cellgan::core {
 
 namespace {
 constexpr std::uint32_t kMagic = 0xCE11'6A17;  // "cell gan"
-constexpr std::uint32_t kVersion = 1;
+// v2: TrainingConfig gained genome_record_every (observer record cadence).
+constexpr std::uint32_t kVersion = 2;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -105,11 +106,18 @@ std::optional<Checkpoint> load_checkpoint(const std::string& path) {
   }
   // Cheap integrity checks before handing to the aborting deserializer.
   if (bytes.size() < 8) return std::nullopt;
-  std::uint32_t head, tail;
+  std::uint32_t head, version, tail;
   std::memcpy(&head, bytes.data(), 4);
+  std::memcpy(&version, bytes.data() + 4, 4);
   std::memcpy(&tail, bytes.data() + bytes.size() - 4, 4);
   if (head != kMagic || tail != kMagic) {
     common::log_warn() << "checkpoint " << path << " is corrupt or foreign";
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    common::log_warn() << "checkpoint " << path << " has format version "
+                       << version << " (this build reads " << kVersion
+                       << "); re-train or re-save it";
     return std::nullopt;
   }
   return Checkpoint::deserialize(bytes);

@@ -54,6 +54,9 @@ std::vector<std::uint8_t> TrainingConfig::serialize() const {
   w.write(static_cast<std::uint32_t>(loss_mode));
   w.write(static_cast<std::uint32_t>(exchange_mode));
   w.write(data_dieting_fraction);
+  w.write(genome_record_every);
+  w.write(genome_record_every_b);
+  w.write(forward_records);
   w.write(seed);
   return w.take();
 }
@@ -81,6 +84,9 @@ TrainingConfig TrainingConfig::deserialize(std::span<const std::uint8_t> bytes) 
   c.loss_mode = static_cast<LossMode>(r.read<std::uint32_t>());
   c.exchange_mode = static_cast<ExchangeMode>(r.read<std::uint32_t>());
   c.data_dieting_fraction = r.read<double>();
+  c.genome_record_every = r.read<std::uint32_t>();
+  c.genome_record_every_b = r.read<std::uint32_t>();
+  c.forward_records = r.read<std::uint32_t>();
   c.seed = r.read<std::uint64_t>();
   CG_ENSURE(r.exhausted());
   return c;

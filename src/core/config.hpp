@@ -70,9 +70,32 @@ struct TrainingConfig {
   /// training set (1.0 = full data, Lipizzaner's default). Cuts per-cell
   /// memory and adds data-level diversity across the grid.
   double data_dieting_fraction = 1.0;
+  /// Genome-payload cadences of the observer records: on epochs matching
+  /// either cadence (see genome_record_epoch), each cell's per-epoch record
+  /// additionally carries its serialized center genome + mixture weights —
+  /// the payload the metric evaluator (cadence a) and checkpoint policy
+  /// (cadence b) consume; two independent divisors instead of one gcd, so
+  /// coprime cadences don't degrade to every-epoch serialization. 0 = off.
+  /// Broadcast with the rest of the config so distributed slaves know them.
+  /// Purely observational: does not change the training trajectory.
+  std::uint32_t genome_record_every = 0;
+  std::uint32_t genome_record_every_b = 0;
+  /// Runtime-derived by the distributed master (never set in a spec): 1 when
+  /// a TrainObserver is subscribed at rank 0, telling slaves to forward
+  /// per-epoch records at all. Keeps unobserved runs free of record traffic.
+  std::uint32_t forward_records = 0;
   std::uint64_t seed = 42;
 
   std::uint32_t grid_cells() const { return grid_rows * grid_cols; }
+
+  /// True when this (0-based, run-relative) epoch's observer records carry
+  /// genome payloads: the epoch matches either configured cadence.
+  bool genome_record_epoch(std::uint32_t epoch) const {
+    const auto matches = [epoch](std::uint32_t every) {
+      return every > 0 && (epoch + 1) % every == 0;
+    };
+    return matches(genome_record_every) || matches(genome_record_every_b);
+  }
 
   /// Tiny configuration for unit/integration tests and wall-clock benches.
   static TrainingConfig tiny();

@@ -25,6 +25,11 @@ struct ExecContext {
   common::VirtualClock* clock = nullptr; ///< may be null
   common::Profiler* profiler = nullptr;  ///< may be null
   common::Rng* jitter_rng = nullptr;     ///< may be null
+  /// When set, every simulated charge is also summed here — the owning
+  /// cell's cumulative virtual seconds for the observer records. Summing at
+  /// the charging point (same charge sequence whatever the schedule) keeps
+  /// the total bit-identical across trainers, which clock deltas are not.
+  double* virtual_accumulator = nullptr;
   /// Run-level speed multiplier of the node this rank landed on.
   double node_factor = 1.0;
 
@@ -34,6 +39,7 @@ struct ExecContext {
   /// routine bucket, advancing the rank clock by the simulated cost.
   void charge(const std::string& routine, double wall_s, double virtual_s) const {
     if (clock != nullptr && virtual_s > 0.0) clock->advance(virtual_s);
+    if (virtual_accumulator != nullptr) *virtual_accumulator += virtual_s;
     if (profiler != nullptr) profiler->add(routine, wall_s, virtual_s);
   }
 

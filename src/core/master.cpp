@@ -46,6 +46,11 @@ MasterOutcome Master::run() {
 
   // 2./3. Decide placement (uniform: cell = rank - 1, the paper's uniform
   // partitioning) and share the parameter configuration with all slaves.
+  // The broadcast also tells slaves whether anyone is observing at rank 0 —
+  // unobserved runs carry no record traffic at all.
+  const bool observing =
+      options_.observers != nullptr && !options_.observers->empty();
+  config_.forward_records = observing ? 1 : 0;
   auto config_bytes = config_.serialize();
   world_.bcast(config_bytes, /*root=*/0);
 
@@ -62,19 +67,68 @@ MasterOutcome Master::run() {
   HeartbeatMonitor heartbeat(world_, options_.heartbeat);
   if (options_.enable_heartbeat) heartbeat.start();
 
+  // Incremental observer republication: drain the kEpochRecord messages the
+  // slaves forward (out-of-band, so simulated clocks are never perturbed)
+  // as they arrive, and publish each epoch through the bus as soon as all
+  // of its cells have reported — in deterministic (epoch, cell) order, the
+  // location-transparent half of the TrainObserver stream. Publishing LIVE
+  // (not after the run) is what makes the telemetry sink and the checkpoint
+  // policy crash-durable on the distributed backends: a run that dies at
+  // epoch 95 still has 9 rolling checkpoints and 95 telemetry lines.
+  std::vector<EpochRecord> epochs(observing ? config_.iterations : 0);
+  std::vector<std::size_t> epoch_filled(epochs.size(), 0);
+  std::uint32_t epochs_published = 0;
+  const auto drain_records = [&] {
+    if (!observing) return;
+    while (auto m = world_.try_recv(minimpi::kAnySource, protocol::kEpochRecord)) {
+      auto record = CellEpochRecord::deserialize(m->payload);
+      CG_EXPECT(record.epoch < config_.iterations);
+      CG_EXPECT(record.cell < static_cast<std::uint32_t>(slaves));
+      EpochRecord& epoch = epochs[record.epoch];
+      if (epoch.cells.empty()) {
+        epoch.epoch = record.epoch;
+        epoch.cells.resize(static_cast<std::size_t>(slaves));
+      }
+      ++epoch_filled[record.epoch];
+      epoch.cells[record.cell] = std::move(record);
+    }
+    while (epochs_published < config_.iterations &&
+           epoch_filled[epochs_published] == static_cast<std::size_t>(slaves)) {
+      const EpochRecord& epoch = epochs[epochs_published];
+      options_.observers->epoch_started(epoch.epoch);
+      for (const auto& cell : epoch.cells) {
+        options_.observers->cell_stepped(cell);
+      }
+      options_.observers->epoch_completed(epoch);
+      ++epochs_published;
+    }
+  };
+
   // 6. Wait for every slave to report Finished (any order). With a slave
   // timeout configured the wait is liveness-aware, not duration-bounded: a
   // quiet interval only becomes TimeoutError when the heartbeat monitor also
   // finds a slave unresponsive (or is disabled), so an honest long training
   // run can take arbitrarily long while a dead peer is still named quickly.
+  // While observing, the wait polls in slices so epoch records republish as
+  // training progresses; the Finished message itself still drives the
+  // virtual clock, so the polling cadence never shows up in simulated time.
   const auto recv_finished = [&]() -> minimpi::Message {
-    if (options_.slave_timeout_s <= 0.0) {
+    if (options_.slave_timeout_s <= 0.0 && !observing) {
       return world_.recv(minimpi::kAnySource, protocol::kFinished);
     }
+    const double slice_s = options_.slave_timeout_s > 0.0
+                               ? (observing ? std::min(options_.slave_timeout_s, 0.05)
+                                            : options_.slave_timeout_s)
+                               : 0.05;
+    common::WallTimer quiet;
     for (;;) {
-      auto m = world_.recv_for(minimpi::kAnySource, protocol::kFinished,
-                               options_.slave_timeout_s);
+      auto m = world_.recv_for(minimpi::kAnySource, protocol::kFinished, slice_s);
+      drain_records();
       if (m) return std::move(*m);
+      if (options_.slave_timeout_s <= 0.0 ||
+          quiet.elapsed_s() < options_.slave_timeout_s) {
+        continue;
+      }
       const std::vector<int> stuck =
           options_.enable_heartbeat ? heartbeat.unresponsive() : std::vector<int>{};
       if (!options_.enable_heartbeat || !stuck.empty()) {
@@ -87,6 +141,7 @@ MasterOutcome Master::run() {
                            : " and unresponsive slave rank(s):" + names));
       }
       // Every slave still answers heartbeats: keep waiting.
+      quiet.reset();
     }
   };
   for (int i = 0; i < slaves; ++i) {
@@ -95,6 +150,11 @@ MasterOutcome Master::run() {
   }
   if (options_.enable_heartbeat) heartbeat.stop();
   outcome.heartbeat_cycles = heartbeat.cycles();
+
+  // All slaves finished, so every remaining record is already in the
+  // mailbox (records precede Finished on the same ordered channel).
+  drain_records();
+  CG_EXPECT(!observing || epochs_published == config_.iterations);
 
   // 7. Release the slaves into the result gather.
   for (int rank = 1; rank <= slaves; ++rank) {

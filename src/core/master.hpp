@@ -18,6 +18,7 @@
 #include "core/config.hpp"
 #include "core/cost_model.hpp"
 #include "core/heartbeat.hpp"
+#include "core/observer.hpp"
 #include "core/protocol.hpp"
 #include "minimpi/comm.hpp"
 
@@ -47,6 +48,12 @@ class Master {
     /// *after* its Finished report still blocks it; rank-failure recovery is
     /// a ROADMAP item.)
     double slave_timeout_s = 0.0;
+    /// When set, the per-epoch records every slave forwards (tag
+    /// kEpochRecord) are republished here in deterministic (epoch, cell)
+    /// order once training finishes — the distributed half of the unified
+    /// TrainObserver stream. Null keeps observation off; the records are
+    /// drained either way.
+    EventBus* observers = nullptr;
   };
 
   Master(minimpi::Comm& world, minimpi::Comm& global, TrainingConfig config,

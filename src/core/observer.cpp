@@ -1,0 +1,279 @@
+#include "core/observer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/serialize.hpp"
+
+namespace cellgan::core {
+
+// --- records ----------------------------------------------------------------
+
+std::vector<std::uint8_t> CellEpochRecord::serialize() const {
+  common::ByteWriter w;
+  w.write(cell);
+  w.write(epoch);
+  w.write(g_fitness);
+  w.write(d_fitness);
+  w.write(g_learning_rate);
+  w.write(d_learning_rate);
+  w.write(loss_kind);
+  w.write(virtual_s);
+  w.write(train_flops);
+  w.write_vector(genome);
+  w.write_vector(mixture_weights);
+  return w.take();
+}
+
+CellEpochRecord CellEpochRecord::deserialize(std::span<const std::uint8_t> bytes) {
+  common::ByteReader r(bytes);
+  CellEpochRecord rec;
+  rec.cell = r.read<std::uint32_t>();
+  rec.epoch = r.read<std::uint32_t>();
+  rec.g_fitness = r.read<double>();
+  rec.d_fitness = r.read<double>();
+  rec.g_learning_rate = r.read<double>();
+  rec.d_learning_rate = r.read<double>();
+  rec.loss_kind = r.read<std::uint32_t>();
+  rec.virtual_s = r.read<double>();
+  rec.train_flops = r.read<double>();
+  rec.genome = r.read_vector<std::uint8_t>();
+  rec.mixture_weights = r.read_vector<double>();
+  CG_ENSURE(r.exhausted());
+  return rec;
+}
+
+double EpochRecord::max_virtual_s() const {
+  double max = 0.0;
+  for (const auto& cell : cells) max = std::max(max, cell.virtual_s);
+  return max;
+}
+
+double EpochRecord::total_train_flops() const {
+  double total = 0.0;
+  for (const auto& cell : cells) total += cell.train_flops;
+  return total;
+}
+
+int EpochRecord::best_cell() const {
+  int best = 0;
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    if (cells[i].g_fitness < cells[static_cast<std::size_t>(best)].g_fitness) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+bool EpochRecord::has_genomes() const {
+  if (cells.empty()) return false;
+  for (const auto& cell : cells) {
+    if (cell.genome.empty()) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> EpochRecord::serialize() const {
+  common::ByteWriter w;
+  w.write(epoch);
+  w.write<std::uint64_t>(cells.size());
+  for (const auto& cell : cells) w.write_vector(cell.serialize());
+  return w.take();
+}
+
+EpochRecord EpochRecord::deserialize(std::span<const std::uint8_t> bytes) {
+  common::ByteReader r(bytes);
+  EpochRecord record;
+  record.epoch = r.read<std::uint32_t>();
+  const auto count = r.read<std::uint64_t>();
+  record.cells.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto cell_bytes = r.read_vector<std::uint8_t>();
+    record.cells.push_back(CellEpochRecord::deserialize(cell_bytes));
+  }
+  CG_ENSURE(r.exhausted());
+  return record;
+}
+
+// --- EventBus ---------------------------------------------------------------
+
+void EventBus::subscribe(TrainObserver* observer) {
+  CG_EXPECT(observer != nullptr);
+  observers_.push_back(observer);
+}
+
+void EventBus::run_started(const RunInfo& info) {
+  for (auto* observer : observers_) observer->on_run_started(info);
+}
+
+void EventBus::epoch_started(std::uint32_t epoch) {
+  for (auto* observer : observers_) observer->on_epoch_started(epoch);
+}
+
+void EventBus::cell_stepped(const CellEpochRecord& record) {
+  for (auto* observer : observers_) observer->on_cell_stepped(record);
+}
+
+void EventBus::epoch_completed(const EpochRecord& record) {
+  for (auto* observer : observers_) observer->on_epoch_completed(record);
+  for (auto* observer : observers_) {
+    if (auto snapshot = observer->take_metrics()) metrics(*snapshot);
+  }
+}
+
+void EventBus::metrics(const MetricSnapshot& snapshot) {
+  for (auto* observer : observers_) observer->on_metrics(snapshot);
+}
+
+void EventBus::run_completed(const RunSummary& summary) {
+  for (auto* observer : observers_) observer->on_run_completed(summary);
+}
+
+// --- JsonlTelemetrySink -----------------------------------------------------
+
+namespace {
+
+void append_json_number(std::string& out, double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  out += buffer;
+}
+
+void append_json_array(std::string& out, const char* name,
+                       const std::vector<double>& values) {
+  out += "\"";
+  out += name;
+  out += "\":[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_number(out, values[i]);
+  }
+  out += ']';
+}
+
+}  // namespace
+
+JsonlTelemetrySink::JsonlTelemetrySink(const std::string& path)
+    : file_(std::fopen(path.c_str(), "a")) {
+  if (file_ == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot open '%s'\n", path.c_str());
+  }
+}
+
+JsonlTelemetrySink::~JsonlTelemetrySink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlTelemetrySink::write_line(const std::string& line) {
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+void JsonlTelemetrySink::on_run_started(const RunInfo& info) {
+  std::string line = "{\"event\":\"run_started\",\"schema_version\":";
+  line += std::to_string(kRunJsonSchemaVersion);
+  line += ",\"backend\":\"" + info.backend + "\"";
+  line += ",\"grid_rows\":" + std::to_string(info.config.grid_rows);
+  line += ",\"grid_cols\":" + std::to_string(info.config.grid_cols);
+  line += ",\"iterations\":" + std::to_string(info.config.iterations);
+  line += ",\"seed\":" + std::to_string(info.config.seed);
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_epoch_completed(const EpochRecord& record) {
+  std::string line = "{\"event\":\"epoch\",\"epoch\":";
+  line += std::to_string(record.epoch);
+  line += ",";
+  std::vector<double> g, d, vt, flops;
+  g.reserve(record.cells.size());
+  d.reserve(record.cells.size());
+  vt.reserve(record.cells.size());
+  flops.reserve(record.cells.size());
+  for (const auto& cell : record.cells) {
+    g.push_back(cell.g_fitness);
+    d.push_back(cell.d_fitness);
+    vt.push_back(cell.virtual_s);
+    flops.push_back(cell.train_flops);
+  }
+  append_json_array(line, "g_fitnesses", g);
+  line += ",";
+  append_json_array(line, "d_fitnesses", d);
+  line += ",";
+  append_json_array(line, "virtual_s", vt);
+  line += ",\"max_virtual_s\":";
+  append_json_number(line, record.max_virtual_s());
+  line += ",\"train_flops\":";
+  append_json_number(line, record.total_train_flops());
+  line += ",\"best_cell\":" + std::to_string(record.best_cell());
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_metrics(const MetricSnapshot& snapshot) {
+  std::string line = "{\"event\":\"metrics\",\"epoch\":";
+  line += std::to_string(snapshot.epoch);
+  line += ",\"best_cell\":" + std::to_string(snapshot.best_cell);
+  line += ",";
+  append_json_array(line, "cell_is", snapshot.cell_is);
+  line += ",\"mixture_is\":";
+  append_json_number(line, snapshot.mixture_is);
+  line += ",\"fid\":";
+  append_json_number(line, snapshot.fid);
+  line += ",\"modes_covered\":" + std::to_string(snapshot.modes_covered);
+  line += ",\"tvd_from_uniform\":";
+  append_json_number(line, snapshot.tvd_from_uniform);
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_run_completed(const RunSummary& summary) {
+  std::string line = "{\"event\":\"run_completed\",\"backend\":\"";
+  line += summary.backend;
+  line += "\",\"wall_s\":";
+  append_json_number(line, summary.wall_s);
+  line += ",\"virtual_s\":";
+  append_json_number(line, summary.virtual_s);
+  line += ",\"train_flops\":";
+  append_json_number(line, summary.train_flops);
+  line += ",";
+  append_json_array(line, "g_fitnesses", summary.g_fitnesses);
+  line += ",\"best_cell\":" + std::to_string(summary.best_cell);
+  line += "}";
+  write_line(line);
+}
+
+// --- CheckpointPolicyObserver -----------------------------------------------
+
+CheckpointPolicyObserver::CheckpointPolicyObserver(std::string path,
+                                                   std::uint32_t every,
+                                                   TrainingConfig config)
+    : path_(std::move(path)), every_(every), config_(std::move(config)) {
+  CG_EXPECT(!path_.empty());
+}
+
+void CheckpointPolicyObserver::on_epoch_completed(const EpochRecord& record) {
+  if (every_ == 0 || (record.epoch + 1) % every_ != 0) return;
+  // Genomes travel in records only on genome-record epochs; a cadence epoch
+  // without them cannot be snapshotted (the trainers align the cadences
+  // through TrainingConfig::genome_record_every).
+  if (!record.has_genomes()) return;
+  Checkpoint snapshot;
+  snapshot.config = config_;
+  snapshot.centers.reserve(record.cells.size());
+  snapshot.mixtures.reserve(record.cells.size());
+  for (const auto& cell : record.cells) {
+    snapshot.centers.push_back(CellGenome::deserialize(cell.genome));
+    snapshot.mixtures.push_back(cell.mixture_weights);
+    // The genomes carry the cells' absolute iteration counters (which
+    // survive restore), unlike the run-relative record.epoch — same
+    // semantics as TrainerCore::checkpoint, so resumed runs report honest
+    // progress.
+    snapshot.iteration = std::max(snapshot.iteration, snapshot.centers.back().iteration);
+  }
+  if (save_checkpoint(path_, snapshot)) ++written_;
+}
+
+}  // namespace cellgan::core

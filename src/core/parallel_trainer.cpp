@@ -53,6 +53,7 @@ std::size_t ParallelTrainer::lane_of(std::size_t cell) const {
 TrainOutcome ParallelTrainer::run() {
   common::WallTimer wall;
   for (std::uint32_t iter = 0; iter < core_.config().iterations; ++iter) {
+    core_.begin_epoch(iter);
     // One task per lane; the pool hands each participant a contiguous lane
     // range, and every lane's cells run on exactly one thread (so the
     // per-thread flops counters harvested inside CellTrainer::step stay
@@ -71,6 +72,9 @@ TrainOutcome ParallelTrainer::run() {
     for (const auto& lane : lanes_) makespan = std::max(makespan, lane->clock.now());
     for (const auto& lane : lanes_) lane->clock.wait_until(makespan);
     core_.finish_epoch();
+    // Records were written by the pool workers (distinct slots per cell, and
+    // parallel_for joined); publishing here keeps one thread, cell order.
+    core_.publish_epoch();
   }
   double virtual_s = 0.0;
   std::vector<common::Profiler> parts;

@@ -22,6 +22,11 @@ enum Tag : int {
   kStatusReply = 4,    ///< slave main thread -> heartbeat thread
   kFinished = 5,       ///< slave -> master: final result; Processing -> Finished
   kShutdown = 6,       ///< master -> slave: everything collected, exit
+  /// slave -> master after every epoch: this rank's serialized
+  /// core::CellEpochRecord (observer record forwarding). Sent out-of-band
+  /// (no virtual-time cost) so observation never perturbs the simulated
+  /// clocks; the master drains and republishes them through its EventBus.
+  kEpochRecord = 7,
 };
 
 /// Slave life cycle (Fig. 2).

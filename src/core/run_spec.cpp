@@ -205,6 +205,18 @@ void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
                "use the paper's full-size MLPs (Table I); upgrade-only");
   cli.add_flag("cost-profile", to_string(defaults.cost_profile),
                "virtual-time calibration: none | table3 | table4");
+  cli.add_flag("eval-every", std::to_string(defaults.observers.eval_every),
+               "compute IS/FID/mode coverage every N epochs (0 = off; needs a"
+               " metric evaluator, attached by cellgan_run / table2_metrics)");
+  cli.add_flag("eval-samples", std::to_string(defaults.observers.eval_samples),
+               "samples per generator / mixture in each metric evaluation");
+  cli.add_flag("telemetry", defaults.observers.telemetry,
+               "append a JSONL training-event stream to this file");
+  cli.add_flag("checkpoint-every",
+               std::to_string(defaults.observers.checkpoint_every),
+               "write a rolling checkpoint every N epochs (0 = off)");
+  cli.add_flag("checkpoint-path", defaults.observers.checkpoint_path,
+               "rolling checkpoint file for --checkpoint-every");
   cli.add_flag("result-json", defaults.result_json,
                "write the unified RunResult JSON to this file");
 }
@@ -315,6 +327,26 @@ std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
       return std::nullopt;
     }
     spec.cost_profile = *kind;
+  }
+  if (cli.was_set("eval-every")) {
+    spec.observers.eval_every = static_cast<std::uint32_t>(int_flag("eval-every", 0));
+  }
+  if (cli.was_set("eval-samples")) {
+    // FID fits a Gaussian per side; fewer than 2 samples has no covariance.
+    spec.observers.eval_samples =
+        static_cast<std::size_t>(int_flag("eval-samples", 2));
+  }
+  if (cli.was_set("telemetry")) spec.observers.telemetry = cli.get("telemetry");
+  if (cli.was_set("checkpoint-every")) {
+    spec.observers.checkpoint_every =
+        static_cast<std::uint32_t>(int_flag("checkpoint-every", 0));
+  }
+  if (cli.was_set("checkpoint-path")) {
+    spec.observers.checkpoint_path = cli.get("checkpoint-path");
+  }
+  if (spec.observers.checkpoint_every > 0 && spec.observers.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--checkpoint-every needs --checkpoint-path\n");
+    flags_ok = false;
   }
   if (cli.was_set("result-json")) spec.result_json = cli.get("result-json");
   if (!flags_ok) return std::nullopt;
@@ -484,6 +516,8 @@ bool apply_config_key(JsonReader& reader, const std::string& key,
       : key == "discriminator_skip_steps"  ? &config.discriminator_skip_steps
       : key == "batches_per_iteration"     ? &config.batches_per_iteration
       : key == "fitness_eval_samples"      ? &config.fitness_eval_samples
+      : key == "genome_record_every"       ? &config.genome_record_every
+      : key == "genome_record_every_b"     ? &config.genome_record_every_b
                                            : nullptr;
   if (u32_field != nullptr) {
     if (!parse_u32(value, *u32_field)) return reader.fail("bad " + key);
@@ -535,6 +569,17 @@ std::string RunSpec::to_text() const {
   append_escaped(dataset_text, dataset.to_text());
   out << "  \"dataset\": " << dataset_text << ",\n";
   out << "  \"cost_profile\": \"" << to_string(cost_profile) << "\",\n";
+  out << "  \"observers\": {\n";
+  out << "    \"eval_every\": " << observers.eval_every << ",\n";
+  out << "    \"eval_samples\": " << observers.eval_samples << ",\n";
+  std::string telemetry_text;
+  append_escaped(telemetry_text, observers.telemetry);
+  out << "    \"telemetry\": " << telemetry_text << ",\n";
+  out << "    \"checkpoint_every\": " << observers.checkpoint_every << ",\n";
+  std::string checkpoint_text;
+  append_escaped(checkpoint_text, observers.checkpoint_path);
+  out << "    \"checkpoint_path\": " << checkpoint_text << "\n";
+  out << "  },\n";
   std::string result_text;
   append_escaped(result_text, result_json);
   out << "  \"result_json\": " << result_text << ",\n";
@@ -566,6 +611,9 @@ std::string RunSpec::to_text() const {
       << "\",\n";
   out << "    \"data_dieting_fraction\": "
       << format_double(config.data_dieting_fraction) << ",\n";
+  out << "    \"genome_record_every\": " << config.genome_record_every << ",\n";
+  out << "    \"genome_record_every_b\": " << config.genome_record_every_b
+      << ",\n";
   out << "    \"seed\": " << config.seed << "\n";
   out << "  }\n";
   out << "}\n";
@@ -609,6 +657,31 @@ std::optional<RunSpec> RunSpec::from_text(const std::string& text,
       return true;
     }
     if (key == "result_json") return r.read_string(spec.result_json);
+    if (key == "observers") {
+      return parse_object(r, [&](JsonReader& obs, const std::string& obs_key) {
+        std::string obs_value;
+        if (obs_key == "telemetry") return obs.read_string(spec.observers.telemetry);
+        if (obs_key == "checkpoint_path") {
+          return obs.read_string(spec.observers.checkpoint_path);
+        }
+        if (!obs.read_number(obs_value)) return false;
+        if (obs_key == "eval_every") {
+          return parse_u32(obs_value, spec.observers.eval_every) ||
+                 obs.fail("bad eval_every");
+        }
+        if (obs_key == "eval_samples") {
+          std::uint64_t samples = 0;
+          if (!parse_u64(obs_value, samples)) return obs.fail("bad eval_samples");
+          spec.observers.eval_samples = static_cast<std::size_t>(samples);
+          return true;
+        }
+        if (obs_key == "checkpoint_every") {
+          return parse_u32(obs_value, spec.observers.checkpoint_every) ||
+                 obs.fail("bad checkpoint_every");
+        }
+        return obs.fail("unknown observers key '" + obs_key + "'");
+      });
+    }
     if (key == "config") {
       return parse_object(r, [&](JsonReader& cr, const std::string& config_key) {
         return apply_config_key(cr, config_key, spec.config);

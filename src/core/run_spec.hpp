@@ -89,12 +89,34 @@ struct DatasetSpec {
   friend bool operator==(const DatasetSpec&, const DatasetSpec&) = default;
 };
 
+/// Observer configuration of a run (core/observer.hpp): which built-in
+/// observers the Session attaches and the cadence knobs shared with external
+/// evaluators (metrics::EvaluatorObserver). Any non-zero cadence makes the
+/// trainers embed genome payloads in the matching epoch records
+/// (TrainingConfig::genome_record_every, derived by Session::prepare).
+struct ObserverSpec {
+  /// Metric-evaluation cadence in epochs (the `--eval-every` flag); 0 = off.
+  /// The Session only derives the record cadence from it — programs attach
+  /// the evaluator itself (cellgan_run, table2_metrics).
+  std::uint32_t eval_every = 0;
+  std::size_t eval_samples = 256;  ///< samples per generator / mixture eval
+  /// JSONL telemetry event-stream path (`--telemetry`); empty = off.
+  std::string telemetry;
+  /// Rolling-checkpoint cadence + file (`--checkpoint-every/-path`); a
+  /// CheckpointPolicyObserver is attached when both are set.
+  std::uint32_t checkpoint_every = 0;
+  std::string checkpoint_path;
+
+  friend bool operator==(const ObserverSpec&, const ObserverSpec&) = default;
+};
+
 struct RunSpec {
   TrainingConfig config;
   Backend backend = Backend::kSequential;
   std::size_t threads = 2;  ///< worker lanes for Backend::kThreads
   DatasetSpec dataset;
   CostProfileKind cost_profile = CostProfileKind::kNone;
+  ObserverSpec observers;
   /// When non-empty, Session::run() writes the unified RunResult as JSON here.
   std::string result_json;
 

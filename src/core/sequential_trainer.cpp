@@ -22,10 +22,12 @@ SequentialTrainer::SequentialTrainer(const TrainingConfig& config,
 TrainOutcome SequentialTrainer::run() {
   common::WallTimer wall;
   for (std::uint32_t iter = 0; iter < core_.config().iterations; ++iter) {
+    core_.begin_epoch(iter);
     for (int cell = 0; cell < core_.cells(); ++cell) {
       core_.run_cell_epoch(cell);
     }
     core_.finish_epoch();
+    core_.publish_epoch();
   }
   return core_.make_outcome(wall.elapsed_s(), clock_.now(), profiler_);
 }

@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <numeric>
+#include <stdexcept>
 #include <utility>
+
+#include "common/log.hpp"
 
 #include "common/expect.hpp"
 #include "core/grid.hpp"
@@ -23,7 +27,8 @@ double RunResult::slave_routine_virtual_min(const std::string& routine) const {
 }
 
 std::string to_json(const RunSpec& spec, const RunResult& result) {
-  std::string out = "{\n  \"spec\": ";
+  std::string out = "{\n  \"schema_version\": " +
+                    std::to_string(kRunJsonSchemaVersion) + ",\n  \"spec\": ";
   // RunSpec::to_text() is already JSON; trim its trailing newline to nest it.
   std::string spec_text = spec.to_text();
   while (!spec_text.empty() && spec_text.back() == '\n') spec_text.pop_back();
@@ -65,6 +70,22 @@ std::string to_json(const RunSpec& spec, const RunResult& result) {
     out += line;
   }
   out += names.empty() ? "},\n" : "\n    },\n";
+  if (result.metrics.has_value()) {
+    const MetricSnapshot& m = *result.metrics;
+    std::snprintf(line, sizeof(line),
+                  "    \"metrics\": {\"epoch\": %u, \"best_cell\": %d, "
+                  "\"mixture_is\": %.9g, \"fid\": %.9g, \"modes_covered\": %zu, "
+                  "\"tvd_from_uniform\": %.9g, \"cell_is\": [",
+                  m.epoch, m.best_cell, m.mixture_is, m.fid, m.modes_covered,
+                  m.tvd_from_uniform);
+    out += line;
+    for (std::size_t i = 0; i < m.cell_is.size(); ++i) {
+      std::snprintf(line, sizeof(line), "%s%.9g", i == 0 ? "" : ", ",
+                    m.cell_is[i]);
+      out += line;
+    }
+    out += "]},\n";
+  }
   std::snprintf(line, sizeof(line),
                 "    \"ranks\": %zu,\n    \"heartbeat_cycles\": %llu\n  }\n}\n",
                 result.ranks.size(),
@@ -94,8 +115,11 @@ namespace {
 /// dataset and cost model live in the owning Session and outlive the backend.
 class InProcessBackend final : public SessionBackend {
  public:
-  InProcessBackend(Backend kind, std::unique_ptr<InProcessTrainer> trainer)
-      : kind_(kind), trainer_(std::move(trainer)) {}
+  InProcessBackend(Backend kind, std::unique_ptr<InProcessTrainer> trainer,
+                   EventBus* observers)
+      : kind_(kind), trainer_(std::move(trainer)) {
+    trainer_->set_observers(observers);
+  }
 
   RunResult run() override {
     TrainOutcome outcome = trainer_->run();
@@ -146,7 +170,9 @@ class DistributedBackend final : public SessionBackend {
  public:
   explicit DistributedBackend(const BackendContext& context)
       : spec_(context.spec), train_set_(context.train_set),
-        cost_model_(context.cost_model), master_options_(context.master_options) {}
+        cost_model_(context.cost_model), master_options_(context.master_options) {
+    master_options_.observers = context.observers;
+  }
 
   RunResult run() override {
     return distributed_run_result(
@@ -170,6 +196,8 @@ class TcpDistributedBackend final : public SessionBackend {
       : spec_(context.spec), train_set_(context.train_set),
         cost_model_(context.cost_model), master_options_(context.master_options),
         world_(std::move(world)) {
+    // Only rank 0 hosts a Master (and thus publishes); harmless elsewhere.
+    master_options_.observers = context.observers;
     // Over real processes a dead slave otherwise hangs the master forever
     // (its clean socket close is indistinguishable from early completion):
     // arm the liveness-gated timeout by default so the worst case is a named
@@ -208,7 +236,8 @@ BackendRegistry::BackendRegistry() {
                          Backend::kSequential,
                          std::make_unique<SequentialTrainer>(
                              context.spec.config, context.train_set,
-                             context.cost_model));
+                             context.cost_model),
+                         context.observers);
                    });
   register_backend(to_string(Backend::kThreads),
                    [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
@@ -216,7 +245,8 @@ BackendRegistry::BackendRegistry() {
                          Backend::kThreads,
                          std::make_unique<ParallelTrainer>(
                              context.spec.config, context.train_set,
-                             context.spec.threads, context.cost_model));
+                             context.spec.threads, context.cost_model),
+                         context.observers);
                    });
   register_backend(to_string(Backend::kDistributed),
                    [](const BackendContext& context) -> std::unique_ptr<SessionBackend> {
@@ -296,6 +326,28 @@ bool Session::prepare() {
   if (prepared_) return true;
   if (!error_.empty()) return false;
 
+  // 0. Derive the genome-record cadences the spec's observers need: records
+  // carry genomes on epochs matching either config divisor, so each
+  // requested cadence gets its own slot when one is free — no gcd
+  // degradation for coprime cadences. Only when a third distinct cadence is
+  // requested (user-pinned genome_record_every plus two observer cadences)
+  // does gcd merge into slot a. Broadcast with the config for the slaves.
+  {
+    const auto claim_slot = [this](std::uint32_t every) {
+      if (every == 0) return;
+      std::uint32_t& a = spec_.config.genome_record_every;
+      std::uint32_t& b = spec_.config.genome_record_every_b;
+      if (a == every || b == every) return;
+      if (a == 0) a = every;
+      else if (b == 0) b = every;
+      else a = std::gcd(a, every);
+    };
+    if (!spec_.observers.checkpoint_path.empty()) {
+      claim_slot(spec_.observers.checkpoint_every);
+    }
+    claim_slot(spec_.observers.eval_every);
+  }
+
   // 1. Resolve the dataset (unless the caller supplied resolved ones).
   const auto& config = spec_.config;
   if (external_train_ != nullptr) {
@@ -368,7 +420,7 @@ SessionBackend* Session::ensure_backend() {
   if (!prepare()) return nullptr;
   if (backend_ == nullptr) {
     const BackendContext context{spec_, train_set(), cost_model_, master_options_,
-                                 &error_};
+                                 &error_, &observers_};
     backend_ = BackendRegistry::instance().create(to_string(spec_.backend), context);
     if (backend_ == nullptr && error_.empty()) {
       error_ = "backend '" + std::string(to_string(spec_.backend)) +
@@ -378,18 +430,84 @@ SessionBackend* Session::ensure_backend() {
   return backend_.get();
 }
 
+bool Session::hosts_observer_stream(const RunSpec& spec) {
+  // In a multi-process world the whole stream is republished at rank 0;
+  // other ranks publish nothing, so observers (and their setup cost) belong
+  // at rank 0 only — every rank attaching a sink to the same paths would
+  // interleave duplicate run_started/run_completed lines.
+  if (spec.backend != Backend::kDistributedTcp) return true;
+  std::string env_error;
+  const auto world = tcp_world_from_env(&env_error);
+  return !world.has_value() || world->rank == 0;
+}
+
+void Session::attach_builtin_observers() {
+  if (builtins_attached_) return;
+  if (!hosts_observer_stream(spec_)) {
+    builtins_attached_ = true;
+    return;
+  }
+  if (!spec_.observers.telemetry.empty() && telemetry_sink_ == nullptr) {
+    telemetry_sink_ =
+        std::make_unique<JsonlTelemetrySink>(spec_.observers.telemetry);
+    if (!telemetry_sink_->ok()) {
+      telemetry_sink_.reset();
+      // Not latched: a retry after the caller fixes the path attaches both
+      // built-ins instead of silently running unobserved.
+      throw std::runtime_error("telemetry: cannot open '" +
+                               spec_.observers.telemetry + "'");
+    }
+    observers_.subscribe(telemetry_sink_.get());
+  }
+  if (spec_.observers.checkpoint_every > 0 &&
+      !spec_.observers.checkpoint_path.empty()) {
+    checkpoint_observer_ = std::make_unique<CheckpointPolicyObserver>(
+        spec_.observers.checkpoint_path, spec_.observers.checkpoint_every,
+        spec_.config);
+    observers_.subscribe(checkpoint_observer_.get());
+  }
+  builtins_attached_ = true;
+}
+
 RunResult Session::run() {
   if (!prepare()) {
     std::fprintf(stderr, "[session] %s\n", error_.c_str());
     CG_EXPECT(prepared_);  // contract: call prepare() first to handle failures
   }
+  attach_builtin_observers();
   SessionBackend* backend = ensure_backend();
   if (backend == nullptr) {
     // prepare() succeeded but the factory could not build its vehicle (e.g.
     // distributed-tcp without a CELLGAN_* world): a named, catchable error.
     throw std::runtime_error(error_);
   }
+  observers_.run_started(RunInfo{to_string(spec_.backend), spec_.config});
   RunResult result = backend->run();
+  // Harvest the final metric snapshot from whichever evaluator subscribed.
+  for (TrainObserver* observer : observers_.observers()) {
+    if (auto snapshot = observer->final_metrics()) {
+      result.metrics = std::move(snapshot);
+      break;
+    }
+  }
+  if (spec_.observers.eval_every > 0 && !result.metrics.has_value() &&
+      !result.g_fitnesses.empty()) {
+    common::log_warn()
+        << "--eval-every " << spec_.observers.eval_every
+        << " produced no metric snapshot: either no evaluator observer was "
+           "subscribed (cellgan_run, mnist_cellular and table2_metrics attach "
+           "metrics::EvaluatorObserver) or no epoch matched the cadence ("
+        << spec_.config.iterations << " iterations)";
+  }
+  RunSummary summary;
+  summary.backend = to_string(spec_.backend);
+  summary.wall_s = result.wall_s;
+  summary.virtual_s = result.virtual_s;
+  summary.train_flops = result.train_flops;
+  summary.g_fitnesses = result.g_fitnesses;
+  summary.d_fitnesses = result.d_fitnesses;
+  summary.best_cell = result.best_cell;
+  observers_.run_completed(summary);
   if (!spec_.result_json.empty()) {
     write_result_json(spec_.result_json, spec_, result);
   }

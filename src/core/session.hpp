@@ -26,6 +26,7 @@
 #include "core/checkpoint.hpp"
 #include "core/distributed_trainer.hpp"
 #include "core/master.hpp"
+#include "core/observer.hpp"
 #include "core/run_spec.hpp"
 #include "core/trainer_core.hpp"
 #include "data/dataset.hpp"
@@ -43,6 +44,10 @@ struct RunResult {
   std::vector<double> d_fitnesses;
   int best_cell = 0;                   ///< argmin generator fitness
 
+  /// Final metric snapshot (IS / FID / mode coverage), harvested from the
+  /// subscribed metric evaluator when one ran; nullopt otherwise.
+  std::optional<MetricSnapshot> metrics;
+
   // Distributed detail (empty for the in-process backends).
   std::vector<protocol::SlaveResult> cell_results;  ///< indexed by cell id
   std::vector<minimpi::Runtime::RankResult> ranks;  ///< 0 = master, 1.. = slaves
@@ -56,7 +61,9 @@ struct RunResult {
   double slave_routine_virtual_min(const std::string& routine) const;
 };
 
-/// Serialize spec + result as JSON (the CI bench artifact format).
+/// Serialize spec + result as JSON (the CI bench artifact format). Carries
+/// `"schema_version"` (core::kRunJsonSchemaVersion, shared with the JSONL
+/// telemetry stream) so downstream tooling can detect format changes.
 std::string to_json(const RunSpec& spec, const RunResult& result);
 bool write_result_json(const std::string& path, const RunSpec& spec,
                        const RunResult& result);
@@ -83,6 +90,9 @@ struct BackendContext {
   /// without the CELLGAN_* environment) writes the reason here and returns
   /// nullptr; the Session surfaces it through error().
   std::string* error = nullptr;
+  /// The Session's event bus; backends publish the TrainObserver stream here
+  /// (may be null / empty — observation is pay-for-use).
+  EventBus* observers = nullptr;
 };
 
 using BackendFactory = std::function<std::unique_ptr<SessionBackend>(const BackendContext&)>;
@@ -142,6 +152,18 @@ class Session {
   /// Master options for the distributed backend (heartbeat tuning).
   void set_master_options(Master::Options options);
 
+  /// The run's event bus. Subscribe external TrainObservers (e.g.
+  /// metrics::EvaluatorObserver) before run(); they must outlive it. The
+  /// built-in sinks the spec's ObserverSpec asks for (JSONL telemetry,
+  /// checkpoint policy) are attached by run() itself.
+  EventBus& observers() { return observers_; }
+
+  /// False only for a non-rank-0 process of a distributed-tcp world (read
+  /// from the CELLGAN_* environment): the stream is republished at rank 0,
+  /// so that's where observers — and their setup cost — belong. Programs
+  /// attaching their own observers (metric evaluators) should gate on this.
+  static bool hosts_observer_stream(const RunSpec& spec);
+
   /// Execute the run. CG_EXPECTs that prepare() succeeded (call it first to
   /// handle failures gracefully); throws std::runtime_error carrying error()
   /// when the prepared backend cannot be constructed (e.g. distributed-tcp
@@ -175,10 +197,17 @@ class Session {
  private:
   /// Construct the backend if prepare() succeeds; nullptr on failure.
   SessionBackend* ensure_backend();
+  /// Attach the spec-requested built-in observers (idempotent). Throws when
+  /// the telemetry path cannot be opened.
+  void attach_builtin_observers();
 
   RunSpec spec_;
   Master::Options master_options_;
   std::optional<CostModel> cost_override_;
+  EventBus observers_;
+  std::unique_ptr<JsonlTelemetrySink> telemetry_sink_;
+  std::unique_ptr<CheckpointPolicyObserver> checkpoint_observer_;
+  bool builtins_attached_ = false;
 
   bool prepared_ = false;
   std::string error_;

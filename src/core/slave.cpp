@@ -5,6 +5,7 @@
 #include "common/log.hpp"
 #include "core/comm_manager.hpp"
 #include "core/grid.hpp"
+#include "core/observer.hpp"
 
 namespace cellgan::core {
 
@@ -86,6 +87,16 @@ protocol::SlaveResult Slave::run() {
         gathered = comm_manager.exchange(cell.export_genome());
         world_.profiler().add(common::routine::kGather, gather_wall.elapsed_s(),
                               world_.clock().now() - vt_before);
+      }
+      if (config.forward_records != 0) {
+        // Forward this epoch's observer record to rank 0 — out-of-band, so
+        // observation never perturbs the simulated clocks the parity suites
+        // pin. Sent before the eventual Finished report on the same ordered
+        // channel; the master drains them after all slaves finish. The flag
+        // arrived with the config broadcast: no observers, no traffic.
+        const auto record_bytes =
+            cell.epoch_record(iter, world_.clock().now()).serialize();
+        world_.send_oob(0, protocol::kEpochRecord, record_bytes);
       }
       if (options_.on_iteration) options_.on_iteration(iter);
     }

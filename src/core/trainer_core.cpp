@@ -16,9 +16,15 @@ TrainerCore::TrainerCore(const TrainingConfig& config, const data::Dataset& data
 
 void TrainerCore::build_cells(const std::function<ExecContext(int)>& context_of) {
   CG_EXPECT(cells_.empty());
+  // Allocated before the contexts capture their addresses; never resized.
+  cell_virtual_s_.assign(static_cast<std::size_t>(grid_.size()), 0.0);
   contexts_.reserve(grid_.size());
   for (int cell = 0; cell < grid_.size(); ++cell) {
     contexts_.push_back(context_of(cell));
+    // Every charge a cell makes also accumulates into its own counter, so
+    // the observer records carry schedule-independent per-cell virtual time.
+    contexts_.back().virtual_accumulator =
+        &cell_virtual_s_[static_cast<std::size_t>(cell)];
   }
   common::Rng master_rng(config_.seed);
   cells_.reserve(grid_.size());
@@ -30,6 +36,13 @@ void TrainerCore::build_cells(const std::function<ExecContext(int)>& context_of)
     comms_.push_back(
         std::make_unique<LocalCommManager>(store_, grid_, cell, contexts_[cell]));
   }
+  epoch_records_.assign(static_cast<std::size_t>(grid_.size()), CellEpochRecord{});
+}
+
+void TrainerCore::begin_epoch(std::uint32_t epoch) {
+  epoch_ = epoch;
+  recording_ = observing();
+  if (recording_) bus_->epoch_started(epoch_);
 }
 
 void TrainerCore::run_cell_epoch(int cell) {
@@ -43,6 +56,22 @@ void TrainerCore::run_cell_epoch(int cell) {
   common::WallTimer publish_wall;
   comms_[cell]->publish(cells_[cell]->export_genome());
   context.charge(common::routine::kGather, publish_wall.elapsed_s(), 0.0);
+
+  if (!recording_) return;
+  epoch_records_[static_cast<std::size_t>(cell)] = cells_[cell]->epoch_record(
+      epoch_, cell_virtual_s_[static_cast<std::size_t>(cell)]);
+}
+
+void TrainerCore::publish_epoch() {
+  if (!recording_) return;
+  EpochRecord record;
+  record.epoch = epoch_;
+  // Move the slots out (genome payloads are not small) and re-arm them for
+  // the next epoch's writers.
+  record.cells = std::move(epoch_records_);
+  epoch_records_.assign(static_cast<std::size_t>(grid_.size()), CellEpochRecord{});
+  for (const auto& cell : record.cells) bus_->cell_stepped(cell);
+  bus_->epoch_completed(record);
 }
 
 TrainOutcome TrainerCore::make_outcome(double wall_s, double virtual_s,

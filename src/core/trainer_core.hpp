@@ -21,6 +21,7 @@
 #include "core/config.hpp"
 #include "core/cost_model.hpp"
 #include "core/grid.hpp"
+#include "core/observer.hpp"
 #include "data/dataset.hpp"
 
 namespace cellgan::core {
@@ -52,13 +53,31 @@ class TrainerCore {
   /// pointers inside must outlive this core. Call exactly once.
   void build_cells(const std::function<ExecContext(int)>& context_of);
 
+  /// Subscribe the run to an event bus (may be null / empty: observation is
+  /// strictly pay-for-use). Call before run; the bus must outlive the core.
+  void set_observers(EventBus* bus) { bus_ = bus; }
+  /// True when at least one observer is subscribed (records get assembled).
+  bool observing() const { return bus_ != nullptr && !bus_->empty(); }
+
+  /// Open epoch `epoch` (run-relative, 0-based): publishes epoch-started and
+  /// arms per-cell record collection. Call before the epoch's cell steps.
+  void begin_epoch(std::uint32_t epoch);
+
   /// One cell's epoch: collect the visible neighbor genomes, run the cell's
   /// coevolutionary step, stage the new center genome for the next epoch.
-  /// Safe to call concurrently for distinct cells.
+  /// Safe to call concurrently for distinct cells. When observing, the
+  /// cell's record is assembled here on the stepping thread (distinct cells
+  /// write distinct slots, so this stays race-free) but published only at
+  /// the epoch barrier, in cell order — the stream stays deterministic at
+  /// any lane count.
   void run_cell_epoch(int cell);
 
   /// Epoch barrier: genomes staged during the finished epoch become visible.
   void finish_epoch() { store_.flip(); }
+
+  /// Publish the completed epoch's cell-stepped events (cell order) and the
+  /// assembled EpochRecord. Call after finish_epoch, from one thread.
+  void publish_epoch();
 
   /// Assemble the run outcome: fitness collection, best-cell argmin and the
   /// per-cell train-flops total, plus the caller-measured times and the
@@ -95,6 +114,13 @@ class TrainerCore {
   std::vector<ExecContext> contexts_;  ///< one per cell; addresses stable
   std::vector<std::unique_ptr<CellTrainer>> cells_;
   std::vector<std::unique_ptr<LocalCommManager>> comms_;
+
+  // Observation state (inert while no observer is subscribed).
+  EventBus* bus_ = nullptr;
+  std::uint32_t epoch_ = 0;
+  bool recording_ = false;             ///< records armed for this epoch
+  std::vector<double> cell_virtual_s_; ///< per-cell cumulative own charges
+  std::vector<CellEpochRecord> epoch_records_;  ///< one slot per cell
 };
 
 /// Common API of the in-process trainers, so examples and benchmarks can
@@ -112,6 +138,10 @@ class InProcessTrainer {
 
   /// Run the configured number of iterations over every cell.
   virtual TrainOutcome run() = 0;
+
+  /// Subscribe the run to an event bus (epoch-started / cell-stepped /
+  /// epoch-completed). Call before run(); the bus must outlive the trainer.
+  void set_observers(EventBus* bus) { core_.set_observers(bus); }
 
   /// Access to trained cells (valid after run()) for sampling / inspection.
   Grid& grid() { return core_.grid(); }

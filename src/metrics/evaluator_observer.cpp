@@ -1,0 +1,120 @@
+#include "metrics/evaluator_observer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/genome.hpp"
+#include "core/mixture.hpp"
+#include "metrics/fid.hpp"
+#include "metrics/inception_score.hpp"
+#include "metrics/mode_coverage.hpp"
+#include "nn/gan_models.hpp"
+
+namespace cellgan::metrics {
+
+namespace {
+
+Classifier make_trained_classifier(const data::Dataset& real,
+                                   std::size_t image_dim,
+                                   const EvaluatorOptions& options) {
+  // Contract checks first — this runs in the member initializer list, so a
+  // degenerate held-out set must fail here, named, not deep inside training.
+  // FID needs a covariance on each side (fid_from_features throws below 2).
+  CG_EXPECT(real.size() >= 2);
+  CG_EXPECT(real.images.cols() == image_dim);
+  common::Rng rng(options.seed);
+  Classifier classifier(rng, /*hidden_dim=*/64, image_dim);
+  // Held-out sets at reduced scale can be smaller than the default batch.
+  const std::size_t batch =
+      std::max<std::size_t>(1, std::min(options.classifier_batch, real.size()));
+  classifier.train(real, options.classifier_epochs, batch, options.classifier_lr,
+                   rng);
+  return classifier;
+}
+
+/// Rebuild one cell's generator from its serialized center genome.
+nn::Sequential generator_from_record(const core::TrainingConfig& config,
+                                     const core::CellEpochRecord& record,
+                                     common::Rng& rng) {
+  const core::CellGenome genome = core::CellGenome::deserialize(record.genome);
+  nn::Sequential generator = nn::make_generator(config.arch, rng);
+  generator.load_parameters(genome.generator_params);
+  return generator;
+}
+
+}  // namespace
+
+EvaluatorObserver::EvaluatorObserver(const core::TrainingConfig& config,
+                                     data::Dataset real, EvaluatorOptions options)
+    : config_(config),
+      grid_(static_cast<int>(config.grid_rows), static_cast<int>(config.grid_cols)),
+      real_(std::move(real)),
+      options_(options),
+      classifier_(make_trained_classifier(real_, config.arch.image_dim, options_)) {
+  // FID also needs >= 2 generated samples; clamp the batch size.
+  options_.samples = std::max<std::size_t>(2, options_.samples);
+}
+
+void EvaluatorObserver::on_epoch_completed(const core::EpochRecord& record) {
+  if (!record.has_genomes()) return;
+  if (options_.eval_every > 0 && (record.epoch + 1) % options_.eval_every != 0) {
+    return;
+  }
+  // Deterministic per epoch, independent of which backend produced the
+  // record — the evaluation stream is as reproducible as the training one.
+  common::Rng rng(options_.seed ^ (static_cast<std::uint64_t>(record.epoch) + 1));
+
+  core::MetricSnapshot snapshot;
+  snapshot.epoch = record.epoch;
+  snapshot.best_cell = record.best_cell();
+
+  // Per-generator inception scores (Table II's quality column, per cell).
+  snapshot.cell_is.reserve(record.cells.size());
+  for (const auto& cell : record.cells) {
+    nn::Sequential generator = generator_from_record(config_, cell, rng);
+    const core::MixtureWeights single(1);
+    const tensor::Tensor images = core::sample_mixture(
+        single, {&generator}, config_.arch.latent_dim, options_.samples, rng);
+    snapshot.cell_is.push_back(inception_score(classifier_, images));
+  }
+
+  // The returned generative model: the best cell's neighborhood mixture.
+  const auto members = grid_.neighborhood_of(snapshot.best_cell);
+  std::vector<nn::Sequential> generators;
+  generators.reserve(members.size());
+  for (const int member : members) {
+    generators.push_back(generator_from_record(
+        config_, record.cells[static_cast<std::size_t>(member)], rng));
+  }
+  std::vector<nn::Sequential*> generator_ptrs;
+  generator_ptrs.reserve(generators.size());
+  for (auto& generator : generators) generator_ptrs.push_back(&generator);
+  core::MixtureWeights weights(members.size());
+  const auto& evolved =
+      record.cells[static_cast<std::size_t>(snapshot.best_cell)].mixture_weights;
+  if (evolved.size() == members.size()) weights.set_weights(evolved);
+  const tensor::Tensor mixture_images = core::sample_mixture(
+      weights, generator_ptrs, config_.arch.latent_dim, options_.samples, rng);
+
+  snapshot.mixture_is = inception_score(classifier_, mixture_images);
+  snapshot.fid = fid_score(classifier_, real_.images, mixture_images);
+  const ModeReport modes = mode_report(classifier_, mixture_images);
+  snapshot.modes_covered = modes.modes_covered;
+  snapshot.tvd_from_uniform = modes.tvd_from_uniform;
+
+  history_.push_back(std::move(snapshot));
+  pending_ = true;
+}
+
+std::optional<core::MetricSnapshot> EvaluatorObserver::take_metrics() {
+  if (!pending_) return std::nullopt;
+  pending_ = false;
+  return history_.back();
+}
+
+std::optional<core::MetricSnapshot> EvaluatorObserver::final_metrics() const {
+  if (history_.empty()) return std::nullopt;
+  return history_.back();
+}
+
+}  // namespace cellgan::metrics

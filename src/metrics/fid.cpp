@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "metrics/stats.hpp"
 #include "tensor/ops.hpp"
@@ -11,6 +13,14 @@ namespace cellgan::metrics {
 double fid_from_features(const tensor::Tensor& real_features,
                          const tensor::Tensor& fake_features) {
   CG_EXPECT(real_features.cols() == fake_features.cols());
+  // The Gaussian fit needs a covariance on each side; fewer than two samples
+  // has none — a named, catchable error instead of a 0/0 NaN downstream.
+  if (real_features.rows() < 2 || fake_features.rows() < 2) {
+    throw std::invalid_argument(
+        "fid: need at least 2 samples per side, got " +
+        std::to_string(real_features.rows()) + " real / " +
+        std::to_string(fake_features.rows()) + " fake");
+  }
   const tensor::Tensor mu_r = column_mean(real_features);
   const tensor::Tensor mu_f = column_mean(fake_features);
   const tensor::Tensor cov_r = covariance(real_features);

@@ -14,7 +14,9 @@ namespace cellgan::metrics {
 double fid_score(Classifier& classifier, const tensor::Tensor& real_images,
                  const tensor::Tensor& fake_images);
 
-/// FID from precomputed feature matrices (n x d each, n >= 2).
+/// FID from precomputed feature matrices (n x d each). Fewer than 2 samples
+/// on either side has no covariance: throws std::invalid_argument naming the
+/// batch sizes (never a silent NaN).
 double fid_from_features(const tensor::Tensor& real_features,
                          const tensor::Tensor& fake_features);
 

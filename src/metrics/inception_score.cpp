@@ -6,7 +6,10 @@
 namespace cellgan::metrics {
 
 double inception_score_from_probs(const tensor::Tensor& probs) {
-  CG_EXPECT(probs.rows() > 0);
+  // An empty batch carries no evidence of confidence or diversity: defined
+  // as the scale's minimum (a single sample also scores 1 — its marginal
+  // equals its posterior, so the KL term vanishes).
+  if (probs.rows() == 0) return 1.0;
   const std::size_t n = probs.rows(), k = probs.cols();
   std::vector<double> marginal(k, 0.0);
   for (std::size_t i = 0; i < n; ++i) {

@@ -11,7 +11,9 @@
 namespace cellgan::metrics {
 
 /// Score a batch of generated images (n x 784, values in [-1,1]).
-/// Range [1, num_classes]; higher is better.
+/// Range [1, num_classes]; higher is better. Degenerate batches have
+/// defined scores: an empty batch scores 1.0 (no evidence — the scale's
+/// minimum), as does a single sample (its marginal equals its posterior).
 double inception_score(Classifier& classifier, const tensor::Tensor& images);
 
 /// Score precomputed posteriors (n x num_classes) directly.

@@ -6,9 +6,16 @@ namespace cellgan::metrics {
 
 ModeReport mode_report(Classifier& classifier, const tensor::Tensor& images,
                        double min_share) {
-  const auto labels = classifier.predict_labels(images);
   ModeReport report;
   report.class_counts.assign(data::kNumClasses, 0);
+  if (images.rows() == 0) {
+    // No samples: no mode is covered and the (undefined) class distribution
+    // is reported at the maximum distance from uniform — defined values
+    // instead of 0/0 NaNs.
+    report.tvd_from_uniform = 1.0;
+    return report;
+  }
+  const auto labels = classifier.predict_labels(images);
   for (const auto y : labels) ++report.class_counts[y];
 
   const double n = static_cast<double>(labels.size());
@@ -29,7 +36,12 @@ double total_variation(const std::vector<std::size_t>& a,
   double total_a = 0.0, total_b = 0.0;
   for (const auto v : a) total_a += static_cast<double>(v);
   for (const auto v : b) total_b += static_cast<double>(v);
-  CG_EXPECT(total_a > 0.0 && total_b > 0.0);
+  // Empty histograms carry no distribution: two empties are identical
+  // (distance 0), one empty is maximally far from any real one (distance 1)
+  // — defined values instead of a contract abort mid-telemetry.
+  if (total_a == 0.0 || total_b == 0.0) {
+    return total_a == total_b ? 0.0 : 1.0;
+  }
   double tvd = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
     tvd += std::abs(static_cast<double>(a[i]) / total_a -

@@ -20,12 +20,14 @@ struct ModeReport {
 };
 
 /// `min_share` is the fraction of samples a class needs to count as covered
-/// (default: a tenth of its fair share).
+/// (default: a tenth of its fair share). An empty batch is defined (no NaN):
+/// zero counts, zero modes covered, tvd_from_uniform = 1.0.
 ModeReport mode_report(Classifier& classifier, const tensor::Tensor& images,
                        double min_share = 0.01);
 
 /// Total variation distance between two discrete distributions given as
-/// count histograms (not necessarily normalized).
+/// count histograms (not necessarily normalized). Empty histograms are
+/// defined: two empties are 0 apart, one empty is 1 from any non-empty.
 double total_variation(const std::vector<std::size_t>& a,
                        const std::vector<std::size_t>& b);
 

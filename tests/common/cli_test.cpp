@@ -62,6 +62,32 @@ TEST(CliTest, MissingValueFails) {
   EXPECT_FALSE(cli.parse(2, argv));
 }
 
+TEST(CliTest, BareBooleanFlagMeansTrue) {
+  // Flags with a true/false default may stand alone at the end of the line
+  // or before another flag; non-boolean flags still require a value.
+  {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--verbose"};
+    ASSERT_TRUE(cli.parse(2, argv));
+    EXPECT_TRUE(cli.get_bool("verbose"));
+    EXPECT_TRUE(cli.was_set("verbose"));
+  }
+  {
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--verbose", "--count", "3"};
+    ASSERT_TRUE(cli.parse(4, argv));
+    EXPECT_TRUE(cli.get_bool("verbose"));
+    EXPECT_EQ(cli.get_int("count"), 3);
+  }
+  {
+    // An explicit value still wins.
+    CliParser cli = make_parser();
+    const char* argv[] = {"prog", "--verbose", "false"};
+    ASSERT_TRUE(cli.parse(3, argv));
+    EXPECT_FALSE(cli.get_bool("verbose"));
+  }
+}
+
 TEST(CliTest, HelpReturnsFalse) {
   CliParser cli = make_parser();
   const char* argv[] = {"prog", "--help"};

@@ -192,6 +192,45 @@ TEST(RunSpecTest, BadValuesAreRejected) {
   EXPECT_FALSE(parse_args({"--dieting", "nan"}, defaults).has_value());
 }
 
+TEST(RunSpecTest, ObserverFlagsParse) {
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  const auto spec = parse_args(
+      {"--eval-every", "5", "--eval-samples", "96", "--telemetry", "run.jsonl",
+       "--checkpoint-every", "10", "--checkpoint-path", "grid.ckpt"},
+      defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->observers.eval_every, 5u);
+  EXPECT_EQ(spec->observers.eval_samples, 96u);
+  EXPECT_EQ(spec->observers.telemetry, "run.jsonl");
+  EXPECT_EQ(spec->observers.checkpoint_every, 10u);
+  EXPECT_EQ(spec->observers.checkpoint_path, "grid.ckpt");
+
+  // A checkpoint cadence without a file to write is a flag error.
+  EXPECT_FALSE(parse_args({"--checkpoint-every", "4"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--eval-every", "-2"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--eval-samples", "0"}, defaults).has_value());
+}
+
+TEST(RunSpecTest, ObserverSpecTextRoundTrip) {
+  RunSpec spec;
+  spec.config = TrainingConfig::tiny();
+  spec.config.genome_record_every = 3;
+  spec.observers.eval_every = 6;
+  spec.observers.eval_samples = 512;
+  spec.observers.telemetry = "telemetry.jsonl";
+  spec.observers.checkpoint_every = 12;
+  spec.observers.checkpoint_path = "rolling.ckpt";
+
+  const std::string text = spec.to_text();
+  std::string error;
+  const auto reparsed = RunSpec::from_text(text, &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, spec);
+  EXPECT_EQ(reparsed->observers, spec.observers);
+  EXPECT_EQ(reparsed->config.genome_record_every, 3u);
+}
+
 TEST(RunSpecTest, ArgsToTextToSpecRoundTrip) {
   // The reproducibility contract: parse args, serialize, parse the text —
   // the two specs must be exactly equal (operator==, covering every field).

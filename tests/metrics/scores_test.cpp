@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "data/synthetic_mnist.hpp"
 #include "metrics/fid.hpp"
@@ -142,6 +144,55 @@ TEST(TotalVariationTest, KnownMidpoint) {
 
 TEST(TotalVariationDeathTest, MismatchedSizesAbort) {
   EXPECT_DEATH((void)total_variation({1, 2}, {1, 2, 3}), "precondition");
+}
+
+// --- degenerate-input hardening: telemetry-path metrics must yield defined
+// --- values (or named errors), never NaN/UB ---------------------------------
+
+TEST(InceptionScoreTest, EmptyBatchIsDefined) {
+  const tensor::Tensor empty(0, data::kNumClasses);
+  EXPECT_DOUBLE_EQ(inception_score_from_probs(empty), 1.0);
+}
+
+TEST(InceptionScoreTest, SingleSampleScoresOne) {
+  const double is = inception_score_from_probs(one_hot_probs({4}, 0.99f));
+  EXPECT_NEAR(is, 1.0, 1e-9);
+  EXPECT_FALSE(std::isnan(is));
+}
+
+TEST(FidTest, TooFewSamplesIsANamedError) {
+  common::Rng rng(11);
+  const tensor::Tensor many = tensor::Tensor::randn(50, 4, rng);
+  const tensor::Tensor one = tensor::Tensor::randn(1, 4, rng);
+  const tensor::Tensor none(0, 4);
+  for (const tensor::Tensor* degenerate : {&one, &none}) {
+    try {
+      (void)fid_from_features(many, *degenerate);
+      FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("at least 2 samples"),
+                std::string::npos);
+    }
+    EXPECT_THROW((void)fid_from_features(*degenerate, many),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ModeCoverageTest, EmptyBatchIsDefined) {
+  common::Rng rng(12);
+  Classifier classifier(rng);
+  const tensor::Tensor empty(0, data::kImageDim);
+  const ModeReport report = mode_report(classifier, empty);
+  EXPECT_EQ(report.modes_covered, 0u);
+  EXPECT_EQ(report.class_counts, std::vector<std::size_t>(data::kNumClasses, 0));
+  EXPECT_DOUBLE_EQ(report.tvd_from_uniform, 1.0);
+  EXPECT_FALSE(std::isnan(report.tvd_from_uniform));
+}
+
+TEST(TotalVariationTest, EmptyHistogramsAreDefined) {
+  EXPECT_DOUBLE_EQ(total_variation({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(total_variation({0, 0}, {3, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(total_variation({3, 1}, {0, 0}), 1.0);
 }
 
 }  // namespace
