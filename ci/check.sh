@@ -47,6 +47,25 @@ echo "=== smoke: cellgan_launch world=3 over TCP + parity check ==="
   --samples 64 --cost-profile table3 \
   --rank-results "$BUILD/SMOKE_launch_tcp" --verify-parity true
 
+# Chaos smoke: SIGKILL rank 2 after epoch 1, respawn it, roll the world back
+# to the last common checkpoint, replay — and still demand bit-identical
+# parity with the undisturbed in-process backend. The rank-0 telemetry
+# stream (archived as a CI artifact) shows the recovery: epochs re-published
+# after the rollback appear twice. Also runs as the
+# `examples.launch_chaos_smoke` ctest; the explicit invocation archives the
+# recovery artifacts.
+echo "=== smoke: cellgan_launch chaos (kill + respawn + rollback) + parity ==="
+rm -rf "$BUILD/SMOKE_chaos_ck" "$BUILD/SMOKE_chaos_telemetry.jsonl"
+./examples/cellgan_launch --grid-rows 1 --grid-cols 2 --iterations 4 \
+  --samples 64 --cost-profile table3 \
+  --rank-results "$BUILD/SMOKE_launch_chaos" --verify-parity true \
+  --recover-dir "$BUILD/SMOKE_chaos_ck" --kill-rank 2 --kill-at-epoch 1 \
+  --telemetry "$BUILD/SMOKE_chaos_telemetry.jsonl"
+grep -q '"event"' "$BUILD/SMOKE_chaos_telemetry.jsonl" || {
+  echo "error: chaos run produced no telemetry stream" >&2
+  exit 1
+}
+
 if [ "$RUN_BENCH" -eq 1 ]; then
   echo "=== bench: table3_scaling (reduced scale) -> BENCH_parallel.json ==="
   BENCH_THREADS=$(( JOBS < 2 ? 2 : JOBS ))

@@ -9,6 +9,14 @@
 //   ./cellgan_launch ... --verify-parity   # assert rank 0's RunResult JSON
 //                                          # matches the in-process
 //                                          # `distributed` backend bit for bit
+//   ./cellgan_launch ... --recover-dir /tmp/ck --kill-rank 2 --kill-at-epoch 1
+//                                          # chaos: rank 2 SIGKILLs itself
+//                                          # after epoch 1; the launcher
+//                                          # respawns it and the world rolls
+//                                          # back to the last common
+//                                          # checkpoint and replays — the
+//                                          # result must equal an
+//                                          # undisturbed run's
 //
 // Each rank writes <--rank-results>.rank<R>.json; rank 0's file carries the
 // aggregated result (fitnesses, best cell, virtual makespan). The same
@@ -22,6 +30,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -34,16 +43,45 @@ namespace {
 
 using namespace cellgan;
 
+/// Fault-tolerance knobs forwarded to the rank processes through the
+/// CELLGAN_* environment (see core/distributed_trainer.hpp).
+struct LaunchFaults {
+  std::string recover_dir;       ///< "" = recovery off
+  int max_restarts = 3;
+  int kill_rank = -1;            ///< chaos: which rank kills itself
+  long long kill_at_epoch = -1;  ///< chaos: after which absolute epoch
+  bool chaos() const { return kill_rank >= 0 && kill_at_epoch >= 0; }
+};
+
 /// Child body: become one rank of the world and run it through the Session
 /// facade, exactly as a hand-started `cellgan_run --backend distributed-tcp`
 /// would. Returns the process exit code.
 int run_rank(core::RunSpec spec, int rank, int world_size,
-             const std::string& endpoint, const std::string& results_prefix) {
+             const std::string& endpoint, const std::string& results_prefix,
+             const LaunchFaults& faults, bool doomed) {
   ::setenv(minimpi::kEnvRank, std::to_string(rank).c_str(), 1);
   ::setenv(minimpi::kEnvWorld, std::to_string(world_size).c_str(), 1);
   ::setenv(minimpi::kEnvEndpoint, endpoint.c_str(), 1);
+  if (!faults.recover_dir.empty()) {
+    ::setenv(core::kEnvRecoverDir, faults.recover_dir.c_str(), 1);
+    ::setenv(core::kEnvMaxRestarts,
+             std::to_string(faults.max_restarts).c_str(), 1);
+  }
+  if (doomed) {
+    ::setenv(core::kEnvKillAtEpoch,
+             std::to_string(faults.kill_at_epoch).c_str(), 1);
+  } else {
+    // A respawned replacement of the doomed rank must not die again.
+    ::unsetenv(core::kEnvKillAtEpoch);
+  }
   spec.backend = core::Backend::kDistributedTcp;
   spec.result_json = results_prefix + ".rank" + std::to_string(rank) + ".json";
+  if (rank != 0) {
+    // Observers ride the master: slaves forward their records to rank 0,
+    // which republishes them through the bus. A slave opening the same
+    // telemetry path would just clobber rank 0's stream.
+    spec.observers.telemetry.clear();
+  }
   try {
     core::Session session(std::move(spec));
     if (!session.prepare()) {
@@ -133,6 +171,18 @@ int main(int argc, char** argv) {
                "after the run, execute the in-process distributed backend on"
                " the same spec and require rank 0's result JSON to match");
   cli.add_flag("launch-timeout", "300", "seconds before hung ranks are killed");
+  cli.add_flag("recover-dir", "",
+               "enable rank-death recovery: rolling per-rank checkpoints live"
+               " here and dead ranks are respawned (stale *.rck are wiped at"
+               " launch)");
+  cli.add_flag("max-restarts", "3",
+               "generation restarts / respawns before the launch fails");
+  cli.add_flag("kill-rank", "-1",
+               "chaos: this slave rank raises SIGKILL on itself (needs"
+               " --kill-at-epoch)");
+  cli.add_flag("kill-at-epoch", "-1",
+               "chaos: the epoch after which --kill-rank dies (checkpoint"
+               " already written)");
   if (!cli.parse(argc, argv)) return 1;
   auto spec = core::RunSpec::from_cli(cli, defaults);
   if (!spec) return 1;
@@ -154,6 +204,41 @@ int main(int argc, char** argv) {
   if (endpoint.empty()) endpoint = minimpi::pick_local_endpoint();
   const std::string results_prefix = cli.get("rank-results");
 
+  LaunchFaults faults;
+  faults.recover_dir = cli.get("recover-dir");
+  faults.max_restarts = static_cast<int>(cli.get_int("max-restarts"));
+  faults.kill_rank = static_cast<int>(cli.get_int("kill-rank"));
+  faults.kill_at_epoch = cli.get_int("kill-at-epoch");
+  if ((faults.kill_rank >= 0) != (faults.kill_at_epoch >= 0)) {
+    std::fprintf(stderr,
+                 "--kill-rank and --kill-at-epoch must be used together\n");
+    return 1;
+  }
+  if (faults.chaos() &&
+      (faults.kill_rank < 1 || faults.kill_rank >= world_size)) {
+    std::fprintf(stderr, "--kill-rank %d is not a slave rank (1..%d)\n",
+                 faults.kill_rank, world_size - 1);
+    return 1;
+  }
+  if (!faults.recover_dir.empty()) {
+    // Fresh recovery state per launch: create the directory and drop rolling
+    // checkpoints left behind by an earlier world.
+    std::error_code ec;
+    std::filesystem::create_directories(faults.recover_dir, ec);
+    if (ec) {
+      std::fprintf(stderr, "cannot create --recover-dir %s: %s\n",
+                   faults.recover_dir.c_str(), ec.message().c_str());
+      return 1;
+    }
+    for (const auto& entry :
+         std::filesystem::directory_iterator(faults.recover_dir, ec)) {
+      if (entry.path().extension() == ".rck") {
+        std::error_code ignore;
+        std::filesystem::remove(entry.path(), ignore);
+      }
+    }
+  }
+
   std::printf("launching %d ranks (%ux%u grid + master), rendezvous %s\n",
               world_size, spec->config.grid_rows, spec->config.grid_cols,
               endpoint.c_str());
@@ -172,17 +257,22 @@ int main(int argc, char** argv) {
       return 1;
     }
     if (pid == 0) {
-      ::_exit(run_rank(*spec, rank, world_size, endpoint, results_prefix));
+      const bool doomed = faults.chaos() && rank == faults.kill_rank;
+      ::_exit(run_rank(*spec, rank, world_size, endpoint, results_prefix,
+                       faults, doomed));
     }
     children.push_back(pid);
   }
 
   // Reap with a deadline so a wedged rank fails the launch instead of
-  // hanging it.
+  // hanging it. With recovery enabled, a rank that dies by signal is
+  // respawned (without the chaos environment) so it can rejoin the
+  // surviving ranks at the rendezvous and roll back with them.
   const double timeout_s = static_cast<double>(cli.get_int("launch-timeout"));
   const auto start = std::chrono::steady_clock::now();
   std::vector<bool> done(children.size(), false);
   int failures = 0;
+  int respawns_left = faults.recover_dir.empty() ? 0 : faults.max_restarts;
   std::size_t remaining = children.size();
   while (remaining > 0) {
     bool progressed = false;
@@ -191,10 +281,29 @@ int main(int argc, char** argv) {
       int status = 0;
       const pid_t reaped = ::waitpid(children[i], &status, WNOHANG);
       if (reaped == children[i]) {
+        progressed = true;
+        const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+        if (!clean && WIFSIGNALED(status) && respawns_left > 0) {
+          --respawns_left;
+          std::fprintf(stderr,
+                       "rank %zu died (signal %d); respawning (%d respawn%s"
+                       " left)\n",
+                       i, WTERMSIG(status), respawns_left,
+                       respawns_left == 1 ? "" : "s");
+          const pid_t replacement = ::fork();
+          if (replacement == 0) {
+            ::_exit(run_rank(*spec, static_cast<int>(i), world_size, endpoint,
+                             results_prefix, faults, /*doomed=*/false));
+          }
+          if (replacement > 0) {
+            children[i] = replacement;
+            continue;  // rank i lives again
+          }
+          std::perror("fork");
+        }
         done[i] = true;
         --remaining;
-        progressed = true;
-        if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        if (!clean) {
           std::fprintf(stderr, "rank %zu failed (status %d)\n", i,
                        WIFEXITED(status) ? WEXITSTATUS(status) : -1);
           ++failures;
@@ -233,6 +342,9 @@ int main(int argc, char** argv) {
   core::RunSpec reference = *spec;
   reference.backend = core::Backend::kDistributed;
   reference.result_json = results_prefix + ".inproc.json";
+  // The reference exists for the result JSON only — reopening the same
+  // telemetry path would clobber rank 0's stream.
+  reference.observers.telemetry.clear();
   core::Session session(reference);
   if (!session.prepare()) {
     std::fprintf(stderr, "reference run: %s\n", session.error().c_str());

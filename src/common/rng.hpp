@@ -49,6 +49,29 @@ class Rng {
   /// Fisher-Yates shuffle of an index vector.
   void shuffle(std::vector<std::uint32_t>& v);
 
+  /// Complete generator state — the xoshiro words plus the Box-Muller cache.
+  /// Snapshot/restore gives bit-exact stream resumption across process
+  /// boundaries (rank crash recovery serializes these into checkpoints).
+  struct State {
+    std::uint64_t s[4] = {0, 0, 0, 0};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+
+  State state() const {
+    State snapshot;
+    for (int i = 0; i < 4; ++i) snapshot.s[i] = s_[i];
+    snapshot.cached_normal = cached_normal_;
+    snapshot.has_cached_normal = has_cached_normal_;
+    return snapshot;
+  }
+
+  void restore_state(const State& snapshot) {
+    for (int i = 0; i < 4; ++i) s_[i] = snapshot.s[i];
+    cached_normal_ = snapshot.cached_normal;
+    has_cached_normal_ = snapshot.has_cached_normal;
+  }
+
  private:
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;

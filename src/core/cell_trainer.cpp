@@ -1,7 +1,9 @@
 #include "core/cell_trainer.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "common/serialize.hpp"
 #include "core/evolution.hpp"
 #include "core/gan_trainer.hpp"
 #include "tensor/flops.hpp"
@@ -306,6 +308,87 @@ void CellTrainer::restore(const CellGenome& genome,
   if (mixture_weights.size() == mixture_.size()) {
     mixture_.restore_weights({mixture_weights.begin(), mixture_weights.end()});
   }
+}
+
+std::vector<std::uint8_t> CellTrainer::serialize_training_state() {
+  common::ByteWriter w;
+  w.write_vector(center_genome().serialize());
+  const auto write_adam = [&w](const nn::Adam& optimizer) {
+    w.write<std::uint64_t>(optimizer.steps_taken());
+    const auto write_moments = [&w](const std::vector<std::vector<float>>& moments) {
+      w.write<std::uint64_t>(moments.size());
+      for (const auto& buffer : moments) w.write_vector(buffer);
+    };
+    write_moments(optimizer.first_moments());
+    write_moments(optimizer.second_moments());
+  };
+  write_adam(g_optimizer_);
+  write_adam(d_optimizer_);
+  const common::Rng::State rng = rng_.state();
+  for (const std::uint64_t word : rng.s) w.write(word);
+  w.write(rng.cached_normal);
+  w.write<std::uint8_t>(rng.has_cached_normal ? 1 : 0);
+  w.write_vector(loader_.order());
+  w.write<std::uint64_t>(next_batch_);
+  w.write<std::uint64_t>(subpop_.size());
+  for (const auto& slot : subpop_) {
+    w.write<std::uint8_t>(slot.genome ? 1 : 0);
+    if (slot.genome) w.write_vector(slot.genome->serialize());
+  }
+  w.write_vector(mixture_.weights());
+  w.write<std::uint32_t>(static_cast<std::uint32_t>(current_loss_));
+  w.write(last_train_flops_);
+  w.write(total_train_flops_);
+  w.write(last_update_bytes_);
+  return w.take();
+}
+
+void CellTrainer::restore_training_state(std::span<const std::uint8_t> bytes) {
+  common::ByteReader r(bytes);
+  const CellGenome genome = CellGenome::deserialize(r.read_vector<std::uint8_t>());
+  genome.install(generator_, discriminator_);
+  g_optimizer_.set_learning_rate(genome.g_learning_rate);
+  d_optimizer_.set_learning_rate(genome.d_learning_rate);
+  g_fitness_ = genome.g_fitness;
+  d_fitness_ = genome.d_fitness;
+  iteration_ = genome.iteration;
+  const auto read_adam = [&r](nn::Adam& optimizer) {
+    const auto steps = r.read<std::uint64_t>();
+    const auto read_moments = [&r] {
+      std::vector<std::vector<float>> moments(r.read<std::uint64_t>());
+      for (auto& buffer : moments) buffer = r.read_vector<float>();
+      return moments;
+    };
+    auto m = read_moments();
+    auto v = read_moments();
+    optimizer.restore_moments(steps, std::move(m), std::move(v));
+  };
+  read_adam(g_optimizer_);
+  read_adam(d_optimizer_);
+  common::Rng::State rng;
+  for (auto& word : rng.s) word = r.read<std::uint64_t>();
+  rng.cached_normal = r.read<double>();
+  rng.has_cached_normal = r.read<std::uint8_t>() != 0;
+  rng_.restore_state(rng);
+  loader_.restore_order(r.read_vector<std::uint32_t>());
+  next_batch_ = static_cast<std::size_t>(r.read<std::uint64_t>());
+  const auto slots = r.read<std::uint64_t>();
+  CG_EXPECT(slots == subpop_.size());  // same config + grid topology
+  for (auto& slot : subpop_) {
+    if (r.read<std::uint8_t>() != 0) {
+      slot.genome = CellGenome::deserialize(r.read_vector<std::uint8_t>());
+    } else {
+      slot.genome.reset();
+    }
+  }
+  const auto weights = r.read_vector<double>();
+  CG_EXPECT(weights.size() == mixture_.size());
+  mixture_.restore_weights(weights);
+  current_loss_ = static_cast<GanLossKind>(r.read<std::uint32_t>());
+  last_train_flops_ = r.read<double>();
+  total_train_flops_ = r.read<double>();
+  last_update_bytes_ = r.read<double>();
+  CG_ENSURE(r.exhausted());
 }
 
 CellGenome CellTrainer::center_genome() {

@@ -83,6 +83,16 @@ class CellTrainer {
   /// the exchange semantics).
   void restore(const CellGenome& genome, std::span<const double> mixture_weights);
 
+  /// Serialize the *complete* training state — center genome, both Adam
+  /// moment sets, the private rng stream, the loader's epoch order and
+  /// cursor, installed neighbor genomes, mixture weights, loss draw and
+  /// flops counters. Unlike the grid Checkpoint (which keeps only what the
+  /// exchange moves), restoring this replays the remaining epochs
+  /// bit-identically — the contract rank-death recovery's survivor-parity
+  /// guarantee rests on.
+  std::vector<std::uint8_t> serialize_training_state();
+  void restore_training_state(std::span<const std::uint8_t> bytes);
+
   /// Sample `count` images from this cell's neighborhood mixture (center +
   /// installed neighbor generators, weighted by the evolved mixture).
   tensor::Tensor sample_from_mixture(std::size_t count);

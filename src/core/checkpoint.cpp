@@ -1,5 +1,6 @@
 #include "core/checkpoint.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -59,23 +60,44 @@ Checkpoint Checkpoint::deserialize(std::span<const std::uint8_t> bytes) {
   return out;
 }
 
-bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
-  const auto bytes = checkpoint.serialize();
+bool write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes, std::string* error) {
   const std::string tmp = path + ".tmp";
+  const auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    // Never leak the temp file: a stale .tmp would shadow the next attempt
+    // and waste the disk budget checkpoints exist to honor.
+    std::error_code ignore;
+    std::filesystem::remove(tmp, ignore);
+    return false;
+  };
   {
     FilePtr f(std::fopen(tmp.c_str(), "wb"));
-    if (!f) return false;
+    if (!f) return fail("cannot open '" + tmp + "': " + std::strerror(errno));
     if (std::fwrite(bytes.data(), 1, bytes.size(), f.get()) != bytes.size()) {
-      return false;
+      return fail("short write to '" + tmp + "': " + std::strerror(errno));
     }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    common::log_warn() << "checkpoint rename failed: " << ec.message();
+  if (ec) return fail("cannot rename '" + tmp + "' to '" + path + "': " + ec.message());
+  return true;
+}
+
+bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint) {
+  std::string error;
+  if (!write_file_atomic(path, checkpoint.serialize(), &error)) {
+    common::log_error() << "checkpoint write failed: " << error;
     return false;
   }
   return true;
+}
+
+void save_checkpoint_strict(const std::string& path, const Checkpoint& checkpoint) {
+  std::string error;
+  if (!write_file_atomic(path, checkpoint.serialize(), &error)) {
+    throw CheckpointWriteError("checkpoint write failed: " + error);
+  }
 }
 
 Checkpoint checkpoint_from_results(

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,15 @@
 #include "core/protocol.hpp"
 
 namespace cellgan::core {
+
+/// A checkpoint file could not be written (open, write or atomic-rename
+/// failure). Recovery correctness depends on checkpoints actually existing,
+/// so writers on that path use save_checkpoint_strict and let this propagate
+/// instead of downgrading the failure to a log line.
+class CheckpointWriteError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 struct Checkpoint {
   TrainingConfig config;
@@ -29,8 +39,19 @@ struct Checkpoint {
   static Checkpoint deserialize(std::span<const std::uint8_t> bytes);
 };
 
-/// Write a checkpoint file (atomic: temp file + rename). False on I/O error.
+/// Write a checkpoint file (atomic: temp file + rename). False on I/O
+/// error; the temp file is removed on every failure path, never leaked.
 bool save_checkpoint(const std::string& path, const Checkpoint& checkpoint);
+
+/// Like save_checkpoint, but a failure throws CheckpointWriteError naming
+/// the path and cause. For writers whose durability other ranks depend on.
+void save_checkpoint_strict(const std::string& path, const Checkpoint& checkpoint);
+
+/// The atomic temp-file + rename + cleanup step shared by every checkpoint
+/// writer (grid checkpoints here, per-rank training state in trainer_state).
+/// Returns false with `error` set on failure.
+bool write_file_atomic(const std::string& path,
+                       const std::vector<std::uint8_t>& bytes, std::string* error);
 
 /// Read a checkpoint file; nullopt on missing/corrupt file (corruption is
 /// detected by the length-prefixed format and a trailing magic).

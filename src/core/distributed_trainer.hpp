@@ -4,6 +4,7 @@
 // WORLD exactly as Section III.D describes.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <optional>
 #include <span>
@@ -67,6 +68,38 @@ struct TcpWorld {
 /// nullopt (with a diagnostic) when the environment describes no world.
 std::optional<TcpWorld> tcp_world_from_env(std::string* error);
 
+/// Rank-death recovery policy for run_distributed_tcp. When enabled, every
+/// slave writes a rolling RankCheckpoint (rank_state.hpp) to `state_dir`
+/// after each exchange, and a minimpi::PeerDeathError — instead of killing
+/// the run — tears the generation down and restarts it: all surviving ranks
+/// re-bootstrap at the same rendezvous (a dead rank's replacement, respawned
+/// by cellgan_launch, joins them there), agree on the rollback epoch
+/// E = min over the ranks' newest checkpoints, restore, and replay epochs
+/// E..N-1 bit-identically to an undisturbed run. Requires the allgather
+/// exchange (the lockstep that bounds checkpoint skew to one epoch);
+/// silently disabled — with a warning — under kAsyncNeighbors.
+struct RecoveryOptions {
+  bool enabled = false;
+  std::string state_dir;  ///< rolling per-rank checkpoints live here
+  int max_restarts = 3;   ///< generation restarts before the error propagates
+  /// Real-time deadline for each step of the offer/plan negotiation.
+  double negotiation_timeout_s = 60.0;
+  /// Chaos hook: when >= 0, this rank raises SIGKILL on itself after
+  /// completing the given (absolute) epoch — its checkpoint is already on
+  /// disk, making the recovery path deterministically testable.
+  std::int64_t kill_at_epoch = -1;
+};
+
+/// Environment plumbing for multi-process deployments (set by cellgan_launch,
+/// read by the distributed-tcp backend in each rank process).
+inline constexpr const char* kEnvRecoverDir = "CELLGAN_RECOVER_DIR";
+inline constexpr const char* kEnvMaxRestarts = "CELLGAN_MAX_RESTARTS";
+inline constexpr const char* kEnvKillAtEpoch = "CELLGAN_KILL_AT_EPOCH";
+
+/// RecoveryOptions from the CELLGAN_RECOVER_DIR / CELLGAN_MAX_RESTARTS /
+/// CELLGAN_KILL_AT_EPOCH environment; enabled iff the directory is set.
+RecoveryOptions recovery_options_from_env();
+
 /// Run this process' rank of the master/slave training over real sockets.
 /// Exactly the same per-rank code as run_distributed — same seeds, same
 /// virtual-time accounting — so per-rank outcomes are bit-identical to the
@@ -78,6 +111,7 @@ DistributedOutcome run_distributed_tcp(const TcpWorld& world,
                                        const TrainingConfig& config,
                                        const data::Dataset& dataset,
                                        const CostModel& cost_model = {},
-                                       Master::Options master_options = {});
+                                       Master::Options master_options = {},
+                                       RecoveryOptions recovery = {});
 
 }  // namespace cellgan::core

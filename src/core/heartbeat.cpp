@@ -56,6 +56,24 @@ void HeartbeatMonitor::poll_loop() {
         std::lock_guard<std::mutex> lock(state_mutex_);
         if (latest_[s].state == protocol::SlaveState::kFinished) continue;
       }
+      // Transport liveness short-circuit: a slave whose stream is recorded
+      // lost is unresponsive *now* — no point burning miss_threshold polls
+      // on a peer that can never reply.
+      if (world_.peer_lost(rank)) {
+        std::function<void(int)> alarm;
+        {
+          std::lock_guard<std::mutex> lock(state_mutex_);
+          if (consecutive_misses_[s] < options_.miss_threshold) {
+            common::log_warn() << "slave rank " << rank << " stream lost ("
+                               << world_.peer_loss_reason(rank)
+                               << "); marking unresponsive";
+            consecutive_misses_[s] = options_.miss_threshold;
+            alarm = on_unresponsive_;
+          }
+        }
+        if (alarm) alarm(rank);
+        continue;
+      }
       world_.send_oob(rank, protocol::kStatusRequest, {});
       auto reply =
           world_.recv_for(rank, protocol::kStatusReply, options_.reply_timeout_s);

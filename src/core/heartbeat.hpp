@@ -6,7 +6,9 @@
 // The monitor runs on its own std::thread, polls each unfinished slave with
 // kStatusRequest and collects kStatusReply with a timeout. A slave that
 // misses `miss_threshold` consecutive polls is reported through the
-// on_unresponsive callback (used by the fault-injection example and tests).
+// on_unresponsive callback (used by the fault-injection example and tests);
+// one whose transport stream is recorded lost (Comm::peer_lost) is reported
+// immediately, without waiting out the miss budget.
 #pragma once
 
 #include <atomic>

@@ -27,12 +27,37 @@ MasterOutcome Master::run() {
   const int slaves = world_.size() - 1;
   MasterOutcome outcome;
 
+  // A slave's stream disappearing at any point of the master's run is a
+  // failure: honest slaves keep their sockets open until after the final
+  // gather, so even a clean EOF here means the process is gone (SIGKILL
+  // closes streams cleanly too). Named immediately instead of waiting out a
+  // timeout; the recovery loop above us decides whether to restart.
+  const auto throw_if_slave_lost = [&] {
+    for (int rank = 1; rank <= slaves; ++rank) {
+      if (!world_.peer_lost(rank)) continue;
+      throw minimpi::PeerDeathError(
+          rank, "master: slave rank " + std::to_string(rank) + " died (" +
+                    world_.peer_loss_reason(rank) + ")");
+    }
+  };
+
   // Deadline-aware control-plane receive when the caller bounded its
-  // patience with slaves (Options::slave_timeout_s).
-  const auto recv_control = [&](int source, int tag) {
-    return options_.slave_timeout_s > 0.0
-               ? world_.recv_timeout(source, tag, options_.slave_timeout_s)
-               : world_.recv(source, tag);
+  // patience with slaves (Options::slave_timeout_s): sliced so a lost
+  // stream surfaces as PeerDeathError without burning the deadline first.
+  const auto recv_control = [&](int source, int tag) -> minimpi::Message {
+    if (options_.slave_timeout_s <= 0.0) return world_.recv(source, tag);
+    const double slice_s = std::min(options_.slave_timeout_s, 0.05);
+    common::WallTimer quiet;
+    for (;;) {
+      auto m = world_.recv_for(source, tag, slice_s);
+      if (m) return std::move(*m);
+      throw_if_slave_lost();
+      if (quiet.elapsed_s() >= options_.slave_timeout_s) {
+        throw minimpi::TimeoutError(
+            "master: no control message (tag " + std::to_string(tag) +
+            ") within " + std::to_string(options_.slave_timeout_s) + "s");
+      }
+    }
   };
 
   // 1. Gather information about the computing infrastructure.
@@ -75,14 +100,17 @@ MasterOutcome Master::run() {
   // (not after the run) is what makes the telemetry sink and the checkpoint
   // policy crash-durable on the distributed backends: a run that dies at
   // epoch 95 still has 9 rolling checkpoints and 95 telemetry lines.
+  // On a recovery generation the slaves resume at options_.resume_epoch, so
+  // only epochs E..N-1 will ever fill — publication starts there.
   std::vector<EpochRecord> epochs(observing ? config_.iterations : 0);
   std::vector<std::size_t> epoch_filled(epochs.size(), 0);
-  std::uint32_t epochs_published = 0;
+  std::uint32_t epochs_published = observing ? options_.resume_epoch : 0;
   const auto drain_records = [&] {
     if (!observing) return;
     while (auto m = world_.try_recv(minimpi::kAnySource, protocol::kEpochRecord)) {
       auto record = CellEpochRecord::deserialize(m->payload);
       CG_EXPECT(record.epoch < config_.iterations);
+      CG_EXPECT(record.epoch >= options_.resume_epoch);
       CG_EXPECT(record.cell < static_cast<std::uint32_t>(slaves));
       EpochRecord& epoch = epochs[record.epoch];
       if (epoch.cells.empty()) {
@@ -116,15 +144,19 @@ MasterOutcome Master::run() {
     if (options_.slave_timeout_s <= 0.0 && !observing) {
       return world_.recv(minimpi::kAnySource, protocol::kFinished);
     }
+    // Always short slices: recv_for itself is not liveness-aware, so a lost
+    // stream is only named when the loop comes back around to
+    // throw_if_slave_lost. A full-timeout slice would sit blind for the
+    // whole deadline.
     const double slice_s = options_.slave_timeout_s > 0.0
-                               ? (observing ? std::min(options_.slave_timeout_s, 0.05)
-                                            : options_.slave_timeout_s)
+                               ? std::min(options_.slave_timeout_s, 0.05)
                                : 0.05;
     common::WallTimer quiet;
     for (;;) {
       auto m = world_.recv_for(minimpi::kAnySource, protocol::kFinished, slice_s);
       drain_records();
       if (m) return std::move(*m);
+      throw_if_slave_lost();
       if (options_.slave_timeout_s <= 0.0 ||
           quiet.elapsed_s() < options_.slave_timeout_s) {
         continue;

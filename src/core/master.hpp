@@ -38,16 +38,24 @@ class Master {
     bool enable_heartbeat = true;
     HeartbeatMonitor::Options heartbeat;
     /// When > 0, the master's waits on slave control messages (node names at
-    /// startup, Finished reports at the end) use deadline-aware receives: a
-    /// slave that dies surfaces as minimpi::TimeoutError naming the awaited
-    /// message instead of hanging the run forever. The Finished wait is
-    /// liveness-gated: while the heartbeat monitor still gets replies from
-    /// every slave the master keeps waiting, so the timeout does not bound
-    /// honest training time. 0 keeps the historical blocking waits. (The
-    /// final GLOBAL result gather is not yet deadline-aware — a slave dying
-    /// *after* its Finished report still blocks it; rank-failure recovery is
-    /// a ROADMAP item.)
+    /// startup, Finished reports at the end) are sliced and liveness-aware:
+    /// a slave whose transport stream is recorded lost surfaces immediately
+    /// as minimpi::PeerDeathError, and one that merely goes silent becomes a
+    /// minimpi::TimeoutError after this many real seconds. The Finished wait
+    /// is additionally heartbeat-gated: while the monitor still gets replies
+    /// from every slave the master keeps waiting, so the timeout does not
+    /// bound honest training time. 0 keeps the historical blocking waits
+    /// (in-process worlds, where ranks cannot die independently). The final
+    /// GLOBAL result gather rides the death-aware recv, so a slave dying
+    /// after its Finished report also raises PeerDeathError; the recovery
+    /// loop in run_distributed_tcp catches it and restarts the generation.
     double slave_timeout_s = 0.0;
+    /// First epoch the slaves will actually train this generation (the
+    /// rollback epoch E agreed by the recovery negotiation). Only record
+    /// republication depends on it at the master — no training state lives
+    /// here — but it must match the slaves' resume or the observer stream
+    /// never completes. 0 for a fresh world.
+    std::uint32_t resume_epoch = 0;
     /// When set, the per-epoch records every slave forwards (tag
     /// kEpochRecord) are republished here in deterministic (epoch, cell)
     /// order once training finishes — the distributed half of the unified

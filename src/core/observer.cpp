@@ -273,7 +273,10 @@ void CheckpointPolicyObserver::on_epoch_completed(const EpochRecord& record) {
     // progress.
     snapshot.iteration = std::max(snapshot.iteration, snapshot.centers.back().iteration);
   }
-  if (save_checkpoint(path_, snapshot)) ++written_;
+  // Strict: the rejoin protocol restores from this file, so a write failure
+  // must surface (CheckpointWriteError) rather than silently skip a snapshot.
+  save_checkpoint_strict(path_, snapshot);
+  ++written_;
 }
 
 }  // namespace cellgan::core

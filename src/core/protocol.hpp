@@ -27,7 +27,18 @@ enum Tag : int {
   /// (no virtual-time cost) so observation never perturbs the simulated
   /// clocks; the master drains and republishes them through its EventBus.
   kEpochRecord = 7,
+  /// slave -> master at the start of a recovery generation: the epoch of
+  /// this rank's newest readable RankCheckpoint (kNoCheckpointEpoch when the
+  /// rank has none). Out-of-band: negotiation must not move virtual clocks.
+  kRecoverOffer = 8,
+  /// master -> slave reply: the agreed rollback epoch E = min over offers
+  /// (0 = fresh start). Every rank restores its epoch-E checkpoint and
+  /// replays iterations E..N-1.
+  kRecoverPlan = 9,
 };
+
+/// Offer sentinel: "I have no checkpoint" (forces a fresh start, E = 0).
+inline constexpr std::uint32_t kNoCheckpointEpoch = 0xFFFFFFFFu;
 
 /// Slave life cycle (Fig. 2).
 enum class SlaveState : std::uint32_t {

@@ -209,10 +209,14 @@ class TcpDistributedBackend final : public SessionBackend {
   }
 
   RunResult run() override {
+    // Recovery and chaos knobs ride the same environment channel as the
+    // world description: cellgan_launch exports CELLGAN_RECOVER_DIR (and the
+    // kill hook into the doomed rank only); hand-started ranks can export
+    // them too. Disabled when the variables are absent.
     return distributed_run_result(
         Backend::kDistributedTcp,
         run_distributed_tcp(world_, spec_.config, train_set_, cost_model_,
-                            master_options_));
+                            master_options_, recovery_options_from_env()));
   }
 
  private:

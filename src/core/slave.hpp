@@ -11,10 +11,13 @@
 #include <atomic>
 #include <functional>
 
+#include <string>
+
 #include "core/cell_trainer.hpp"
 #include "core/config.hpp"
 #include "core/cost_model.hpp"
 #include "core/protocol.hpp"
+#include "core/rank_state.hpp"
 #include "data/dataset.hpp"
 #include "minimpi/comm.hpp"
 
@@ -30,6 +33,18 @@ class Slave {
     /// Test hook: when set, the main thread stops answering status requests
     /// (simulates a hung slave for the unresponsive-detection path).
     std::atomic<bool>* mute_heartbeat = nullptr;
+    /// First training iteration to run (the recovery negotiation's rollback
+    /// epoch E); iterations E..N-1 execute. 0 trains from scratch.
+    std::uint32_t resume_epoch = 0;
+    /// This rank's epoch-E checkpoint when resume_epoch > 0 (owned by the
+    /// caller, must outlive run()): trainer state, neighbor inbox, virtual
+    /// clock and jitter-stream position are restored from it so the replay
+    /// of E..N-1 is bit-identical to an undisturbed run.
+    const RankCheckpoint* restore = nullptr;
+    /// When non-empty, a rolling RankCheckpoint is written here after every
+    /// exchange (two alternating slots per rank; see rank_state.hpp). The
+    /// write is strict — rejoin depends on the file.
+    std::string state_dir;
   };
 
   Slave(minimpi::Comm& world, minimpi::Comm& local, minimpi::Comm& global,

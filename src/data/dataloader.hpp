@@ -5,6 +5,8 @@
 // generators produce identical batch streams.
 #pragma once
 
+#include <utility>
+
 #include "common/rng.hpp"
 #include "data/dataset.hpp"
 
@@ -22,6 +24,11 @@ class DataLoader {
 
   /// Draw a new epoch order.
   void reshuffle(common::Rng& rng);
+
+  /// The current epoch order (sample indices), for checkpointing: a resumed
+  /// run must replay the same batches the interrupted one would have drawn.
+  const std::vector<std::uint32_t>& order() const { return order_; }
+  void restore_order(std::vector<std::uint32_t> order) { order_ = std::move(order); }
 
   /// Materialize batch `index` (0-based within the current epoch order).
   tensor::Tensor batch(std::size_t index) const;

@@ -1,6 +1,7 @@
 #include "minimpi/comm.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "minimpi/errors.hpp"
 
@@ -74,8 +75,54 @@ void Comm::send_oob(int dst, int tag, std::span<const std::uint8_t> bytes) {
   runtime_->dispatch(context_->key, context_->members[dst], dst, std::move(m));
 }
 
+Message Comm::pop_death_aware(int src, int tag) {
+  Mailbox& mailbox = *context_->mailboxes[local_rank_];
+  if (!runtime_->distributed()) return mailbox.pop(src, tag);
+  // Slice the wait so a loss recorded *after* this receive started blocking
+  // still surfaces within a slice. Messages that beat the loss report into
+  // the mailbox always win: the transport delivers every frame it read
+  // before it saw the stream die.
+  for (;;) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(100);
+    if (auto m = mailbox.pop_until(src, tag, deadline)) return std::move(*m);
+    throw_if_peer_dead(src, tag);
+  }
+}
+
+void Comm::throw_if_peer_dead(int src, int tag) const {
+  if (!runtime_->distributed()) return;
+  const auto name = [](int value, const char* any) {
+    return value < 0 ? std::string(any) : std::to_string(value);
+  };
+  const auto death = [&](int world) -> PeerDeathError {
+    return PeerDeathError(
+        world, "world rank " + std::to_string(world) + " died (" +
+                   runtime_->peer_loss_reason(world) + ") while rank " +
+                   std::to_string(local_rank_) + " of a " +
+                   std::to_string(size()) + "-member communicator awaited (source=" +
+                   name(src, "any") + ", tag=" + name(tag, "any") + ")");
+  };
+  if (src >= 0) {
+    const int world = world_rank_of(src);
+    if (world != runtime_->local_rank() && runtime_->peer_lost(world)) {
+      throw death(world);
+    }
+    return;
+  }
+  // kAnySource: hopeless only once every other member's stream is gone.
+  int first_lost = -1;
+  for (int r = 0; r < size(); ++r) {
+    const int world = context_->members[static_cast<std::size_t>(r)];
+    if (world == runtime_->local_rank()) continue;
+    if (!runtime_->peer_lost(world)) return;
+    if (first_lost < 0) first_lost = world;
+  }
+  if (first_lost >= 0) throw death(first_lost);
+}
+
 Message Comm::recv(int src, int tag) {
-  Message m = context_->mailboxes[local_rank_]->pop(src, tag);
+  Message m = pop_death_aware(src, tag);
   const NetModel& net = runtime_->net();
   if (net.enabled()) {
     common::VirtualClock& my_clock = clock();
@@ -95,18 +142,40 @@ std::optional<Message> Comm::recv_for(int src, int tag, double timeout_s) {
 }
 
 Message Comm::recv_timeout(int src, int tag, double timeout_s) {
-  auto m = recv_for(src, tag, timeout_s);
-  if (!m) {
-    const auto name = [](int value, const char* any) {
-      return value < 0 ? std::string(any) : std::to_string(value);
-    };
-    throw TimeoutError("recv timed out after " + std::to_string(timeout_s) +
-                       "s waiting for (source=" + name(src, "any") +
-                       ", tag=" + name(tag, "any") + ") on rank " +
-                       std::to_string(local_rank_) + " of a " +
-                       std::to_string(size()) + "-member communicator");
+  // Sliced so a peer whose stream is already gone raises PeerDeathError
+  // immediately rather than burning the whole deadline first.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  Mailbox& mailbox = *context_->mailboxes[local_rank_];
+  for (;;) {
+    const auto slice = std::min(
+        deadline, std::chrono::steady_clock::now() + std::chrono::milliseconds(100));
+    if (auto m = mailbox.pop_until(src, tag, slice)) {
+      if (runtime_->net().enabled()) {
+        clock().wait_until(m->arrival_vt);
+        clock().advance(runtime_->net().recv_cost_s(m->payload.size()));
+      }
+      return std::move(*m);
+    }
+    throw_if_peer_dead(src, tag);
+    if (std::chrono::steady_clock::now() >= deadline) break;
   }
-  return std::move(*m);
+  const auto name = [](int value, const char* any) {
+    return value < 0 ? std::string(any) : std::to_string(value);
+  };
+  throw TimeoutError("recv timed out after " + std::to_string(timeout_s) +
+                     "s waiting for (source=" + name(src, "any") +
+                     ", tag=" + name(tag, "any") + ") on rank " +
+                     std::to_string(local_rank_) + " of a " +
+                     std::to_string(size()) + "-member communicator");
+}
+
+std::optional<Message> Comm::recv_oob_for(int src, int tag, double timeout_s) {
+  // No clock movement on purpose: paired with send_oob for control traffic
+  // (recovery negotiation) that must leave the simulated timeline untouched.
+  return context_->mailboxes[local_rank_]->pop_for(src, tag, timeout_s);
 }
 
 std::optional<Message> Comm::try_recv(int src, int tag) {
@@ -131,6 +200,19 @@ std::optional<Message> Comm::try_recv_arrived(int src, int tag) {
 
 bool Comm::probe(int src, int tag) {
   return context_->mailboxes[local_rank_]->probe(src, tag);
+}
+
+bool Comm::peer_lost(int rank) const {
+  if (!runtime_->distributed()) return false;
+  if (rank < 0 || rank >= size()) return false;
+  const int world = world_rank_of(rank);
+  if (world == runtime_->local_rank()) return false;
+  return runtime_->peer_lost(world);
+}
+
+std::string Comm::peer_loss_reason(int rank) const {
+  if (!peer_lost(rank)) return "";
+  return runtime_->peer_loss_reason(world_rank_of(rank));
 }
 
 void Comm::barrier() {

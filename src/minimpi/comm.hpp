@@ -53,15 +53,26 @@ class Comm {
   }
 
   /// Blocking receive matching (src, tag); wildcards kAnySource / kAnyTag.
+  /// Death-aware in distributed mode: when the awaited source's stream is
+  /// recorded lost (Runtime::peer_lost) and no matching message is queued,
+  /// raises PeerDeathError naming the dead world rank instead of hanging.
   Message recv(int src, int tag);
-  /// Timed receive (real time); nullopt on timeout.
+  /// Timed receive (real time); nullopt on timeout. Deliberately *not*
+  /// death-aware: pollers (heartbeat, the slave's control loop) own their
+  /// own miss accounting.
   std::optional<Message> recv_for(int src, int tag, double timeout_s);
   /// Deadline-aware receive: like recv, but a peer that stays silent for
   /// `timeout_s` real seconds raises TimeoutError (errors.hpp) naming the
   /// awaited (source, tag) — a dead peer becomes a named error instead of an
-  /// infinite hang. Used by the multi-process transport's control paths and
-  /// any caller that must survive peer loss.
+  /// infinite hang, and one whose stream is already gone raises
+  /// PeerDeathError without waiting out the deadline. Used by the
+  /// multi-process transport's control paths and any caller that must
+  /// survive peer loss.
   Message recv_timeout(int src, int tag, double timeout_s);
+  /// Timed receive that never touches the virtual clock, pairing with
+  /// send_oob: recovery-control traffic must not perturb the simulated
+  /// timeline even when the net model charges per-byte receive overhead.
+  std::optional<Message> recv_oob_for(int src, int tag, double timeout_s);
   /// Non-blocking receive.
   std::optional<Message> try_recv(int src, int tag);
   /// Non-blocking receive that only yields messages already arrived in
@@ -70,6 +81,15 @@ class Comm {
   std::optional<Message> try_recv_arrived(int src, int tag);
   /// Non-destructive check.
   bool probe(int src, int tag);
+
+  /// True when `rank`'s underlying transport stream is recorded lost
+  /// (Runtime::peer_lost through this communicator's rank mapping). Always
+  /// false in-process and for the calling rank itself. The liveness fact
+  /// pollers (heartbeat monitor, the master's Finished wait) consult to turn
+  /// a silent peer into a named failure without waiting out a timeout.
+  bool peer_lost(int rank) const;
+  /// The recorded reason for `rank`'s stream loss; "" when not lost.
+  std::string peer_loss_reason(int rank) const;
 
   template <typename T>
   static T value_of(const Message& m) {
@@ -100,6 +120,13 @@ class Comm {
 
  private:
   int world_rank_of(int local_rank) const;
+
+  /// Blocking mailbox pop that, in distributed mode, wakes periodically to
+  /// check the peer-loss registry — the mechanism behind death-aware recv.
+  Message pop_death_aware(int src, int tag);
+  /// Raise PeerDeathError when waiting on (src, tag) is provably hopeless:
+  /// the specific source is lost, or (kAnySource) every other member is.
+  void throw_if_peer_dead(int src, int tag) const;
 
   Runtime* runtime_;
   int context_id_;

@@ -26,11 +26,28 @@ class TimeoutError : public MiniMpiError {
   using MiniMpiError::MiniMpiError;
 };
 
-/// The wire carried something that is not a valid frame, or a frame was
-/// addressed to a (context, rank) this process cannot deliver to.
+/// The wire carried something that is not a valid frame, a frame was
+/// addressed to a (context, rank) this process cannot deliver to, or an I/O
+/// primitive (poll, read, write) failed in a way that kills a peer link.
 class TransportError : public MiniMpiError {
  public:
   using MiniMpiError::MiniMpiError;
+};
+
+/// A specific peer's stream is gone — it crashed, was killed, or closed its
+/// connection while the world still expected traffic from it. Raised by
+/// deadline- and death-aware receives once the Runtime has recorded the
+/// loss; `world_rank()` names the dead rank so a recovery layer can respawn
+/// exactly the missing process.
+class PeerDeathError : public TransportError {
+ public:
+  PeerDeathError(int world_rank, const std::string& message)
+      : TransportError(message), world_rank_(world_rank) {}
+
+  int world_rank() const { return world_rank_; }
+
+ private:
+  int world_rank_;
 };
 
 /// The rendezvous/mesh build of a multi-process world failed (peer missing,

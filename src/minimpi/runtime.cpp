@@ -87,6 +87,10 @@ Runtime::Runtime(int world_size, int local_rank, std::unique_ptr<Transport> tran
     create_context_locked(std::move(world_members), /*key=*/0);
   }
   transport_->set_sink([this](Frame frame) { ingest(std::move(frame)); });
+  transport_->set_peer_loss_handler(
+      [this](int world_rank, bool clean_eof, const std::string& reason) {
+        note_peer_loss(world_rank, clean_eof, reason);
+      });
   transport_->start();  // blocking rendezvous; BootstrapError propagates
 }
 
@@ -190,6 +194,31 @@ void Runtime::ingest(Frame frame) {
     return;
   }
   deliver_locked(*contexts_[it->second], std::move(frame));
+}
+
+void Runtime::note_peer_loss(int world_rank, bool clean_eof, std::string reason) {
+  if (!distributed()) return;  // in-process worlds share one fate anyway
+  std::lock_guard<std::mutex> lock(losses_mutex_);
+  losses_.try_emplace(world_rank, PeerLoss{clean_eof, std::move(reason)});
+}
+
+bool Runtime::peer_lost(int world_rank) const {
+  std::lock_guard<std::mutex> lock(losses_mutex_);
+  return losses_.contains(world_rank);
+}
+
+std::vector<int> Runtime::lost_peers() const {
+  std::lock_guard<std::mutex> lock(losses_mutex_);
+  std::vector<int> ranks;
+  ranks.reserve(losses_.size());
+  for (const auto& [rank, loss] : losses_) ranks.push_back(rank);
+  return ranks;
+}
+
+std::string Runtime::peer_loss_reason(int world_rank) const {
+  std::lock_guard<std::mutex> lock(losses_mutex_);
+  const auto it = losses_.find(world_rank);
+  return it == losses_.end() ? std::string() : it->second.reason;
 }
 
 std::size_t Runtime::pending_frames() const {
@@ -351,7 +380,24 @@ int Runtime::split_context_distributed(int parent_context, int caller_local_rank
           std::chrono::duration<double>(split_timeout_s_));
   for (int r = 0; r < n; ++r) {
     if (r == caller_local_rank) continue;
-    auto message = my_mailbox->pop_until(r, kTagSplit, deadline);
+    // Sliced wait so a peer whose stream is gone is named as PeerDeathError
+    // right away (the recovery loop catches that) instead of burning the
+    // whole split deadline into an unrecoverable TimeoutError.
+    std::optional<Message> message;
+    for (;;) {
+      const auto slice = std::min(
+          deadline, std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(100));
+      message = my_mailbox->pop_until(r, kTagSplit, slice);
+      if (message) break;
+      if (peer_lost(members[r])) {
+        throw PeerDeathError(members[r],
+                             "split rendezvous: world rank " +
+                                 std::to_string(members[r]) + " died (" +
+                                 peer_loss_reason(members[r]) + ")");
+      }
+      if (std::chrono::steady_clock::now() >= deadline) break;
+    }
     if (!message) {
       throw TimeoutError("split rendezvous: no contribution from world rank " +
                          std::to_string(members[r]) + " within " +

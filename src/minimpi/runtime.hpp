@@ -109,6 +109,25 @@ class Runtime {
   /// surfaces as TimeoutError instead of hanging the split forever).
   void set_split_timeout(double seconds) { split_timeout_s_ = seconds; }
 
+  // -- peer liveness --------------------------------------------------------
+  //
+  // In distributed mode the transport reports every lost peer stream here
+  // (installed as its PeerLossHandler). The registry is what makes rank
+  // death *observable from the rank's own thread*: death-aware receives in
+  // Comm consult it and raise PeerDeathError instead of hanging, and a
+  // recovery layer reads lost_peers() to decide who to respawn. In-process
+  // worlds never record losses.
+
+  /// Record that `world_rank`'s stream is gone. Thread-safe; first report
+  /// of a rank wins (later ones keep the original reason).
+  void note_peer_loss(int world_rank, bool clean_eof, std::string reason);
+  /// True once `world_rank` was reported lost (cleanly or not).
+  bool peer_lost(int world_rank) const;
+  /// World ranks reported lost so far, ascending.
+  std::vector<int> lost_peers() const;
+  /// The recorded reason for a lost rank ("" when not lost).
+  std::string peer_loss_reason(int world_rank) const;
+
   // -- internal API used by Comm ------------------------------------------
 
   RankState& rank_state(int world_rank);
@@ -145,6 +164,13 @@ class Runtime {
   std::unique_ptr<Transport> transport_;
   std::vector<std::unique_ptr<RankState>> rank_states_;
   double split_timeout_s_ = 120.0;
+
+  struct PeerLoss {
+    bool clean = false;
+    std::string reason;
+  };
+  mutable std::mutex losses_mutex_;
+  std::map<int, PeerLoss> losses_;  ///< world rank -> first recorded loss
 
   mutable std::mutex contexts_mutex_;
   std::vector<std::unique_ptr<CommContext>> contexts_;

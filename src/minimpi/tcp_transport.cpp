@@ -92,11 +92,47 @@ void TcpTransport::send(int dst_world_rank, Frame frame) {
   }
   CG_EXPECT(started_.load());
   Peer& peer = *peers_[static_cast<std::size_t>(dst_world_rank)];
+  // A lost peer's sender is gone; queueing for it would only grow an inbox
+  // nobody drains. Dropping keeps send()'s never-blocks contract — whoever
+  // expected a reply will hit the recorded loss in a death-aware receive.
+  if (peer.lost.load()) return;
   {
     std::lock_guard<std::mutex> lock(peer.mutex);
     peer.queue.push_back(std::move(frame));
   }
   peer.ready.notify_one();
+}
+
+bool TcpTransport::peer_lost(int world_rank) const {
+  if (world_rank < 0 || world_rank >= options_.world_size) return false;
+  if (world_rank == options_.rank) return false;
+  return peers_[static_cast<std::size_t>(world_rank)]->lost.load();
+}
+
+void TcpTransport::report_peer_loss(int peer_rank, bool clean_eof,
+                                    const std::string& reason) {
+  Peer& peer = *peers_[static_cast<std::size_t>(peer_rank)];
+  if (peer.lost.exchange(true)) return;  // first report wins
+  {
+    // Unblock a sender waiting on the queue and drop frames it will never
+    // deliver.
+    std::lock_guard<std::mutex> lock(peer.mutex);
+    peer.queue.clear();
+    peer.closing = true;
+  }
+  peer.ready.notify_all();
+  if (stopping_.load()) return;  // teardown noise, not a death
+  if (!clean_eof && options_.fail_stop) {
+    common::log_error() << "tcp transport: lost rank " << peer_rank << " ("
+                        << reason << "); fail-stop policy is set";
+    std::abort();
+  }
+  // A clean EOF is how normal teardown looks from the slower side too, so
+  // it stays below warning level; the handler still hears about it.
+  (clean_eof ? common::log_debug() : common::log_warn())
+      << "tcp transport: lost rank " << peer_rank << " ("
+      << (clean_eof ? "clean EOF: " : "") << reason << ")";
+  if (peer_loss_handler_) peer_loss_handler_(peer_rank, clean_eof, reason);
 }
 
 void TcpTransport::sender_loop(int peer_rank) {
@@ -114,11 +150,12 @@ void TcpTransport::sender_loop(int peer_rank) {
     const std::vector<std::uint8_t> wire = encode_frame(frame);
     if (!write_all(peer.fd, wire.data(), wire.size())) {
       if (stopping_.load()) break;  // peer already gone during teardown
-      // Mid-run write failure means the peer died: fail-stop, like an MPI
-      // job — the grid cannot make progress without it.
-      common::log_error() << "tcp transport: writing to rank " << peer_rank
-                          << " failed: " << std::strerror(errno);
-      std::abort();
+      // Mid-run write failure means the peer's stream is dead. Record the
+      // loss so the rank's own thread can raise PeerDeathError at its next
+      // receive; aborting here would skip destructors and flushes.
+      report_peer_loss(peer_rank, /*clean_eof=*/false,
+                       std::string("write failed: ") + std::strerror(errno));
+      break;
     }
   }
   // All queued frames are on the wire; tell the peer no more are coming.
@@ -134,18 +171,28 @@ void TcpTransport::receiver_loop(int peer_rank) {
     pollfd pfd{peer.fd, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, 200);
     if (stopping_.load()) break;
-    if (ready < 0 && errno != EINTR) break;
+    if (ready < 0 && errno != EINTR) {
+      // Raising a named TransportError is the receive paths' job; here we
+      // can only record why this link died instead of wedging silently.
+      report_peer_loss(peer_rank, /*clean_eof=*/false,
+                       std::string("poll failed: ") + std::strerror(errno));
+      break;
+    }
     if (ready <= 0) continue;
 
     std::size_t got = 0;
     if (!read_exact(peer.fd, header.data(), header.size(), &got)) {
-      if (got == 0) break;  // clean EOF between frames
-      protocol_errors_.fetch_add(1);
-      if (!stopping_.load()) {
-        common::log_error() << "tcp transport: rank " << peer_rank
-                            << " closed mid-frame (" << got << "/"
-                            << header.size() << " header bytes)";
+      if (got == 0) {
+        // Clean EOF between frames: orderly teardown *or* a SIGKILLed peer
+        // (the kernel closes its sockets either way). The receive call
+        // sites decide which one it was.
+        report_peer_loss(peer_rank, /*clean_eof=*/true, "closed its stream");
+        break;
       }
+      protocol_errors_.fetch_add(1);
+      report_peer_loss(peer_rank, /*clean_eof=*/false,
+                       "closed mid-frame (" + std::to_string(got) + "/" +
+                           std::to_string(header.size()) + " header bytes)");
       break;
     }
     Frame frame;
@@ -154,18 +201,15 @@ void TcpTransport::receiver_loop(int peer_rank) {
         decode_frame_header(header, &frame, &payload_len);
     if (status != FrameDecodeStatus::kOk) {
       protocol_errors_.fetch_add(1);
-      common::log_error() << "tcp transport: invalid frame from rank "
-                          << peer_rank << ": " << to_string(status);
+      report_peer_loss(peer_rank, /*clean_eof=*/false,
+                       std::string("invalid frame: ") + to_string(status));
       break;
     }
     frame.payload.resize(payload_len);
     if (payload_len > 0 &&
         !read_exact(peer.fd, frame.payload.data(), frame.payload.size())) {
       protocol_errors_.fetch_add(1);
-      if (!stopping_.load()) {
-        common::log_error() << "tcp transport: rank " << peer_rank
-                            << " closed mid-payload";
-      }
+      report_peer_loss(peer_rank, /*clean_eof=*/false, "closed mid-payload");
       break;
     }
     try {
@@ -175,8 +219,8 @@ void TcpTransport::receiver_loop(int peer_rank) {
       // Runtime::ingest) is a peer protocol violation: keep the diagnostic
       // and drop the connection instead of std::terminate-ing the process.
       protocol_errors_.fetch_add(1);
-      common::log_error() << "tcp transport: dropping connection to rank "
-                          << peer_rank << ": " << e.what();
+      report_peer_loss(peer_rank, /*clean_eof=*/false,
+                       std::string("undeliverable frame: ") + e.what());
       break;
     }
   }

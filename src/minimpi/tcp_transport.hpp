@@ -9,9 +9,16 @@
 // into the owning Runtime's sink, where the existing mailbox matching logic
 // takes over.
 //
-// Failure policy mirrors the rest of minimpi: a peer that dies mid-run is
-// fail-stop (named TransportError / log + abort from an I/O thread), a peer
-// that closes cleanly between frames is a normal end of stream.
+// Failure policy: losing a peer's stream — a failed write, a poll error, a
+// mid-frame truncation, or a clean EOF (which is also what a SIGKILLed peer
+// produces: the kernel closes its sockets) — is *reported*, not fatal. The
+// transport marks the peer dead, drops any traffic queued for it, and tells
+// the installed PeerLossHandler; the Runtime records the loss and the
+// death-aware receive paths in Comm raise a named PeerDeathError from the
+// rank's own thread, where a recovery layer can catch it. The historical
+// log-and-abort behavior survives only behind the `fail_stop` option, as a
+// last-resort policy for deployments that prefer an MPI-style job kill on an
+// *unclean* loss.
 #pragma once
 
 #include <atomic>
@@ -37,6 +44,10 @@ struct TcpTransportOptions {
   /// Deadline for the whole bootstrap handshake and for draining the send
   /// queues at shutdown.
   double timeout_s = 30.0;
+  /// Last-resort policy switch: abort the process on an *unclean* peer loss
+  /// (failed write / garbled stream) instead of reporting it. Clean EOFs are
+  /// always reported, never fatal — normal teardown produces them too.
+  bool fail_stop = false;
 };
 
 class TcpTransport final : public Transport {
@@ -61,6 +72,9 @@ class TcpTransport final : public Transport {
   /// for tests and postmortems (the connection is torn down on the spot).
   std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
 
+  /// True once the link to `world_rank` was reported lost (clean or not).
+  bool peer_lost(int world_rank) const;
+
  private:
   struct Peer {
     int fd = -1;
@@ -70,10 +84,16 @@ class TcpTransport final : public Transport {
     std::condition_variable ready;
     std::deque<Frame> queue;
     bool closing = false;
+    std::atomic<bool> lost{false};
   };
 
   void sender_loop(int peer_rank);
   void receiver_loop(int peer_rank);
+
+  /// Mark `peer_rank` dead (first caller wins), drop its queued frames and
+  /// notify the loss handler — or abort, under the fail_stop policy for an
+  /// unclean loss. Never escalates during shutdown().
+  void report_peer_loss(int peer_rank, bool clean_eof, const std::string& reason);
 
   TcpTransportOptions options_;
   int listen_fd_ = -1;

@@ -96,12 +96,27 @@ FrameDecodeStatus decode_frame_header(std::span<const std::uint8_t> bytes,
 /// ingest function here.
 using FrameSink = std::function<void(Frame)>;
 
+/// Peer-loss callback: invoked (from an I/O thread) when the link to
+/// `world_rank` is gone for good. `clean_eof` distinguishes an orderly FIN
+/// between frames from a mid-frame/mid-write failure — but note that a
+/// SIGKILLed process also produces a *clean* EOF (the kernel closes its
+/// sockets), so the interpretation of a loss (expected teardown vs. rank
+/// death) belongs to the receive call sites, not the transport.
+using PeerLossHandler =
+    std::function<void(int world_rank, bool clean_eof, const std::string& reason)>;
+
 class Transport {
  public:
   virtual ~Transport() = default;
 
   /// Install the delivery callback. Must be called before start()/send().
   void set_sink(FrameSink sink) { sink_ = std::move(sink); }
+
+  /// Install the peer-loss callback. Must be called before start(). Optional:
+  /// without one, losses are only logged by the transport.
+  void set_peer_loss_handler(PeerLossHandler handler) {
+    peer_loss_handler_ = std::move(handler);
+  }
 
   /// Establish connectivity (blocking). InProc: no-op. Tcp: rendezvous with
   /// every peer and spawn the per-peer I/O threads; throws BootstrapError.
@@ -118,6 +133,7 @@ class Transport {
 
  protected:
   FrameSink sink_;
+  PeerLossHandler peer_loss_handler_;
 };
 
 /// The historical single-process path behind the Transport interface: every

@@ -6,6 +6,8 @@
 // the optimizer contract, and Adam moment state survives rate changes.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "nn/module.hpp"
@@ -52,6 +54,18 @@ class Adam final : public Optimizer {
   void reset() override;
 
   std::uint64_t steps_taken() const { return t_; }
+
+  /// Moment-state access for checkpointing: resuming a run mid-training must
+  /// restore m/v/t exactly or the next update's bias correction (and thus
+  /// every parameter after it) diverges from the uninterrupted run.
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const { return v_; }
+  void restore_moments(std::uint64_t steps, std::vector<std::vector<float>> m,
+                       std::vector<std::vector<float>> v) {
+    t_ = steps;
+    m_ = std::move(m);
+    v_ = std::move(v);
+  }
 
  private:
   double lr_, beta1_, beta2_, epsilon_;

@@ -11,6 +11,7 @@
 #include <future>
 #include <thread>
 
+#include "common/timer.hpp"
 #include "minimpi/comm.hpp"
 #include "minimpi/errors.hpp"
 #include "minimpi/runtime.hpp"
@@ -195,6 +196,54 @@ TEST(TcpTransportTest, RecvTimeoutNamesTheSilentPeer) {
   });
 }
 
+TEST(TcpTransportTest, PeerDeathRaisesNamedErrorInsteadOfHanging) {
+  // A rank that vanishes (its transport tears down, exactly what SIGKILL
+  // looks like from the outside: streams close) must surface on every
+  // survivor's pending receive as PeerDeathError — quickly, with the dead
+  // rank named, and without aborting the process or burning a long timeout.
+  run_tcp_world(3, [](Runtime& runtime, Comm& world) {
+    if (world.rank() == 2) return;  // "dies" right after bootstrap
+    common::WallTimer detect;
+    try {
+      (void)world.recv(2, 77);
+      FAIL() << "expected PeerDeathError";
+    } catch (const PeerDeathError& e) {
+      EXPECT_EQ(e.world_rank(), 2);
+      EXPECT_NE(std::string(e.what()).find("2"), std::string::npos);
+    }
+    EXPECT_LT(detect.elapsed_s(), 10.0);
+    EXPECT_TRUE(runtime.peer_lost(2));
+    EXPECT_TRUE(world.peer_lost(2));
+    // Sending to a lost peer is a silent drop, not a crash: the error
+    // belongs to whoever waits on the reply.
+    world.send(2, 99, {});
+    // The survivors' own link is untouched.
+    const std::vector<std::uint8_t> ping = {1};
+    const std::vector<std::uint8_t> pong = {2};
+    if (world.rank() == 0) {
+      world.send(1, 5, ping);
+      EXPECT_EQ(world.recv(1, 6).payload, pong);
+    } else {
+      EXPECT_EQ(world.recv(0, 5).payload, ping);
+      world.send(0, 6, pong);
+    }
+  });
+}
+
+TEST(TcpTransportTest, MessagesDeliveredBeforeDeathStillArrive) {
+  // Frames that reached the receiver before the stream was lost always win
+  // over the loss report: a peer's dying words are not discarded.
+  run_tcp_world(2, [](Runtime&, Comm& world) {
+    if (world.rank() == 1) {
+      const std::vector<std::uint8_t> last_words = {42};
+      world.send(0, 5, last_words);
+      return;  // gone immediately after the send
+    }
+    EXPECT_EQ(world.recv(1, 5).payload, (std::vector<std::uint8_t>{42}));
+    EXPECT_THROW((void)world.recv(1, 6), PeerDeathError);
+  });
+}
+
 TEST(TcpTransportTest, BootstrapTimesOutWithNamedError) {
   // Nothing listens on the rendezvous endpoint: the would-be rank 1 must
   // fail its bootstrap within the deadline, not hang.
@@ -213,9 +262,10 @@ TEST(TcpTransportTest, BootstrapTimesOutWithNamedError) {
 
 TEST(TcpTransportTest, WorldSizeMismatchIsRejectedAtBootstrap) {
   // Rank 0 expects a world of 2; a peer configured for a world of 3 learns
-  // the mismatch from the endpoint table and fails with a named error. The
-  // world is then missing a rank, which rank 0's deadline-aware receive
-  // surfaces as TimeoutError — fail-stop with names on both sides, no hang.
+  // the mismatch from the endpoint table and fails with a named error. That
+  // peer registered and then vanished, so rank 0's pending receive names it
+  // as PeerDeathError right away — errors with names on both sides, no
+  // hang, no deadline burned.
   std::promise<std::string> endpoint_promise;
   auto endpoint = endpoint_promise.get_future().share();
   std::thread rank0([&] {
@@ -228,7 +278,14 @@ TEST(TcpTransportTest, WorldSizeMismatchIsRejectedAtBootstrap) {
     endpoint_promise.set_value(transport->rendezvous_endpoint());
     Runtime runtime(2, 0, std::move(transport));
     Comm world(runtime, 0, 0);
-    EXPECT_THROW(world.recv_timeout(1, 1, 0.2), TimeoutError);
+    try {
+      (void)world.recv_timeout(1, 1, 0.2);
+      FAIL() << "expected PeerDeathError or TimeoutError";
+    } catch (const PeerDeathError& e) {
+      EXPECT_EQ(e.world_rank(), 1);  // the usual: EOF beats the deadline
+    } catch (const TimeoutError&) {
+      // Loss not yet reported when the deadline hit: still a named error.
+    }
   });
   TcpTransportOptions options;
   options.world_size = 3;  // wrong
