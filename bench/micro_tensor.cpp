@@ -1,125 +1,251 @@
-// Microbenchmarks of the tensor/NN kernels on the paper's layer shapes —
-// the per-iteration compute the virtual-time model charges for.
-#include <benchmark/benchmark.h>
+// Tensor microkernel benchmark: scalar vs SIMD across the paper's layer
+// shapes and thread counts, emitting BENCH_tensor.json.
+//
+// Self-contained (no Google Benchmark) so the sweep always builds and the
+// JSON carries exactly the fields CI asserts on: per-shape GFLOP/s for both
+// kernel kinds, the simd/scalar speedup, and the best single-thread GEMM
+// speedup (`ci/check.sh --bench` reads it; the README table is generated
+// from the same file).
+//
+//   micro_tensor [--min-time SECONDS] [--json PATH] [--threads LIST]
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
-#include "core/gan_trainer.hpp"
-#include "core/genome.hpp"
-#include "nn/gan_models.hpp"
-#include "nn/optimizer.hpp"
+#include "tensor/kernels.hpp"
 #include "tensor/ops.hpp"
 
 namespace {
 
 using namespace cellgan;
+using Clock = std::chrono::steady_clock;
 
-void BM_Gemm(benchmark::State& state) {
-  const auto m = static_cast<std::size_t>(state.range(0));
-  const auto k = static_cast<std::size_t>(state.range(1));
-  const auto n = static_cast<std::size_t>(state.range(2));
+/// Runs `body` repeatedly until `min_seconds` of wall time accumulate (at
+/// least three iterations) and returns seconds per iteration.
+template <typename Body>
+double time_per_iteration(double min_seconds, const Body& body) {
+  body();  // warm up: pools spun up, panels packed once, pages faulted in
+  std::size_t iterations = 0;
+  const auto start = Clock::now();
+  double elapsed = 0.0;
+  do {
+    body();
+    ++iterations;
+    elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+  } while (elapsed < min_seconds || iterations < 3);
+  return elapsed / static_cast<double>(iterations);
+}
+
+enum class GemmOp { kNn, kTn, kNt };
+
+const char* to_string(GemmOp op) {
+  switch (op) {
+    case GemmOp::kNn: return "matmul";
+    case GemmOp::kTn: return "matmul_tn";
+    case GemmOp::kNt: return "matmul_nt";
+  }
+  return "?";
+}
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+struct GemmResult {
+  GemmOp op;
+  GemmShape shape;
+  std::size_t threads;
+  double scalar_gflops = 0.0;
+  double simd_gflops = 0.0;
+  double speedup() const {
+    return scalar_gflops > 0.0 ? simd_gflops / scalar_gflops : 0.0;
+  }
+};
+
+double run_gemm_gflops(GemmOp op, const GemmShape& shape,
+                       tensor::KernelKind kind, double min_seconds) {
   common::Rng rng(1);
-  const tensor::Tensor a = tensor::Tensor::randn(m, k, rng);
-  const tensor::Tensor b = tensor::Tensor::randn(k, n, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::matmul(a, b));
-  }
-  state.SetItemsProcessed(state.iterations() * 2 * m * k * n);
+  // Operand storage per op: TN takes A as (k x m), NT takes B as (n x k).
+  const std::size_t a_rows = op == GemmOp::kTn ? shape.k : shape.m;
+  const std::size_t a_cols = op == GemmOp::kTn ? shape.m : shape.k;
+  const std::size_t b_rows = op == GemmOp::kNt ? shape.n : shape.k;
+  const std::size_t b_cols = op == GemmOp::kNt ? shape.k : shape.n;
+  const tensor::Tensor a = tensor::Tensor::randn(a_rows, a_cols, rng);
+  const tensor::Tensor b = tensor::Tensor::randn(b_rows, b_cols, rng);
+  tensor::set_kernel_kind(kind);
+  volatile float sink = 0.0f;
+  const double seconds = time_per_iteration(min_seconds, [&] {
+    tensor::Tensor c = op == GemmOp::kNn   ? tensor::matmul(a, b)
+                       : op == GemmOp::kTn ? tensor::matmul_tn(a, b)
+                                           : tensor::matmul_nt(a, b);
+    sink = sink + c.at(0, 0);
+  });
+  const double flops =
+      2.0 * static_cast<double>(shape.m) * static_cast<double>(shape.k) *
+      static_cast<double>(shape.n);
+  return flops / seconds * 1e-9;
 }
-// The paper's generator layers at batch 100: 100x64 * 64x256, 100x256 *
-// 256x256, 100x256 * 256x784; discriminator first layer 100x784 * 784x256.
-BENCHMARK(BM_Gemm)->Args({100, 64, 256})->Args({100, 256, 256})
-    ->Args({100, 256, 784})->Args({100, 784, 256});
 
-void BM_GemmThreaded(benchmark::State& state) {
-  common::set_global_pool_threads(static_cast<std::size_t>(state.range(0)));
-  common::Rng rng(1);
-  const tensor::Tensor a = tensor::Tensor::randn(256, 256, rng);
-  const tensor::Tensor b = tensor::Tensor::randn(256, 256, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::matmul(a, b));
+struct ElementwiseResult {
+  std::string op;
+  std::size_t elements;
+  double scalar_gelems = 0.0;  ///< 1e9 elements per second
+  double simd_gelems = 0.0;
+  double speedup() const {
+    return scalar_gelems > 0.0 ? simd_gelems / scalar_gelems : 0.0;
   }
-  common::set_global_pool_threads(1);
-  state.SetItemsProcessed(state.iterations() * 2 * 256 * 256 * 256);
-}
-BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2);
+};
 
-void BM_TanhForward(benchmark::State& state) {
-  common::Rng rng(2);
-  const tensor::Tensor x = tensor::Tensor::randn(100, 784, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::tanh_forward(x));
-  }
-  state.SetItemsProcessed(state.iterations() * x.size());
+double run_elementwise_gelems(const std::string& op, const tensor::Tensor& x,
+                              const tensor::Tensor& y,
+                              tensor::KernelKind kind, double min_seconds) {
+  tensor::set_kernel_kind(kind);
+  volatile float sink = 0.0f;
+  const double seconds = time_per_iteration(min_seconds, [&] {
+    tensor::Tensor r =
+        op == "add"             ? tensor::add(x, y)
+        : op == "mul"           ? tensor::mul(x, y)
+        : op == "scale"         ? tensor::scale(x, 0.37f)
+        : op == "tanh_forward"  ? tensor::tanh_forward(x)
+        : op == "sigmoid_forward" ? tensor::sigmoid_forward(x)
+                                  : tensor::leaky_relu_forward(x, 0.2f);
+    sink = sink + r.at(0, 0);
+  });
+  return static_cast<double>(x.size()) / seconds * 1e-9;
 }
-BENCHMARK(BM_TanhForward);
 
-void BM_BceWithLogits(benchmark::State& state) {
-  common::Rng rng(3);
-  const tensor::Tensor logits = tensor::Tensor::randn(100, 1, rng);
-  const tensor::Tensor target = tensor::Tensor::full(100, 1, 1.0f);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(tensor::bce_with_logits(logits, target));
-  }
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", v);
+  return buf;
 }
-BENCHMARK(BM_BceWithLogits);
-
-void BM_GeneratorForward(benchmark::State& state) {
-  common::Rng rng(4);
-  const nn::GanArch arch = nn::GanArch::paper();
-  nn::Sequential g = nn::make_generator(arch, rng);
-  const tensor::Tensor z = tensor::Tensor::randn(100, arch.latent_dim, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(g.forward(z));
-  }
-}
-BENCHMARK(BM_GeneratorForward);
-
-void BM_DiscriminatorStep(benchmark::State& state) {
-  // One full adversarial discriminator update at paper scale: the dominant
-  // per-batch cost in the train routine.
-  common::Rng rng(5);
-  const nn::GanArch arch = nn::GanArch::paper();
-  nn::Sequential g = nn::make_generator(arch, rng);
-  nn::Sequential d = nn::make_discriminator(arch, rng);
-  nn::Adam opt(2e-4);
-  const tensor::Tensor real = tensor::Tensor::randn(100, arch.image_dim, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::train_discriminator_step(d, opt, g, real, arch.latent_dim, rng));
-  }
-}
-BENCHMARK(BM_DiscriminatorStep);
-
-void BM_GenomeSerialize(benchmark::State& state) {
-  common::Rng rng(6);
-  const nn::GanArch arch = nn::GanArch::paper();
-  nn::Sequential g = nn::make_generator(arch, rng);
-  nn::Sequential d = nn::make_discriminator(arch, rng);
-  core::CellGenome genome = core::CellGenome::capture(g, d);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(genome.serialize());
-  }
-  state.SetBytesProcessed(state.iterations() * genome.byte_size());
-}
-BENCHMARK(BM_GenomeSerialize);
-
-void BM_AdamStep(benchmark::State& state) {
-  common::Rng rng(7);
-  const nn::GanArch arch = nn::GanArch::paper();
-  nn::Sequential g = nn::make_generator(arch, rng);
-  nn::Adam opt(2e-4);
-  // Populate gradients once.
-  const tensor::Tensor z = tensor::Tensor::randn(10, arch.latent_dim, rng);
-  (void)g.forward(z);
-  (void)g.backward(tensor::Tensor::full(10, arch.image_dim, 1.0f));
-  for (auto _ : state) {
-    opt.step(g);
-  }
-  state.SetItemsProcessed(state.iterations() * g.parameter_count());
-}
-BENCHMARK(BM_AdamStep);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  common::CliParser cli(
+      "Tensor microkernel sweep: scalar vs SIMD GFLOP/s on the paper's layer "
+      "shapes; writes BENCH_tensor.json");
+  cli.add_flag("min-time", "0.2", "seconds of wall time per measurement");
+  cli.add_flag("json", "BENCH_tensor.json", "output JSON path (empty = skip)");
+  cli.add_flag("threads", "1,2,4", "comma-separated GEMM thread counts");
+  if (!cli.parse(argc, argv)) return 1;
+  const double min_seconds = cli.get_double("min-time");
+  const std::string json_path = cli.get("json");
+
+  std::vector<std::size_t> thread_counts;
+  {
+    std::stringstream ss(cli.get("threads"));
+    for (std::string item; std::getline(ss, item, ',');) {
+      const long v = std::strtol(item.c_str(), nullptr, 10);
+      if (v >= 1) thread_counts.push_back(static_cast<std::size_t>(v));
+    }
+    if (thread_counts.empty()) thread_counts.push_back(1);
+  }
+
+  // The paper's layer shapes at batch 100: generator 64->256->256->784,
+  // discriminator 784->{128,256}->... (Section IV network sizes).
+  const GemmShape shapes[] = {{100, 784, 128},
+                              {100, 784, 256},
+                              {100, 64, 256},
+                              {100, 256, 256},
+                              {100, 256, 784}};
+  const GemmOp ops[] = {GemmOp::kNn, GemmOp::kTn, GemmOp::kNt};
+
+  std::printf("tensor kernels: simd path = %s\n",
+              tensor::simd_instruction_set());
+  std::printf("%-10s %15s %8s %14s %14s %8s\n", "op", "shape", "threads",
+              "scalar GF/s", "simd GF/s", "speedup");
+
+  std::vector<GemmResult> gemm_results;
+  double best_single_thread_speedup = 0.0;
+  for (const std::size_t threads : thread_counts) {
+    common::set_global_pool_threads(threads);
+    for (const GemmOp op : ops) {
+      for (const GemmShape& shape : shapes) {
+        GemmResult r{op, shape, threads, 0.0, 0.0};
+        r.scalar_gflops =
+            run_gemm_gflops(op, shape, tensor::KernelKind::kScalar, min_seconds);
+        r.simd_gflops =
+            run_gemm_gflops(op, shape, tensor::KernelKind::kSimd, min_seconds);
+        if (threads == 1) {
+          best_single_thread_speedup =
+              std::max(best_single_thread_speedup, r.speedup());
+        }
+        std::printf("%-10s %5zux%4zux%4zu %8zu %14.2f %14.2f %7.2fx\n",
+                    to_string(op), shape.m, shape.k, shape.n, threads,
+                    r.scalar_gflops, r.simd_gflops, r.speedup());
+        gemm_results.push_back(r);
+      }
+    }
+  }
+  common::set_global_pool_threads(1);
+
+  std::vector<ElementwiseResult> ew_results;
+  {
+    common::Rng rng(2);
+    const tensor::Tensor x = tensor::Tensor::randn(100, 784, rng);
+    const tensor::Tensor y = tensor::Tensor::randn(100, 784, rng);
+    for (const char* op : {"add", "mul", "scale", "tanh_forward",
+                           "sigmoid_forward", "leaky_relu_forward"}) {
+      ElementwiseResult r{op, x.size(), 0.0, 0.0};
+      r.scalar_gelems = run_elementwise_gelems(
+          op, x, y, tensor::KernelKind::kScalar, min_seconds);
+      r.simd_gelems =
+          run_elementwise_gelems(op, x, y, tensor::KernelKind::kSimd,
+                                 min_seconds);
+      std::printf("%-19s %7zu elems %12.2f %14.2f Gelem/s %6.2fx\n", op,
+                  r.elements, r.scalar_gelems, r.simd_gelems, r.speedup());
+      ew_results.push_back(r);
+    }
+  }
+
+  std::printf("best single-thread GEMM speedup (simd/scalar): %.2fx\n",
+              best_single_thread_speedup);
+
+  if (!json_path.empty()) {
+    std::ostringstream out;
+    out << "{\n  \"simd_instruction_set\": \""
+        << tensor::simd_instruction_set() << "\",\n";
+    out << "  \"min_time_seconds\": " << format_double(min_seconds) << ",\n";
+    out << "  \"best_single_thread_gemm_speedup\": "
+        << format_double(best_single_thread_speedup) << ",\n";
+    out << "  \"gemm\": [\n";
+    for (std::size_t i = 0; i < gemm_results.size(); ++i) {
+      const GemmResult& r = gemm_results[i];
+      out << "    {\"op\": \"" << to_string(r.op) << "\", \"m\": " << r.shape.m
+          << ", \"k\": " << r.shape.k << ", \"n\": " << r.shape.n
+          << ", \"threads\": " << r.threads
+          << ", \"scalar_gflops\": " << format_double(r.scalar_gflops)
+          << ", \"simd_gflops\": " << format_double(r.simd_gflops)
+          << ", \"speedup\": " << format_double(r.speedup()) << "}"
+          << (i + 1 < gemm_results.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"elementwise\": [\n";
+    for (std::size_t i = 0; i < ew_results.size(); ++i) {
+      const ElementwiseResult& r = ew_results[i];
+      out << "    {\"op\": \"" << r.op << "\", \"elements\": " << r.elements
+          << ", \"scalar_gelems_per_s\": " << format_double(r.scalar_gelems)
+          << ", \"simd_gelems_per_s\": " << format_double(r.simd_gelems)
+          << ", \"speedup\": " << format_double(r.speedup()) << "}"
+          << (i + 1 < ew_results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::ofstream file(json_path);
+    if (!file) {
+      std::fprintf(stderr, "micro_tensor: cannot write %s\n",
+                   json_path.c_str());
+      return 1;
+    }
+    file << out.str();
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -5,9 +5,9 @@
 #
 # --bench additionally runs the perf bed at reduced scale and records the
 # numbers (BENCH_parallel.json, the unified-runner RunResult
-# BENCH_session.json, the Table II metric sweep BENCH_metrics.json and a
-# smoke-run telemetry stream SMOKE_telemetry.jsonl in the build dir, plus
-# Google-Benchmark JSON for micro_tensor when it was built), so perf and
+# BENCH_session.json, the Table II metric sweep BENCH_metrics.json, the
+# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json and a smoke-run
+# telemetry stream SMOKE_telemetry.jsonl in the build dir), so perf and
 # quality PRs can show deltas.
 set -euo pipefail
 
@@ -25,6 +25,15 @@ cmake --build "$BUILD" -j "$JOBS"
 
 cd "$BUILD"
 ctest --output-on-failure -j "$JOBS"
+
+# The tensor microkernel seam must hold under both kernel kinds: run the
+# tier-1 bed once pinned to the scalar reference and once pinned to the SIMD
+# path, so a regression in either (or a test that only passes on the process
+# default) fails here rather than on someone's machine.
+echo "=== tier1 bed with CELLGAN_TENSOR_KERNEL=scalar ==="
+CELLGAN_TENSOR_KERNEL=scalar ctest --output-on-failure -j "$JOBS" -L tier1
+echo "=== tier1 bed with CELLGAN_TENSOR_KERNEL=simd ==="
+CELLGAN_TENSOR_KERNEL=simd ctest --output-on-failure -j "$JOBS" -L tier1
 
 # The label machinery must keep covering the whole bed: a tier-1 run that
 # silently matches zero (or few) tests would let label-filtered CI jobs pass
@@ -87,12 +96,11 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     echo "error: telemetry stream has no metrics records" >&2
     exit 1
   }
-  if [ -x ./bench/micro_tensor ]; then
-    echo "=== bench: micro_tensor -> BENCH_micro_tensor.json ==="
-    ./bench/micro_tensor --benchmark_min_time=0.05 \
-      --benchmark_out="$BUILD/BENCH_micro_tensor.json" \
-      --benchmark_out_format=json
-  else
-    echo "micro_tensor not built (Google Benchmark absent); skipping"
-  fi
+  echo "=== bench: micro_tensor (scalar vs SIMD) -> BENCH_tensor.json ==="
+  ./bench/micro_tensor --min-time 0.05 --threads 1,2,4 \
+    --json "$BUILD/BENCH_tensor.json"
+  grep -q '"best_single_thread_gemm_speedup"' "$BUILD/BENCH_tensor.json" || {
+    echo "error: BENCH_tensor.json missing the kernel speedup summary" >&2
+    exit 1
+  }
 fi

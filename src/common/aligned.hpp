@@ -1,0 +1,69 @@
+// Cache-line and vector-width aware allocation helpers.
+//
+// Two problems live at word granularity and get solved here:
+//  * false sharing — adjacent per-lane/per-cell accumulators land on one
+//    cache line and every write ping-pongs the line between cores. Wrapping
+//    each element in CacheAligned<T> gives it a line of its own.
+//  * unaligned vector traffic — the SIMD GEMM kernels (tensor/kernels.cpp)
+//    pack A/B panels into scratch buffers; AlignedBuffer keeps those panels
+//    on vector-register-friendly 64-byte boundaries.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace cellgan::common {
+
+/// Destructive-interference distance assumed by the padded structures. 64
+/// bytes covers x86-64 and most AArch64 parts; over-alignment on exotic
+/// hardware costs only memory.
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// One value alone on its cache line. Use for elements of arrays that are
+/// written concurrently by different threads (per-lane clocks, per-cell
+/// virtual-time accumulators): sizeof(CacheAligned<T>) is a multiple of the
+/// line size, so vector<CacheAligned<T>> never co-locates two writers.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+};
+
+/// Growable 64-byte-aligned float scratch buffer for packed GEMM panels.
+/// grow() keeps the high-water mark and never shrinks, so per-call packing
+/// costs one branch after warmup. Contents are uninitialized after grow().
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  ~AlignedBuffer() { release(); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  /// Ensure capacity for `floats` entries; returns the (aligned) data.
+  float* grow(std::size_t floats) {
+    if (floats > capacity_) {
+      release();
+      data_ = static_cast<float*>(::operator new(
+          floats * sizeof(float), std::align_val_t(kCacheLineBytes)));
+      capacity_ = floats;
+    }
+    return data_;
+  }
+
+  float* data() { return data_; }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  void release() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kCacheLineBytes));
+      data_ = nullptr;
+    }
+    capacity_ = 0;
+  }
+
+  float* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+}  // namespace cellgan::common

@@ -19,6 +19,7 @@
 #include <span>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "core/exec_context.hpp"
 #include "core/grid.hpp"
 #include "minimpi/comm.hpp"
@@ -83,7 +84,12 @@ class GenomeStore {
     std::uint64_t epoch = 0;
     bool valid = false;
   };
-  using Slot = std::array<Entry, 2>;
+  /// Cache-line aligned so adjacent cells' slots never share a line: every
+  /// worker thread of the parallel trainer re-stamps its own cell's entry
+  /// headers (epoch/valid words) each epoch, and without the padding those
+  /// word-granularity writes would ping-pong lines between lanes even though
+  /// the cells are logically independent.
+  struct alignas(common::kCacheLineBytes) Slot : std::array<Entry, 2> {};
 
   mutable std::mutex mutex_;
   std::uint64_t epoch_ = 0;

@@ -31,6 +31,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/thread_pool.hpp"
 #include "core/trainer_core.hpp"
 
@@ -56,8 +57,11 @@ class ParallelTrainer final : public InProcessTrainer {
 
  private:
   /// Per-worker accounting lane: cells [lane_begin_[l], lane_begin_[l+1])
-  /// bill their virtual time and routine costs here.
-  struct Lane {
+  /// bill their virtual time and routine costs here. Cache-line aligned so
+  /// one lane's clock/profiler words never share a line with a neighbor's
+  /// (each charge is a read-modify-write on the owning worker thread; see
+  /// common/aligned.hpp).
+  struct alignas(common::kCacheLineBytes) Lane {
     common::VirtualClock clock;
     common::Profiler profiler;
     common::Rng jitter_rng;

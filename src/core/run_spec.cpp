@@ -106,6 +106,22 @@ std::optional<ExchangeMode> exchange_mode_from_string(std::string_view name) {
   return std::nullopt;
 }
 
+const char* to_string(TensorKernel kernel) {
+  switch (kernel) {
+    case TensorKernel::kAuto: return "auto";
+    case TensorKernel::kScalar: return "scalar";
+    case TensorKernel::kSimd: return "simd";
+  }
+  return "unknown";
+}
+
+std::optional<TensorKernel> tensor_kernel_from_string(std::string_view name) {
+  if (name == "auto") return TensorKernel::kAuto;
+  if (name == "scalar") return TensorKernel::kScalar;
+  if (name == "simd") return TensorKernel::kSimd;
+  return std::nullopt;
+}
+
 // --- DatasetSpec ------------------------------------------------------------
 
 std::optional<DatasetSpec> DatasetSpec::parse(const std::string& text,
@@ -205,6 +221,9 @@ void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
                "use the paper's full-size MLPs (Table I); upgrade-only");
   cli.add_flag("cost-profile", to_string(defaults.cost_profile),
                "virtual-time calibration: none | table3 | table4");
+  cli.add_flag("tensor-kernel", to_string(defaults.tensor_kernel),
+               "tensor microkernels: auto (env/default) | scalar (bit-exact"
+               " reference) | simd (packed vectorized)");
   cli.add_flag("eval-every", std::to_string(defaults.observers.eval_every),
                "compute IS/FID/mode coverage every N epochs (0 = off; needs a"
                " metric evaluator, attached by cellgan_run / table2_metrics)");
@@ -327,6 +346,15 @@ std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
       return std::nullopt;
     }
     spec.cost_profile = *kind;
+  }
+  if (cli.was_set("tensor-kernel")) {
+    const auto kernel = tensor_kernel_from_string(cli.get("tensor-kernel"));
+    if (!kernel) {
+      std::fprintf(stderr, "unknown tensor kernel '%s' (want auto | scalar |"
+                   " simd)\n", cli.get("tensor-kernel").c_str());
+      return std::nullopt;
+    }
+    spec.tensor_kernel = *kernel;
   }
   if (cli.was_set("eval-every")) {
     spec.observers.eval_every = static_cast<std::uint32_t>(int_flag("eval-every", 0));
@@ -569,6 +597,7 @@ std::string RunSpec::to_text() const {
   append_escaped(dataset_text, dataset.to_text());
   out << "  \"dataset\": " << dataset_text << ",\n";
   out << "  \"cost_profile\": \"" << to_string(cost_profile) << "\",\n";
+  out << "  \"tensor_kernel\": \"" << to_string(tensor_kernel) << "\",\n";
   out << "  \"observers\": {\n";
   out << "    \"eval_every\": " << observers.eval_every << ",\n";
   out << "    \"eval_samples\": " << observers.eval_samples << ",\n";
@@ -654,6 +683,13 @@ std::optional<RunSpec> RunSpec::from_text(const std::string& text,
       const auto kind = cost_profile_from_string(value);
       if (!kind) return r.fail("unknown cost_profile '" + value + "'");
       spec.cost_profile = *kind;
+      return true;
+    }
+    if (key == "tensor_kernel") {
+      if (!r.read_string(value)) return false;
+      const auto kernel = tensor_kernel_from_string(value);
+      if (!kernel) return r.fail("unknown tensor_kernel '" + value + "'");
+      spec.tensor_kernel = *kernel;
       return true;
     }
     if (key == "result_json") return r.read_string(spec.result_json);

@@ -62,6 +62,15 @@ std::optional<CostProfileKind> cost_profile_from_string(std::string_view name);
 std::optional<LossMode> loss_mode_from_string(std::string_view name);
 std::optional<ExchangeMode> exchange_mode_from_string(std::string_view name);
 
+/// Which tensor microkernel implementation the run executes on (the seam in
+/// tensor/kernels.hpp). kAuto keeps the process default — the
+/// CELLGAN_TENSOR_KERNEL environment variable, or simd when unset; the two
+/// explicit choices pin the kind process-wide when the Session prepares.
+enum class TensorKernel : std::uint32_t { kAuto = 0, kScalar = 1, kSimd = 2 };
+
+const char* to_string(TensorKernel kernel);
+std::optional<TensorKernel> tensor_kernel_from_string(std::string_view name);
+
 /// Where the training data comes from. Text grammar (the `--dataset` flag):
 ///   synthetic              procedural stand-in, keeping the program's
 ///                          default sample count/seed
@@ -116,6 +125,11 @@ struct RunSpec {
   std::size_t threads = 2;  ///< worker lanes for Backend::kThreads
   DatasetSpec dataset;
   CostProfileKind cost_profile = CostProfileKind::kNone;
+  /// Tensor microkernel selection (`--tensor-kernel`): auto | scalar | simd.
+  /// scalar is the bit-exact seed-identical reference; simd is the packed
+  /// vectorized path (deterministic per kind, may differ from scalar in
+  /// low-order GEMM bits).
+  TensorKernel tensor_kernel = TensorKernel::kAuto;
   ObserverSpec observers;
   /// When non-empty, Session::run() writes the unified RunResult as JSON here.
   std::string result_json;

@@ -17,6 +17,7 @@
 #include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
 #include "nn/gan_models.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cellgan::core {
 
@@ -329,6 +330,17 @@ void Session::set_datasets(const data::Dataset& train, const data::Dataset& test
 bool Session::prepare() {
   if (prepared_) return true;
   if (!error_.empty()) return false;
+
+  // Pin the tensor microkernel kind before anything computes (the cost-model
+  // calibration probe below runs real kernels). The selection is
+  // process-wide — the kernels are a global seam — so an explicit spec choice
+  // wins over the CELLGAN_TENSOR_KERNEL environment default; kAuto touches
+  // nothing.
+  if (spec_.tensor_kernel != TensorKernel::kAuto) {
+    tensor::set_kernel_kind(spec_.tensor_kernel == TensorKernel::kScalar
+                                ? tensor::KernelKind::kScalar
+                                : tensor::KernelKind::kSimd);
+  }
 
   // 0. Derive the genome-record cadences the spec's observers need: records
   // carry genomes on epochs matching either config divisor, so each

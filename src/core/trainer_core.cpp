@@ -17,14 +17,14 @@ TrainerCore::TrainerCore(const TrainingConfig& config, const data::Dataset& data
 void TrainerCore::build_cells(const std::function<ExecContext(int)>& context_of) {
   CG_EXPECT(cells_.empty());
   // Allocated before the contexts capture their addresses; never resized.
-  cell_virtual_s_.assign(static_cast<std::size_t>(grid_.size()), 0.0);
+  cell_virtual_s_.assign(static_cast<std::size_t>(grid_.size()), {});
   contexts_.reserve(grid_.size());
   for (int cell = 0; cell < grid_.size(); ++cell) {
     contexts_.push_back(context_of(cell));
     // Every charge a cell makes also accumulates into its own counter, so
     // the observer records carry schedule-independent per-cell virtual time.
     contexts_.back().virtual_accumulator =
-        &cell_virtual_s_[static_cast<std::size_t>(cell)];
+        &cell_virtual_s_[static_cast<std::size_t>(cell)].value;
   }
   common::Rng master_rng(config_.seed);
   cells_.reserve(grid_.size());
@@ -59,7 +59,7 @@ void TrainerCore::run_cell_epoch(int cell) {
 
   if (!recording_) return;
   epoch_records_[static_cast<std::size_t>(cell)] = cells_[cell]->epoch_record(
-      epoch_, cell_virtual_s_[static_cast<std::size_t>(cell)]);
+      epoch_, cell_virtual_s_[static_cast<std::size_t>(cell)].value);
 }
 
 void TrainerCore::publish_epoch() {

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "core/cell_trainer.hpp"
 #include "core/checkpoint.hpp"
 #include "core/comm_manager.hpp"
@@ -119,7 +120,11 @@ class TrainerCore {
   EventBus* bus_ = nullptr;
   std::uint32_t epoch_ = 0;
   bool recording_ = false;             ///< records armed for this epoch
-  std::vector<double> cell_virtual_s_; ///< per-cell cumulative own charges
+  /// Per-cell cumulative own charges, written concurrently by whichever lane
+  /// steps the cell. One cache line per counter: packed doubles would put
+  /// eight lanes' hot accumulators on one line and turn every charge into
+  /// coherence traffic.
+  std::vector<common::CacheAligned<double>> cell_virtual_s_;
   std::vector<CellEpochRecord> epoch_records_;  ///< one slot per cell
 };
 

@@ -1,0 +1,588 @@
+#include "tensor/kernels.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/aligned.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define CELLGAN_X86 1
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+// Portable "please vectorize" hint for the fallback tile and the elementwise
+// kSimd loops: every iteration is independent, so the hint only licenses what
+// is already legal.
+#if defined(__clang__)
+#define CG_VEC_LOOP _Pragma("clang loop vectorize(enable) interleave(enable)")
+#elif defined(__GNUC__)
+#define CG_VEC_LOOP _Pragma("GCC ivdep")
+#else
+#define CG_VEC_LOOP
+#endif
+
+namespace cellgan::tensor {
+
+// --- kernel selection -------------------------------------------------------
+
+const char* to_string(KernelKind kind) {
+  switch (kind) {
+    case KernelKind::kScalar: return "scalar";
+    case KernelKind::kSimd: return "simd";
+  }
+  return "unknown";
+}
+
+std::optional<KernelKind> kernel_kind_from_string(std::string_view name) {
+  if (name == "scalar") return KernelKind::kScalar;
+  if (name == "simd") return KernelKind::kSimd;
+  return std::nullopt;
+}
+
+namespace {
+
+KernelKind env_default_kind() {
+  const char* env = std::getenv("CELLGAN_TENSOR_KERNEL");
+  if (env == nullptr || *env == '\0') return KernelKind::kSimd;
+  const auto kind = kernel_kind_from_string(env);
+  if (!kind) {
+    std::fprintf(stderr,
+                 "warning: CELLGAN_TENSOR_KERNEL='%s' is not scalar|simd; "
+                 "using simd\n",
+                 env);
+    return KernelKind::kSimd;
+  }
+  return *kind;
+}
+
+std::atomic<KernelKind>& kind_state() {
+  // Magic static so the env read happens on first use, whatever the TU
+  // initialization order.
+  static std::atomic<KernelKind> state{env_default_kind()};
+  return state;
+}
+
+}  // namespace
+
+KernelKind active_kernel_kind() {
+  return kind_state().load(std::memory_order_relaxed);
+}
+
+void set_kernel_kind(KernelKind kind) {
+  kind_state().store(kind, std::memory_order_relaxed);
+}
+
+namespace kernels {
+
+namespace {
+
+// --- scalar reference GEMM --------------------------------------------------
+// The exact loops (and accumulation orders) the repo has always run, so a
+// scalar-pinned run reproduces seed numbers bit for bit. The historical
+// `if (a == 0.0f) continue;` branches are gone: on dense float data the
+// branch costs more than the multiply it skips and it blocked the compiler
+// from vectorizing the j loop.
+
+// Row-blocked: for each row i of A, accumulate A(i,l) * B(l, :) into C(i, :).
+// Streaming over B rows keeps the access pattern sequential.
+void scalar_gemm(const float* a, const float* b, float* c,
+                 std::size_t row_begin, std::size_t row_end, std::size_t k,
+                 std::size_t n) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * n;
+    std::fill(ci, ci + n, 0.0f);
+    const float* ai = a + i * k;
+    for (std::size_t l = 0; l < k; ++l) {
+      const float ail = ai[l];
+      const float* bl = b + l * n;
+      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
+    }
+  }
+}
+
+// C(i,j) = sum_l A(l,i) * B(l,j), A stored k x m. The l loop is blocked so
+// the touched B rows stay in cache while the block is swept once per output
+// row. Rows are zeroed up front (the kernel owns its output now — callers
+// used to pre-zero), which preserves the historical accumulation order.
+void scalar_gemm_tn(const float* a, const float* b, float* c,
+                    std::size_t row_begin, std::size_t row_end, std::size_t k,
+                    std::size_t m, std::size_t n) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    float* ci = c + i * n;
+    std::fill(ci, ci + n, 0.0f);
+  }
+  constexpr std::size_t kBlockL = 64;
+  for (std::size_t l0 = 0; l0 < k; l0 += kBlockL) {
+    const std::size_t l1 = std::min(k, l0 + kBlockL);
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      float* ci = c + i * n;
+      for (std::size_t l = l0; l < l1; ++l) {
+        const float ali = a[l * m + i];
+        const float* bl = b + l * n;
+        for (std::size_t j = 0; j < n; ++j) ci[j] += ali * bl[j];
+      }
+    }
+  }
+}
+
+// C(i,j) = dot(A row i, B row j), B stored n x k. Four output columns per
+// pass share each load of A's row (register tiling).
+void scalar_gemm_nt(const float* a, const float* b, float* c,
+                    std::size_t row_begin, std::size_t row_end, std::size_t k,
+                    std::size_t n) {
+  for (std::size_t i = row_begin; i < row_end; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const float* b0 = b + j * k;
+      const float* b1 = b0 + k;
+      const float* b2 = b1 + k;
+      const float* b3 = b2 + k;
+      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+      for (std::size_t l = 0; l < k; ++l) {
+        const float ail = ai[l];
+        acc0 += ail * b0[l];
+        acc1 += ail * b1[l];
+        acc2 += ail * b2[l];
+        acc3 += ail * b3[l];
+      }
+      ci[j] = acc0;
+      ci[j + 1] = acc1;
+      ci[j + 2] = acc2;
+      ci[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const float* bj = b + j * k;
+      float acc = 0.0f;
+      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
+      ci[j] = acc;
+    }
+  }
+}
+
+// --- packed-panel SIMD GEMM -------------------------------------------------
+//
+// One blocked implementation covers all three variants: the logical operands
+// Op(A)[i,l] and Op(B)[l,j] are addressed through (row, col) strides, so the
+// TN/NT transposes are absorbed by the packing routines instead of
+// materialized. Panels are packed into 64-byte-aligned thread-local scratch
+// (kKC x kNR B slabs, kMR x kKC A slabs, zero-padded to full tiles) and swept
+// by a kMR x kNR register-tiled microkernel — AVX2+FMA (runtime-dispatched),
+// NEON, or an autovectorized portable tile.
+//
+// Determinism: for any output element, partial products accumulate in panel
+// (pc) order, and within a panel in l order on a fixed register lane — none
+// of which depends on the caller's row partition [row_begin, row_end) or on
+// which jc/ic block the element lands in. Threaded runs are therefore
+// bit-identical to single-threaded runs for the same kind.
+
+constexpr std::size_t kMR = 6;    ///< microkernel rows (A register tile)
+constexpr std::size_t kNR = 16;   ///< microkernel cols (two 8-float vectors)
+constexpr std::size_t kKC = 256;  ///< k panel: packed A slab ~kMR*kKC*4 = 6KB
+constexpr std::size_t kMC = 96;   ///< m panel: packed A block ~96KB, L2-sized
+constexpr std::size_t kNC = 1024; ///< n panel: packed B block <= 1MB
+
+/// ctile[kMR * kNR] = sum_l pa[l*kMR + r] * pb[l*kNR + c]
+using MicroKernel = void (*)(std::size_t kc, const float* pa, const float* pb,
+                             float* ctile);
+
+void micro_portable(std::size_t kc, const float* pa, const float* pb,
+                    float* ctile) {
+  float acc[kMR * kNR] = {};
+  for (std::size_t l = 0; l < kc; ++l) {
+    const float* al = pa + l * kMR;
+    const float* bl = pb + l * kNR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float av = al[r];
+      CG_VEC_LOOP
+      for (std::size_t c = 0; c < kNR; ++c) acc[r * kNR + c] += av * bl[c];
+    }
+  }
+  std::memcpy(ctile, acc, sizeof(acc));
+}
+
+#if defined(CELLGAN_X86)
+
+__attribute__((target("avx2,fma"))) void micro_avx2(std::size_t kc,
+                                                    const float* pa,
+                                                    const float* pb,
+                                                    float* ctile) {
+  __m256 acc0[kMR];
+  __m256 acc1[kMR];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    acc0[r] = _mm256_setzero_ps();
+    acc1[r] = _mm256_setzero_ps();
+  }
+  for (std::size_t l = 0; l < kc; ++l) {
+    const __m256 b0 = _mm256_load_ps(pb + l * kNR);
+    const __m256 b1 = _mm256_load_ps(pb + l * kNR + 8);
+    const float* al = pa + l * kMR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const __m256 av = _mm256_broadcast_ss(al + r);
+      acc0[r] = _mm256_fmadd_ps(av, b0, acc0[r]);
+      acc1[r] = _mm256_fmadd_ps(av, b1, acc1[r]);
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    _mm256_store_ps(ctile + r * kNR, acc0[r]);
+    _mm256_store_ps(ctile + r * kNR + 8, acc1[r]);
+  }
+}
+
+bool cpu_has_avx2_fma() {
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+}
+
+#elif defined(__ARM_NEON)
+
+void micro_neon(std::size_t kc, const float* pa, const float* pb,
+                float* ctile) {
+  float32x4_t acc[kMR][4];
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t q = 0; q < 4; ++q) acc[r][q] = vdupq_n_f32(0.0f);
+  }
+  for (std::size_t l = 0; l < kc; ++l) {
+    const float* bl = pb + l * kNR;
+    float32x4_t b[4];
+    for (std::size_t q = 0; q < 4; ++q) b[q] = vld1q_f32(bl + 4 * q);
+    const float* al = pa + l * kMR;
+    for (std::size_t r = 0; r < kMR; ++r) {
+      const float32x4_t av = vdupq_n_f32(al[r]);
+      for (std::size_t q = 0; q < 4; ++q) {
+        acc[r][q] = vfmaq_f32(acc[r][q], av, b[q]);
+      }
+    }
+  }
+  for (std::size_t r = 0; r < kMR; ++r) {
+    for (std::size_t q = 0; q < 4; ++q) {
+      vst1q_f32(ctile + r * kNR + 4 * q, acc[r][q]);
+    }
+  }
+}
+
+#endif
+
+MicroKernel select_microkernel() {
+#if defined(CELLGAN_X86)
+  if (cpu_has_avx2_fma()) return micro_avx2;
+  return micro_portable;
+#elif defined(__ARM_NEON)
+  return micro_neon;
+#else
+  return micro_portable;
+#endif
+}
+
+MicroKernel active_microkernel() {
+  static const MicroKernel kernel = select_microkernel();
+  return kernel;
+}
+
+/// Pack Op(A) rows [i0, i0+mc) x cols [l0, l0+kc) into kMR-row slabs:
+/// dst slab s holds rows [s*kMR, s*kMR+kMR) laid out dst[l*kMR + r],
+/// zero-padded past mc so the microkernel never needs a row tail path.
+void pack_a(const float* a, float* dst, std::size_t i0, std::size_t mc,
+            std::size_t l0, std::size_t kc, std::size_t row_stride,
+            std::size_t col_stride) {
+  for (std::size_t slab = 0; slab < mc; slab += kMR) {
+    const std::size_t rows = std::min(kMR, mc - slab);
+    float* out = dst + slab * kc;
+    for (std::size_t l = 0; l < kc; ++l) {
+      const float* src = a + (l0 + l) * col_stride + (i0 + slab) * row_stride;
+      std::size_t r = 0;
+      for (; r < rows; ++r) out[l * kMR + r] = src[r * row_stride];
+      for (; r < kMR; ++r) out[l * kMR + r] = 0.0f;
+    }
+  }
+}
+
+/// Pack Op(B) rows [l0, l0+kc) x cols [j0, j0+nc) into kNR-column slabs
+/// (dst[l*kNR + c], zero-padded past nc).
+void pack_b(const float* b, float* dst, std::size_t l0, std::size_t kc,
+            std::size_t j0, std::size_t nc, std::size_t row_stride,
+            std::size_t col_stride) {
+  for (std::size_t slab = 0; slab < nc; slab += kNR) {
+    const std::size_t cols = std::min(kNR, nc - slab);
+    float* out = dst + slab * kc;
+    for (std::size_t l = 0; l < kc; ++l) {
+      const float* src = b + (l0 + l) * row_stride + (j0 + slab) * col_stride;
+      std::size_t c = 0;
+      for (; c < cols; ++c) out[l * kNR + c] = src[c * col_stride];
+      for (; c < kNR; ++c) out[l * kNR + c] = 0.0f;
+    }
+  }
+}
+
+/// Blocked, packed GEMM over logical operands: C rows [row_begin, row_end)
+/// OVERWRITTEN with Op(A) * Op(B), where Op(A)[i,l] = a[i*a_rs + l*a_cs] and
+/// Op(B)[l,j] = b[l*b_rs + j*b_cs]. C is dense row-major (m x n).
+void simd_gemm(const float* a, const float* b, float* c, std::size_t row_begin,
+               std::size_t row_end, std::size_t k, std::size_t n,
+               std::size_t a_rs, std::size_t a_cs, std::size_t b_rs,
+               std::size_t b_cs) {
+  if (row_end <= row_begin || n == 0) return;
+  if (k == 0) {
+    for (std::size_t i = row_begin; i < row_end; ++i) {
+      std::fill(c + i * n, c + i * n + n, 0.0f);
+    }
+    return;
+  }
+  const MicroKernel micro = active_microkernel();
+  // Thread-local so pool workers pack into private panels; capacity persists
+  // across calls (the training loop reuses a handful of shapes).
+  static thread_local common::AlignedBuffer a_panels;
+  static thread_local common::AlignedBuffer b_panels;
+  const std::size_t m = row_end - row_begin;
+  alignas(common::kCacheLineBytes) float ctile[kMR * kNR];
+  for (std::size_t jc = 0; jc < n; jc += kNC) {
+    const std::size_t nc = std::min(kNC, n - jc);
+    const std::size_t n_slabs = (nc + kNR - 1) / kNR;
+    for (std::size_t pc = 0; pc < k; pc += kKC) {
+      const std::size_t kc = std::min(kKC, k - pc);
+      float* pb = b_panels.grow(n_slabs * kNR * kc);
+      pack_b(b, pb, pc, kc, jc, nc, b_rs, b_cs);
+      const bool first_panel = pc == 0;
+      for (std::size_t ic = 0; ic < m; ic += kMC) {
+        const std::size_t mc = std::min(kMC, m - ic);
+        const std::size_t m_slabs = (mc + kMR - 1) / kMR;
+        float* pa = a_panels.grow(m_slabs * kMR * kc);
+        pack_a(a, pa, row_begin + ic, mc, pc, kc, a_rs, a_cs);
+        for (std::size_t si = 0; si < m_slabs; ++si) {
+          const std::size_t tile_rows = std::min(kMR, mc - si * kMR);
+          for (std::size_t sj = 0; sj < n_slabs; ++sj) {
+            const std::size_t tile_cols = std::min(kNR, nc - sj * kNR);
+            micro(kc, pa + si * kMR * kc, pb + sj * kNR * kc, ctile);
+            float* cbase =
+                c + (row_begin + ic + si * kMR) * n + jc + sj * kNR;
+            for (std::size_t r = 0; r < tile_rows; ++r) {
+              float* crow = cbase + r * n;
+              const float* trow = ctile + r * kNR;
+              if (first_panel) {
+                for (std::size_t cc = 0; cc < tile_cols; ++cc) {
+                  crow[cc] = trow[cc];
+                }
+              } else {
+                for (std::size_t cc = 0; cc < tile_cols; ++cc) {
+                  crow[cc] += trow[cc];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+// --- GEMM dispatch ----------------------------------------------------------
+
+void gemm(KernelKind kind, const float* a, const float* b, float* c,
+          std::size_t row_begin, std::size_t row_end, std::size_t k,
+          std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    scalar_gemm(a, b, c, row_begin, row_end, k, n);
+  } else {
+    simd_gemm(a, b, c, row_begin, row_end, k, n, /*a_rs=*/k, /*a_cs=*/1,
+              /*b_rs=*/n, /*b_cs=*/1);
+  }
+}
+
+void gemm_tn(KernelKind kind, const float* a, const float* b, float* c,
+             std::size_t row_begin, std::size_t row_end, std::size_t k,
+             std::size_t m, std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    scalar_gemm_tn(a, b, c, row_begin, row_end, k, m, n);
+  } else {
+    // Op(A)[i,l] = a[l*m + i]: the packing absorbs the transpose.
+    simd_gemm(a, b, c, row_begin, row_end, k, n, /*a_rs=*/1, /*a_cs=*/m,
+              /*b_rs=*/n, /*b_cs=*/1);
+  }
+}
+
+void gemm_nt(KernelKind kind, const float* a, const float* b, float* c,
+             std::size_t row_begin, std::size_t row_end, std::size_t k,
+             std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    scalar_gemm_nt(a, b, c, row_begin, row_end, k, n);
+  } else {
+    // Op(B)[l,j] = b[j*k + l].
+    simd_gemm(a, b, c, row_begin, row_end, k, n, /*a_rs=*/k, /*a_cs=*/1,
+              /*b_rs=*/1, /*b_cs=*/k);
+  }
+}
+
+const char* instruction_set_name() {
+#if defined(CELLGAN_X86)
+  return cpu_has_avx2_fma() ? "avx2+fma" : "portable";
+#elif defined(__ARM_NEON)
+  return "neon";
+#else
+  return "portable";
+#endif
+}
+
+// --- elementwise family -----------------------------------------------------
+// Per-element expressions are identical across kinds, so kScalar == kSimd bit
+// for bit; the kSimd variants only add a vectorization hint (and give the
+// parity suite a second dispatch path to pin).
+
+void ew_add(KernelKind kind, const float* a, const float* b, float* c,
+            std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] + b[i];
+  }
+}
+
+void ew_sub(KernelKind kind, const float* a, const float* b, float* c,
+            std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] - b[i];
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] - b[i];
+  }
+}
+
+void ew_mul(KernelKind kind, const float* a, const float* b, float* c,
+            std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] * b[i];
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] * b[i];
+  }
+}
+
+void ew_scale(KernelKind kind, const float* a, float s, float* c,
+              std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] * s;
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) c[i] = a[i] * s;
+  }
+}
+
+void ew_axpy(KernelKind kind, float alpha, const float* x, float* y,
+             std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  }
+}
+
+void ew_add_row_bias(KernelKind kind, float* a, const float* bias,
+                     std::size_t rows, std::size_t cols) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* row = a + r * cols;
+      for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+    }
+  } else {
+    for (std::size_t r = 0; r < rows; ++r) {
+      float* row = a + r * cols;
+      CG_VEC_LOOP
+      for (std::size_t c = 0; c < cols; ++c) row[c] += bias[c];
+    }
+  }
+}
+
+void ew_tanh_forward(KernelKind kind, const float* x, float* y,
+                     std::size_t n) {
+  // libm calls do not vectorize without -ffast-math/libmvec; both kinds run
+  // the same loop so results stay identical whatever the toolchain does.
+  (void)kind;
+  for (std::size_t i = 0; i < n; ++i) y[i] = std::tanh(x[i]);
+}
+
+void ew_tanh_backward(KernelKind kind, const float* dy, const float* y,
+                      float* dx, std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yi = y[i];
+      dx[i] = dy[i] * (1.0f - yi * yi);
+    }
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yi = y[i];
+      dx[i] = dy[i] * (1.0f - yi * yi);
+    }
+  }
+}
+
+void ew_sigmoid_forward(KernelKind kind, const float* x, float* y,
+                        std::size_t n) {
+  (void)kind;  // branchy + libm: one loop, identical results for both kinds
+  for (std::size_t i = 0; i < n; ++i) {
+    const float v = x[i];
+    y[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
+                     : std::exp(v) / (1.0f + std::exp(v));
+  }
+}
+
+void ew_sigmoid_backward(KernelKind kind, const float* dy, const float* y,
+                         float* dx, std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yi = y[i];
+      dx[i] = dy[i] * yi * (1.0f - yi);
+    }
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      const float yi = y[i];
+      dx[i] = dy[i] * yi * (1.0f - yi);
+    }
+  }
+}
+
+void ew_leaky_relu_forward(KernelKind kind, const float* x, float slope,
+                           float* y, std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = x[i];
+      y[i] = v >= 0.0f ? v : slope * v;
+    }
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      const float v = x[i];
+      y[i] = v >= 0.0f ? v : slope * v;
+    }
+  }
+}
+
+void ew_leaky_relu_backward(KernelKind kind, const float* dy, const float* x,
+                            float slope, float* dx, std::size_t n) {
+  if (kind == KernelKind::kScalar) {
+    for (std::size_t i = 0; i < n; ++i) {
+      dx[i] = dy[i] * (x[i] >= 0.0f ? 1.0f : slope);
+    }
+  } else {
+    CG_VEC_LOOP
+    for (std::size_t i = 0; i < n; ++i) {
+      dx[i] = dy[i] * (x[i] >= 0.0f ? 1.0f : slope);
+    }
+  }
+}
+
+}  // namespace kernels
+
+const char* simd_instruction_set() { return kernels::instruction_set_name(); }
+
+}  // namespace cellgan::tensor

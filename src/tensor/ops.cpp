@@ -5,83 +5,11 @@
 
 #include "common/thread_pool.hpp"
 #include "tensor/flops.hpp"
+#include "tensor/kernels.hpp"
 
 namespace cellgan::tensor {
 
 namespace {
-
-// Row-blocked inner kernel: for each row i of A, accumulate A(i,l) * B(l, :)
-// into C(i, :). Streaming over B rows keeps the access pattern sequential.
-void gemm_rows(const float* a, const float* b, float* c, std::size_t row_begin,
-               std::size_t row_end, std::size_t k, std::size_t n) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    float* ci = c + i * n;
-    std::fill(ci, ci + n, 0.0f);
-    const float* ai = a + i * k;
-    for (std::size_t l = 0; l < k; ++l) {
-      const float ail = ai[l];
-      if (ail == 0.0f) continue;
-      const float* bl = b + l * n;
-      for (std::size_t j = 0; j < n; ++j) ci[j] += ail * bl[j];
-    }
-  }
-}
-
-// C(i,j) += sum_l A(l,i) * B(l,j) for output rows i in [row_begin, row_end),
-// A stored k x m. The l loop is blocked so the touched B rows stay in cache
-// while the block is swept once per output row.
-void gemm_tn_rows(const float* a, const float* b, float* c, std::size_t row_begin,
-                  std::size_t row_end, std::size_t k, std::size_t m, std::size_t n) {
-  constexpr std::size_t kBlockL = 64;
-  for (std::size_t l0 = 0; l0 < k; l0 += kBlockL) {
-    const std::size_t l1 = std::min(k, l0 + kBlockL);
-    for (std::size_t i = row_begin; i < row_end; ++i) {
-      float* ci = c + i * n;
-      for (std::size_t l = l0; l < l1; ++l) {
-        const float ali = a[l * m + i];
-        if (ali == 0.0f) continue;
-        const float* bl = b + l * n;
-        for (std::size_t j = 0; j < n; ++j) ci[j] += ali * bl[j];
-      }
-    }
-  }
-}
-
-// C(i,j) = dot(A row i, B row j) for rows i in [row_begin, row_end), B stored
-// n x k. Four output columns per pass share each load of A's row (register
-// tiling), which roughly quadruples arithmetic per byte over the naive dot.
-void gemm_nt_rows(const float* a, const float* b, float* c, std::size_t row_begin,
-                  std::size_t row_end, std::size_t k, std::size_t n) {
-  for (std::size_t i = row_begin; i < row_end; ++i) {
-    const float* ai = a + i * k;
-    float* ci = c + i * n;
-    std::size_t j = 0;
-    for (; j + 4 <= n; j += 4) {
-      const float* b0 = b + j * k;
-      const float* b1 = b0 + k;
-      const float* b2 = b1 + k;
-      const float* b3 = b2 + k;
-      float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
-      for (std::size_t l = 0; l < k; ++l) {
-        const float ail = ai[l];
-        acc0 += ail * b0[l];
-        acc1 += ail * b1[l];
-        acc2 += ail * b2[l];
-        acc3 += ail * b3[l];
-      }
-      ci[j] = acc0;
-      ci[j + 1] = acc1;
-      ci[j + 2] = acc2;
-      ci[j + 3] = acc3;
-    }
-    for (; j < n; ++j) {
-      const float* bj = b + j * k;
-      float acc = 0.0f;
-      for (std::size_t l = 0; l < k; ++l) acc += ai[l] * bj[l];
-      ci[j] = acc;
-    }
-  }
-}
 
 // Fan an elementwise map over [0, n) out to the process pool. Chunks are
 // independent and each output element depends on exactly its own inputs, so
@@ -103,27 +31,36 @@ void elementwise_for(std::size_t n, Body&& body) {
   }
 }
 
+// Row-parallel GEMM dispatch: the selected kernel (tensor/kernels.hpp seam)
+// overwrites its row range, so fan-out only partitions rows. The kernel kind
+// is sampled once per op, so a mid-run set_kernel_kind can never split one
+// matrix between implementations.
+template <typename RowKernel>
+void gemm_over_rows(std::size_t m, const RowKernel& kernel) {
+  auto& pool = common::global_pool();
+  if (pool.size() > 1 && m >= 2 * pool.size()) {
+    pool.parallel_for(m, kernel);
+  } else {
+    kernel(0, m);
+  }
+}
+
 }  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.cols() == b.rows());
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c(m, n);
-  auto& pool = common::global_pool();
-  if (pool.size() > 1 && m >= 2 * pool.size()) {
-    // Flops must be charged on the caller's thread-local counter: worker
-    // threads would otherwise swallow them.
-    count_flops(2ULL * m * k * n);
-    const float* ap = a.data().data();
-    const float* bp = b.data().data();
-    float* cp = c.data().data();
-    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
-      gemm_rows(ap, bp, cp, begin, end, k, n);
-    });
-  } else {
-    count_flops(2ULL * m * k * n);
-    gemm_rows(a.data().data(), b.data().data(), c.data().data(), 0, m, k, n);
-  }
+  // Flops must be charged on the caller's thread-local counter: worker
+  // threads would otherwise swallow them.
+  count_flops(2ULL * m * k * n);
+  const KernelKind kind = active_kernel_kind();
+  const float* ap = a.data().data();
+  const float* bp = b.data().data();
+  float* cp = c.data().data();
+  gemm_over_rows(m, [&](std::size_t begin, std::size_t end) {
+    kernels::gemm(kind, ap, bp, cp, begin, end, k, n);
+  });
   return c;
 }
 
@@ -131,20 +68,14 @@ Tensor matmul_tn(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.rows() == b.rows());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Tensor c(m, n);
-  // Flops on the caller's counter (same convention as matmul): worker
-  // threads would otherwise swallow them.
   count_flops(2ULL * m * k * n);
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  auto& pool = common::global_pool();
-  if (pool.size() > 1 && m >= 2 * pool.size()) {
-    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
-      gemm_tn_rows(ap, bp, cp, begin, end, k, m, n);
-    });
-  } else {
-    gemm_tn_rows(ap, bp, cp, 0, m, k, m, n);
-  }
+  gemm_over_rows(m, [&](std::size_t begin, std::size_t end) {
+    kernels::gemm_tn(kind, ap, bp, cp, begin, end, k, m, n);
+  });
   return c;
 }
 
@@ -153,17 +84,13 @@ Tensor matmul_nt(const Tensor& a, const Tensor& b) {
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Tensor c(m, n);
   count_flops(2ULL * m * k * n);
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
-  auto& pool = common::global_pool();
-  if (pool.size() > 1 && m >= 2 * pool.size()) {
-    pool.parallel_for(m, [&](std::size_t begin, std::size_t end) {
-      gemm_nt_rows(ap, bp, cp, begin, end, k, n);
-    });
-  } else {
-    gemm_nt_rows(ap, bp, cp, 0, m, k, n);
-  }
+  gemm_over_rows(m, [&](std::size_t begin, std::size_t end) {
+    kernels::gemm_nt(kind, ap, bp, cp, begin, end, k, n);
+  });
   return c;
 }
 
@@ -173,11 +100,12 @@ Tensor add(const Tensor& a, const Tensor& b) {
   // Flops on the caller's counter (same convention as matmul): worker
   // threads would otherwise swallow them.
   count_flops(a.size());
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
   elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] + bp[i];
+    kernels::ew_add(kind, ap + begin, bp + begin, cp + begin, end - begin);
   });
   return c;
 }
@@ -186,11 +114,12 @@ Tensor sub(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.same_shape(b));
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
   elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] - bp[i];
+    kernels::ew_sub(kind, ap + begin, bp + begin, cp + begin, end - begin);
   });
   return c;
 }
@@ -199,11 +128,12 @@ Tensor mul(const Tensor& a, const Tensor& b) {
   CG_EXPECT(a.same_shape(b));
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   const float* bp = b.data().data();
   float* cp = c.data().data();
   elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] * bp[i];
+    kernels::ew_mul(kind, ap + begin, bp + begin, cp + begin, end - begin);
   });
   return c;
 }
@@ -211,10 +141,11 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 Tensor scale(const Tensor& a, float s) {
   Tensor c(a.rows(), a.cols());
   count_flops(a.size());
+  const KernelKind kind = active_kernel_kind();
   const float* ap = a.data().data();
   float* cp = c.data().data();
   elementwise_for(a.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) cp[i] = ap[i] * s;
+    kernels::ew_scale(kind, ap + begin, s, cp + begin, end - begin);
   });
   return c;
 }
@@ -222,24 +153,23 @@ Tensor scale(const Tensor& a, float s) {
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   CG_EXPECT(x.same_shape(y));
   count_flops(2ULL * x.size());
+  const KernelKind kind = active_kernel_kind();
   const float* xp = x.data().data();
   float* yp = y.data().data();
   elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) yp[i] += alpha * xp[i];
+    kernels::ew_axpy(kind, alpha, xp + begin, yp + begin, end - begin);
   });
 }
 
 void add_row_bias(Tensor& a, const Tensor& bias) {
   CG_EXPECT(bias.rows() == 1 && bias.cols() == a.cols());
   count_flops(a.size());
+  const KernelKind kind = active_kernel_kind();
   const float* bp = bias.data().data();
   float* ap = a.data().data();
   const std::size_t cols = a.cols();
   const auto body = [&](std::size_t begin, std::size_t end) {
-    for (std::size_t r = begin; r < end; ++r) {
-      float* row = ap + r * cols;
-      for (std::size_t c = 0; c < cols; ++c) row[c] += bp[c];
-    }
+    kernels::ew_add_row_bias(kind, ap + begin * cols, bp, end - begin, cols);
   };
   // Chunked over rows, but gated on total elements: the work per row is
   // `cols` flops, so a rows-only threshold would leave wide matrices serial.
@@ -264,10 +194,11 @@ Tensor col_sum(const Tensor& a) {
 Tensor tanh_forward(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   count_flops(8ULL * x.size());  // tanh ~ several flops; fixed estimate
+  const KernelKind kind = active_kernel_kind();
   const float* xp = x.data().data();
   float* yp = y.data().data();
   elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) yp[i] = std::tanh(xp[i]);
+    kernels::ew_tanh_forward(kind, xp + begin, yp + begin, end - begin);
   });
   return y;
 }
@@ -276,14 +207,13 @@ Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
   CG_EXPECT(dy.same_shape(y));
   Tensor dx(y.rows(), y.cols());
   count_flops(3ULL * y.size());
+  const KernelKind kind = active_kernel_kind();
   const float* dyp = dy.data().data();
   const float* yp = y.data().data();
   float* dxp = dx.data().data();
   elementwise_for(y.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const float yi = yp[i];
-      dxp[i] = dyp[i] * (1.0f - yi * yi);
-    }
+    kernels::ew_tanh_backward(kind, dyp + begin, yp + begin, dxp + begin,
+                              end - begin);
   });
   return dx;
 }
@@ -291,14 +221,11 @@ Tensor tanh_backward(const Tensor& dy, const Tensor& y) {
 Tensor sigmoid_forward(const Tensor& x) {
   Tensor y(x.rows(), x.cols());
   count_flops(8ULL * x.size());
+  const KernelKind kind = active_kernel_kind();
   const float* xp = x.data().data();
   float* yp = y.data().data();
   elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const float v = xp[i];
-      yp[i] = v >= 0.0f ? 1.0f / (1.0f + std::exp(-v))
-                        : std::exp(v) / (1.0f + std::exp(v));
-    }
+    kernels::ew_sigmoid_forward(kind, xp + begin, yp + begin, end - begin);
   });
   return y;
 }
@@ -307,14 +234,13 @@ Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
   CG_EXPECT(dy.same_shape(y));
   Tensor dx(y.rows(), y.cols());
   count_flops(3ULL * y.size());
+  const KernelKind kind = active_kernel_kind();
   const float* dyp = dy.data().data();
   const float* yp = y.data().data();
   float* dxp = dx.data().data();
   elementwise_for(y.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const float yi = yp[i];
-      dxp[i] = dyp[i] * yi * (1.0f - yi);
-    }
+    kernels::ew_sigmoid_backward(kind, dyp + begin, yp + begin, dxp + begin,
+                                 end - begin);
   });
   return dx;
 }
@@ -322,13 +248,12 @@ Tensor sigmoid_backward(const Tensor& dy, const Tensor& y) {
 Tensor leaky_relu_forward(const Tensor& x, float negative_slope) {
   Tensor y(x.rows(), x.cols());
   count_flops(x.size());
+  const KernelKind kind = active_kernel_kind();
   const float* xp = x.data().data();
   float* yp = y.data().data();
   elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      const float v = xp[i];
-      yp[i] = v >= 0.0f ? v : negative_slope * v;
-    }
+    kernels::ew_leaky_relu_forward(kind, xp + begin, negative_slope,
+                                   yp + begin, end - begin);
   });
   return y;
 }
@@ -337,13 +262,13 @@ Tensor leaky_relu_backward(const Tensor& dy, const Tensor& x, float negative_slo
   CG_EXPECT(dy.same_shape(x));
   Tensor dx(x.rows(), x.cols());
   count_flops(x.size());
+  const KernelKind kind = active_kernel_kind();
   const float* dyp = dy.data().data();
   const float* xp = x.data().data();
   float* dxp = dx.data().data();
   elementwise_for(x.size(), [&](std::size_t begin, std::size_t end) {
-    for (std::size_t i = begin; i < end; ++i) {
-      dxp[i] = dyp[i] * (xp[i] >= 0.0f ? 1.0f : negative_slope);
-    }
+    kernels::ew_leaky_relu_backward(kind, dyp + begin, xp + begin,
+                                    negative_slope, dxp + begin, end - begin);
   });
   return dx;
 }

@@ -1,0 +1,347 @@
+// Pins the SIMD microkernels against the scalar reference (the seam in
+// tensor/kernels.hpp):
+//
+//  * the elementwise family must be BIT-IDENTICAL across kinds — both kinds
+//    evaluate the same per-element expression, so any drift is a bug;
+//  * the GEMM family may differ by accumulation order (packed panels + FMA),
+//    but only within the documented bound asserted here: for every output
+//    element, |kind - reference| <= 16*eps * sum_l |a||b| + 1e-6, with the
+//    double-precision dot product as reference. The cross-kind gap obeys
+//    twice that bound;
+//  * all three GEMM kernels OVERWRITE their output rows (the unified
+//    initialization contract) — poisoned output memory must not leak in;
+//  * results are independent of the thread-pool fan-out for a fixed kind.
+//
+// Shapes sweep odd/prime/tail-heavy sizes so partial kMR x kNR tiles, panel
+// remainders and sub-vector widths all get exercised, and run under the
+// tier1 label so the ASan/UBSan CI job covers the packing scratch buffers.
+#include "tensor/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "tensor/ops.hpp"
+
+namespace cellgan::tensor {
+namespace {
+
+/// Scoped kernel selection: restores the surrounding kind on exit so test
+/// order never leaks a selection.
+class KindGuard {
+ public:
+  explicit KindGuard(KernelKind kind) : previous_(active_kernel_kind()) {
+    set_kernel_kind(kind);
+  }
+  ~KindGuard() { set_kernel_kind(previous_); }
+
+ private:
+  KernelKind previous_;
+};
+
+struct GemmShape {
+  std::size_t m, k, n;
+};
+
+// Odd, prime and tail-heavy shapes around the 6x16 microkernel tile and the
+// 256-deep k panel, plus the paper's discriminator first layer.
+const GemmShape kShapes[] = {
+    {1, 1, 1},   {2, 3, 5},     {5, 7, 3},    {6, 16, 16},  {7, 17, 19},
+    {17, 13, 11}, {31, 64, 33},  {33, 65, 17}, {3, 257, 65}, {129, 31, 63},
+    {13, 300, 47}, {100, 784, 256},
+};
+
+Tensor random_tensor(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  common::Rng rng(seed);
+  return Tensor::randn(rows, cols, rng);
+}
+
+/// Asserts `result` element-wise against the double-precision reference of
+/// op(A')B' (A'[i,l], B'[l,j] given through accessors), with the documented
+/// accumulation bound.
+template <typename AccessA, typename AccessB>
+void expect_within_gemm_bound(const Tensor& result, std::size_t m,
+                              std::size_t k, std::size_t n, AccessA at_a,
+                              AccessB at_b, const char* label) {
+  constexpr float kEps = std::numeric_limits<float>::epsilon();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double ref = 0.0;
+      double scale = 0.0;
+      for (std::size_t l = 0; l < k; ++l) {
+        const double a = at_a(i, l);
+        const double b = at_b(l, j);
+        ref += a * b;
+        scale += std::abs(a) * std::abs(b);
+      }
+      const double bound = 16.0 * kEps * scale + 1e-6;
+      ASSERT_NEAR(result.at(i, j), ref, bound)
+          << label << " element (" << i << "," << j << ") of " << m << "x" << k
+          << "x" << n;
+    }
+  }
+}
+
+TEST(KernelParity, MatmulWithinBoundBothKinds) {
+  for (const auto& shape : kShapes) {
+    const Tensor a = random_tensor(shape.m, shape.k, 11 + shape.m);
+    const Tensor b = random_tensor(shape.k, shape.n, 23 + shape.n);
+    const auto at_a = [&](std::size_t i, std::size_t l) { return a.at(i, l); };
+    const auto at_b = [&](std::size_t l, std::size_t j) { return b.at(l, j); };
+    Tensor scalar_c(0, 0), simd_c(0, 0);
+    {
+      KindGuard guard(KernelKind::kScalar);
+      scalar_c = matmul(a, b);
+    }
+    {
+      KindGuard guard(KernelKind::kSimd);
+      simd_c = matmul(a, b);
+    }
+    expect_within_gemm_bound(scalar_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "scalar matmul");
+    expect_within_gemm_bound(simd_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "simd matmul");
+  }
+}
+
+TEST(KernelParity, MatmulTnWithinBoundBothKinds) {
+  for (const auto& shape : kShapes) {
+    // A stored k x m, logical A^T.
+    const Tensor a = random_tensor(shape.k, shape.m, 31 + shape.k);
+    const Tensor b = random_tensor(shape.k, shape.n, 41 + shape.n);
+    const auto at_a = [&](std::size_t i, std::size_t l) { return a.at(l, i); };
+    const auto at_b = [&](std::size_t l, std::size_t j) { return b.at(l, j); };
+    Tensor scalar_c(0, 0), simd_c(0, 0);
+    {
+      KindGuard guard(KernelKind::kScalar);
+      scalar_c = matmul_tn(a, b);
+    }
+    {
+      KindGuard guard(KernelKind::kSimd);
+      simd_c = matmul_tn(a, b);
+    }
+    expect_within_gemm_bound(scalar_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "scalar matmul_tn");
+    expect_within_gemm_bound(simd_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "simd matmul_tn");
+  }
+}
+
+TEST(KernelParity, MatmulNtWithinBoundBothKinds) {
+  for (const auto& shape : kShapes) {
+    const Tensor a = random_tensor(shape.m, shape.k, 53 + shape.m);
+    // B stored n x k, logical B^T.
+    const Tensor b = random_tensor(shape.n, shape.k, 61 + shape.k);
+    const auto at_a = [&](std::size_t i, std::size_t l) { return a.at(i, l); };
+    const auto at_b = [&](std::size_t l, std::size_t j) { return b.at(j, l); };
+    Tensor scalar_c(0, 0), simd_c(0, 0);
+    {
+      KindGuard guard(KernelKind::kScalar);
+      scalar_c = matmul_nt(a, b);
+    }
+    {
+      KindGuard guard(KernelKind::kSimd);
+      simd_c = matmul_nt(a, b);
+    }
+    expect_within_gemm_bound(scalar_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "scalar matmul_nt");
+    expect_within_gemm_bound(simd_c, shape.m, shape.k, shape.n, at_a, at_b,
+                             "simd matmul_nt");
+  }
+}
+
+TEST(KernelParity, GemmCrossKindDriftBounded) {
+  // The scalar and SIMD results must sit within twice the per-kind bound of
+  // each other (both are within it of the double reference).
+  constexpr float kEps = std::numeric_limits<float>::epsilon();
+  for (const auto& shape : kShapes) {
+    const Tensor a = random_tensor(shape.m, shape.k, 71 + shape.m);
+    const Tensor b = random_tensor(shape.k, shape.n, 83 + shape.n);
+    Tensor scalar_c(0, 0), simd_c(0, 0);
+    {
+      KindGuard guard(KernelKind::kScalar);
+      scalar_c = matmul(a, b);
+    }
+    {
+      KindGuard guard(KernelKind::kSimd);
+      simd_c = matmul(a, b);
+    }
+    for (std::size_t i = 0; i < shape.m; ++i) {
+      for (std::size_t j = 0; j < shape.n; ++j) {
+        double scale = 0.0;
+        for (std::size_t l = 0; l < shape.k; ++l) {
+          scale += std::abs(static_cast<double>(a.at(i, l))) *
+                   std::abs(static_cast<double>(b.at(l, j)));
+        }
+        ASSERT_NEAR(scalar_c.at(i, j), simd_c.at(i, j),
+                    2.0 * (16.0 * kEps * scale + 1e-6));
+      }
+    }
+  }
+}
+
+TEST(KernelParity, StridedViewOperandsMatchFullTensors) {
+  // slice_rows / reshaped produce the operands layers actually feed the
+  // kernels; a slice's GEMM must equal the matching rows computed whole.
+  const Tensor a = random_tensor(40, 37, 97);
+  const Tensor b = random_tensor(37, 29, 101);
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+    KindGuard guard(kind);
+    const Tensor whole = matmul(a, b);
+    const Tensor part = matmul(a.slice_rows(7, 23), b);
+    for (std::size_t i = 0; i < part.rows(); ++i) {
+      for (std::size_t j = 0; j < part.cols(); ++j) {
+        ASSERT_EQ(part.at(i, j), whole.at(i + 7, j)) << to_string(kind);
+      }
+    }
+    const Tensor reshaped = a.reshaped(37, 40);
+    const Tensor tn_a = matmul_tn(reshaped, random_tensor(37, 5, 103));
+    ASSERT_EQ(tn_a.rows(), 40u);
+    ASSERT_EQ(tn_a.cols(), 5u);
+  }
+}
+
+TEST(KernelParity, ElementwiseFamilyBitIdenticalAcrossKinds) {
+  // Odd total sizes, incl. one above the pool fan-out cutoff (1 << 14).
+  const struct {
+    std::size_t rows, cols;
+  } shapes[] = {{1, 1}, {3, 7}, {13, 17}, {100, 257}, {130, 131}};
+  for (const auto& shape : shapes) {
+    const Tensor a = random_tensor(shape.rows, shape.cols, 7);
+    const Tensor b = random_tensor(shape.rows, shape.cols, 9);
+    const Tensor ones = Tensor::full(shape.rows, shape.cols, 1.0f);
+    const auto run_all = [&](KernelKind kind) {
+      KindGuard guard(kind);
+      std::vector<Tensor> results;
+      results.push_back(add(a, b));
+      results.push_back(sub(a, b));
+      results.push_back(mul(a, b));
+      results.push_back(scale(a, 0.37f));
+      Tensor y = a;  // axpy target
+      axpy(0.73f, b, y);
+      results.push_back(std::move(y));
+      Tensor biased = a;
+      common::Rng rng(13);
+      add_row_bias(biased, Tensor::randn(1, shape.cols, rng));
+      results.push_back(std::move(biased));
+      results.push_back(tanh_forward(a));
+      results.push_back(tanh_backward(ones, tanh_forward(a)));
+      results.push_back(sigmoid_forward(a));
+      results.push_back(sigmoid_backward(ones, sigmoid_forward(a)));
+      results.push_back(leaky_relu_forward(a, 0.2f));
+      results.push_back(leaky_relu_backward(ones, a, 0.2f));
+      return results;
+    };
+    const auto scalar_results = run_all(KernelKind::kScalar);
+    const auto simd_results = run_all(KernelKind::kSimd);
+    ASSERT_EQ(scalar_results.size(), simd_results.size());
+    for (std::size_t op = 0; op < scalar_results.size(); ++op) {
+      const auto& s = scalar_results[op];
+      const auto& v = simd_results[op];
+      ASSERT_TRUE(s.same_shape(v));
+      ASSERT_EQ(0, std::memcmp(s.data().data(), v.data().data(),
+                               s.size() * sizeof(float)))
+          << "elementwise op index " << op << " at " << shape.rows << "x"
+          << shape.cols;
+    }
+  }
+}
+
+TEST(KernelParity, GemmKernelsOverwritePoisonedOutput) {
+  // The unified output contract: kernels OVERWRITE rows [row_begin, row_end)
+  // — callers never pre-zero, so poisoned memory must vanish entirely.
+  const std::size_t m = 9, k = 14, n = 21;
+  const Tensor a = random_tensor(m, k, 7);
+  const Tensor b = random_tensor(k, n, 9);
+  const Tensor a_t = random_tensor(k, m, 11);
+  const Tensor b_t = random_tensor(n, k, 13);
+  const float poison = std::numeric_limits<float>::quiet_NaN();
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+    std::vector<float> c(m * n, poison);
+    kernels::gemm(kind, a.data().data(), b.data().data(), c.data(), 0, m, k, n);
+    for (const float v : c) ASSERT_FALSE(std::isnan(v)) << to_string(kind);
+
+    std::fill(c.begin(), c.end(), poison);
+    kernels::gemm_tn(kind, a_t.data().data(), b.data().data(), c.data(), 0, m,
+                     k, m, n);
+    for (const float v : c) ASSERT_FALSE(std::isnan(v)) << to_string(kind);
+
+    std::fill(c.begin(), c.end(), poison);
+    kernels::gemm_nt(kind, a.data().data(), b_t.data().data(), c.data(), 0, m,
+                     k, n);
+    for (const float v : c) ASSERT_FALSE(std::isnan(v)) << to_string(kind);
+
+    // k == 0 must still overwrite (with zeros), not skip the rows.
+    std::fill(c.begin(), c.end(), poison);
+    kernels::gemm(kind, a.data().data(), b.data().data(), c.data(), 0, m, 0, n);
+    for (const float v : c) ASSERT_EQ(v, 0.0f) << to_string(kind);
+  }
+}
+
+TEST(KernelParity, RowRangeKernelMatchesFullRun) {
+  // Row-partitioned calls (the thread-pool fan-out) must reproduce the full
+  // run bit for bit for a fixed kind — the accumulation order of an output
+  // element never depends on the partition.
+  const std::size_t m = 23, k = 65, n = 47;
+  const Tensor a = random_tensor(m, k, 17);
+  const Tensor b = random_tensor(k, n, 19);
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+    std::vector<float> whole(m * n, 0.0f);
+    kernels::gemm(kind, a.data().data(), b.data().data(), whole.data(), 0, m,
+                  k, n);
+    std::vector<float> split(m * n, 0.0f);
+    kernels::gemm(kind, a.data().data(), b.data().data(), split.data(), 0, 9,
+                  k, n);
+    kernels::gemm(kind, a.data().data(), b.data().data(), split.data(), 9, 10,
+                  k, n);
+    kernels::gemm(kind, a.data().data(), b.data().data(), split.data(), 10, m,
+                  k, n);
+    ASSERT_EQ(0,
+              std::memcmp(whole.data(), split.data(), m * n * sizeof(float)))
+        << to_string(kind);
+  }
+}
+
+TEST(KernelParity, ThreadedMatmulBitIdenticalToSerialPerKind) {
+  const Tensor a = random_tensor(64, 129, 29);
+  const Tensor b = random_tensor(129, 65, 31);
+  for (const KernelKind kind : {KernelKind::kScalar, KernelKind::kSimd}) {
+    KindGuard guard(kind);
+    common::set_global_pool_threads(1);
+    const Tensor serial = matmul(a, b);
+    common::set_global_pool_threads(4);
+    const Tensor threaded = matmul(a, b);
+    common::set_global_pool_threads(1);
+    ASSERT_EQ(0, std::memcmp(serial.data().data(), threaded.data().data(),
+                             serial.size() * sizeof(float)))
+        << to_string(kind);
+  }
+}
+
+TEST(KernelSelection, NameRoundTripAndSetGet) {
+  EXPECT_STREQ("scalar", to_string(KernelKind::kScalar));
+  EXPECT_STREQ("simd", to_string(KernelKind::kSimd));
+  EXPECT_EQ(KernelKind::kScalar, kernel_kind_from_string("scalar"));
+  EXPECT_EQ(KernelKind::kSimd, kernel_kind_from_string("simd"));
+  EXPECT_FALSE(kernel_kind_from_string("avx512").has_value());
+  EXPECT_FALSE(kernel_kind_from_string("").has_value());
+
+  const KernelKind before = active_kernel_kind();
+  set_kernel_kind(KernelKind::kScalar);
+  EXPECT_EQ(KernelKind::kScalar, active_kernel_kind());
+  set_kernel_kind(KernelKind::kSimd);
+  EXPECT_EQ(KernelKind::kSimd, active_kernel_kind());
+  set_kernel_kind(before);
+
+  // Whatever the hardware, the instruction-set name is one of the known ones.
+  const std::string isa = simd_instruction_set();
+  EXPECT_TRUE(isa == "avx2+fma" || isa == "neon" || isa == "portable") << isa;
+}
+
+}  // namespace
+}  // namespace cellgan::tensor
