@@ -1,0 +1,171 @@
+// Serving benchmark: latency/throughput of the micro-batching sample server
+// under open-loop load. Trains a tiny grid, checkpoints it, starts an
+// in-process serve::Server on a loopback ephemeral port, verifies the serve
+// path is bit-identical to Session::sample_best(seed) (the benchmark is
+// meaningless if the fast path returns different bytes), then sweeps offered
+// QPS levels with serve::run_open_loop and emits BENCH_serving.json:
+// p50/p95/p99 latency, achieved throughput and mean batch occupancy per
+// level. ci/check.sh --bench runs this and asserts on the artifact.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/cli.hpp"
+#include "core/checkpoint.hpp"
+#include "core/session.hpp"
+#include "serve/client.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+std::vector<double> parse_levels(const std::string& text) {
+  std::vector<double> levels;
+  std::string token;
+  for (const char c : text + ",") {
+    if (c == ',') {
+      if (!token.empty()) levels.push_back(std::stod(token));
+      token.clear();
+    } else {
+      token += c;
+    }
+  }
+  return levels;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cellgan;
+
+  common::CliParser cli("serve_load: open-loop QPS sweep against the sample server");
+  cli.add_flag("qps", "25,50,100", "comma-separated offered QPS levels");
+  cli.add_flag("duration-s", "1.5", "send window per level");
+  cli.add_flag("count", "8", "samples per request");
+  cli.add_flag("max-batch", "8", "server micro-batch size bound");
+  cli.add_flag("max-delay-us", "2000", "server micro-batch delay bound");
+  cli.add_flag("iterations", "4", "training iterations for the served model");
+  cli.add_flag("out-dir", "out", "work directory for the checkpoint");
+  cli.add_flag("json", "BENCH_serving.json", "benchmark artifact path");
+  cli.add_flag("telemetry", "", "append serve_request/serve_batch JSONL here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  // A small served model: the bench measures the serving plane, not
+  // training quality, so tiny() keeps the forward cheap enough that the
+  // batcher (not the GEMM) is the object under test.
+  core::RunSpec spec;
+  spec.config = core::TrainingConfig::tiny();
+  spec.config.iterations =
+      static_cast<std::uint32_t>(cli.get_int("iterations"));
+  spec.backend = core::Backend::kSequential;
+
+  core::Session session(spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    return 1;
+  }
+  std::printf("training served model (%u iterations)...\n",
+              spec.config.iterations);
+  const core::RunResult outcome = session.run();
+
+  const std::filesystem::path out_dir(cli.get("out-dir"));
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  const std::string checkpoint_path = (out_dir / "serve_bench.ckpt").string();
+  if (!core::save_checkpoint(checkpoint_path,
+                             session.result_checkpoint(outcome))) {
+    std::fprintf(stderr, "error: cannot write %s\n", checkpoint_path.c_str());
+    return 1;
+  }
+
+  core::EventBus bus;
+  std::unique_ptr<core::JsonlTelemetrySink> sink;
+  if (!cli.get("telemetry").empty()) {
+    sink = std::make_unique<core::JsonlTelemetrySink>(cli.get("telemetry"));
+    if (!sink->ok()) return 1;
+    bus.subscribe(sink.get());
+  }
+
+  serve::ServerOptions options;
+  options.checkpoint = checkpoint_path;
+  options.batch.max_batch = static_cast<std::size_t>(cli.get_int("max-batch"));
+  options.batch.max_delay_us =
+      static_cast<std::uint32_t>(cli.get_int("max-delay-us"));
+  serve::Server server(options, sink ? &bus : nullptr);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  std::printf("serving %s on %s\n", checkpoint_path.c_str(),
+              server.endpoint().to_string().c_str());
+
+  serve::ServeClient client;
+  if (!client.connect(server.endpoint(), 10.0, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Parity gate: the serve path must return the Session's exact bytes.
+  const std::uint64_t parity_seed = 7;
+  const std::uint32_t parity_count =
+      static_cast<std::uint32_t>(cli.get_int("count"));
+  const auto id = client.send_request(parity_seed, parity_count);
+  serve::ServeClient::Completion completion;
+  bool parity = id != 0 && client.wait(id, &completion, 30.0) &&
+                completion.response.ok();
+  if (parity) {
+    const tensor::Tensor direct =
+        session.sample_best(outcome, parity_count, parity_seed);
+    const auto a = completion.response.samples;
+    const auto b = direct.data();
+    parity = a.size() == b.size();
+    for (std::size_t i = 0; parity && i < a.size(); ++i) parity = a[i] == b[i];
+  }
+  std::printf("serve/session parity: %s\n", parity ? "bit-identical" : "MISMATCH");
+
+  const auto levels = parse_levels(cli.get("qps"));
+  std::vector<std::string> level_jsons;
+  for (const double qps : levels) {
+    serve::LoadOptions load;
+    load.qps = qps;
+    load.duration_s = cli.get_double("duration-s");
+    load.count = parity_count;
+    load.seed_base = 1000;
+    const auto report = serve::run_open_loop(client, load);
+    std::printf("qps %6.1f -> p50 %.2fms p95 %.2fms p99 %.2fms "
+                "achieved %.1f/s mean batch %.2f (%llu/%llu ok)\n",
+                qps, report.p50_ms, report.p95_ms, report.p99_ms,
+                report.achieved_qps, report.mean_batch_requests,
+                static_cast<unsigned long long>(report.completed),
+                static_cast<unsigned long long>(report.sent));
+    level_jsons.push_back(report.to_json());
+  }
+
+  client.close();
+  server.drain_and_stop();
+
+  std::string json = "{\n  \"schema_version\": 1,\n  \"bench\": \"serving\",\n";
+  json += "  \"parity\": ";
+  json += parity ? "true" : "false";
+  json += ",\n  \"count\": " + std::to_string(parity_count);
+  json += ",\n  \"max_batch\": " + std::to_string(options.batch.max_batch);
+  json += ",\n  \"max_delay_us\": " +
+          std::to_string(options.batch.max_delay_us);
+  json += ",\n  \"levels\": [\n";
+  for (std::size_t i = 0; i < level_jsons.size(); ++i) {
+    json += "    " + level_jsons[i];
+    if (i + 1 < level_jsons.size()) json += ",";
+    json += "\n";
+  }
+  json += "  ]\n}\n";
+  if (std::FILE* f = std::fopen(cli.get("json").c_str(), "w")) {
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", cli.get("json").c_str());
+  } else {
+    std::fprintf(stderr, "error: cannot write %s\n", cli.get("json").c_str());
+    return 1;
+  }
+  return parity ? 0 : 1;
+}

@@ -6,9 +6,11 @@
 # --bench additionally runs the perf bed at reduced scale and records the
 # numbers (BENCH_parallel.json, the unified-runner RunResult
 # BENCH_session.json, the Table II metric sweep BENCH_metrics.json, the
-# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json and a smoke-run
-# telemetry stream SMOKE_telemetry.jsonl in the build dir), so perf and
-# quality PRs can show deltas.
+# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json, the serving-plane
+# latency/QPS sweep BENCH_serving.json with its telemetry stream
+# SMOKE_serving.jsonl, and a smoke-run telemetry stream
+# SMOKE_telemetry.jsonl in the build dir), so perf and quality PRs can show
+# deltas.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
@@ -101,6 +103,48 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --json "$BUILD/BENCH_tensor.json"
   grep -q '"best_single_thread_gemm_speedup"' "$BUILD/BENCH_tensor.json" || {
     echo "error: BENCH_tensor.json missing the kernel speedup summary" >&2
+    exit 1
+  }
+  echo "=== bench: serve_load (QPS sweep, in-process server) -> BENCH_serving.json ==="
+  rm -f "$BUILD/SMOKE_serving.jsonl"
+  ./bench/serve_load --qps 25,50,100 --duration-s 1.5 --count 8 \
+    --iterations 4 --out-dir "$BUILD/serve_bench_out" \
+    --json "$BUILD/BENCH_serving.json" \
+    --telemetry "$BUILD/SMOKE_serving.jsonl"
+  grep -q '"p99_ms"' "$BUILD/BENCH_serving.json" || {
+    echo "error: BENCH_serving.json missing latency percentiles" >&2
+    exit 1
+  }
+  grep -q '"parity": true' "$BUILD/BENCH_serving.json" || {
+    echo "error: serve path is not bit-identical to Session::sample_best" >&2
+    exit 1
+  }
+  grep -q '"event":"serve_request"' "$BUILD/SMOKE_serving.jsonl" || {
+    echo "error: serving telemetry stream has no serve_request records" >&2
+    exit 1
+  }
+  echo "=== smoke: cellgan_serve daemon + cellgan_client over loopback ==="
+  ./examples/cellgan_serve --checkpoint "$BUILD/serve_bench_out/serve_bench.ckpt" \
+    --listen 127.0.0.1:0 > "$BUILD/SMOKE_serve_daemon.log" &
+  SERVE_PID=$!
+  for _ in $(seq 1 50); do
+    grep -q 'listening on' "$BUILD/SMOKE_serve_daemon.log" && break
+    sleep 0.1
+  done
+  SERVE_EP="$(grep -o 'listening on .*' "$BUILD/SMOKE_serve_daemon.log" | awk '{print $3}')"
+  if [ -z "$SERVE_EP" ]; then
+    echo "error: cellgan_serve did not announce an endpoint" >&2
+    kill "$SERVE_PID" 2>/dev/null || true
+    exit 1
+  fi
+  ./examples/cellgan_client --connect "$SERVE_EP" --qps 20 --duration-s 1 \
+    --count 8 --stats true --shutdown true
+  wait "$SERVE_PID" || {
+    echo "error: cellgan_serve did not exit cleanly after shutdown" >&2
+    exit 1
+  }
+  grep -q 'cellgan_serve done' "$BUILD/SMOKE_serve_daemon.log" || {
+    echo "error: daemon log missing the drain summary" >&2
     exit 1
   }
 fi

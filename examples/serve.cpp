@@ -1,0 +1,95 @@
+// cellgan_serve — the serving daemon: restore a trained mixture from a
+// checkpoint file and answer framed-TCP sample requests, micro-batched (see
+// src/serve/server.hpp). Prints the bound endpoint on stdout so scripts can
+// parse it when listening on an ephemeral port.
+//
+// Shutdown is drain-first from either direction: a client SHUTDOWN frame or
+// SIGINT/SIGTERM both end the main loop, which then drains in-flight
+// batches — every accepted request is answered — before the sockets close.
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "common/cli.hpp"
+#include "core/observer.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void handle_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace cellgan;
+
+  common::CliParser cli("cellgan_serve: serve mixture samples from a checkpoint");
+  cli.add_flag("checkpoint", "", "checkpoint file to serve (required)");
+  cli.add_flag("listen", "127.0.0.1:0", "host:port to bind (port 0 = ephemeral)");
+  cli.add_flag("max-batch", "8", "micro-batch: close a batch at this many requests");
+  cli.add_flag("max-delay-us", "2000", "micro-batch: or this long after the first");
+  cli.add_flag("cache", "4", "warm model cache capacity (checkpoints)");
+  cli.add_flag("max-count", "4096", "largest per-request sample count");
+  cli.add_flag("telemetry", "", "append serve_request/serve_batch JSONL here");
+  if (!cli.parse(argc, argv)) return 1;
+
+  serve::ServerOptions options;
+  options.checkpoint = cli.get("checkpoint");
+  options.listen = cli.get("listen");
+  options.batch.max_batch = static_cast<std::size_t>(cli.get_int("max-batch"));
+  options.batch.max_delay_us =
+      static_cast<std::uint32_t>(cli.get_int("max-delay-us"));
+  options.cache_capacity = static_cast<std::size_t>(cli.get_int("cache"));
+  options.max_samples_per_request =
+      static_cast<std::uint32_t>(cli.get_int("max-count"));
+  if (options.checkpoint.empty()) {
+    std::fprintf(stderr, "error: --checkpoint is required\n");
+    return 1;
+  }
+
+  core::EventBus bus;
+  std::unique_ptr<core::JsonlTelemetrySink> sink;
+  if (!cli.get("telemetry").empty()) {
+    sink = std::make_unique<core::JsonlTelemetrySink>(cli.get("telemetry"));
+    if (!sink->ok()) return 1;
+    bus.subscribe(sink.get());
+  }
+
+  serve::Server server(options, sink ? &bus : nullptr);
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  struct sigaction action{};
+  action.sa_handler = handle_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  const auto endpoint = server.endpoint();
+  std::printf("cellgan_serve listening on %s\n", endpoint.to_string().c_str());
+  std::fflush(stdout);
+
+  while (g_signal == 0 && !server.shutdown_requested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("cellgan_serve draining (%s)...\n",
+              g_signal != 0 ? "signal" : "shutdown frame");
+  std::fflush(stdout);
+  server.drain_and_stop();
+
+  const auto stats = server.observer().stats();
+  std::printf(
+      "cellgan_serve done: %llu requests, %llu samples, %llu batches, "
+      "%llu cache hits, %llu misses, %llu rejected\n",
+      static_cast<unsigned long long>(stats.requests),
+      static_cast<unsigned long long>(stats.samples),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(server.cache().hits()),
+      static_cast<unsigned long long>(server.cache().misses()),
+      static_cast<unsigned long long>(server.rejected()));
+  return 0;
+}

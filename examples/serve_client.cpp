@@ -1,0 +1,94 @@
+// cellgan_client — load generator / CLI client for cellgan_serve: drives
+// open-loop load at a fixed offered QPS and reports the latency
+// distribution, and can fetch server stats or request a drain-first
+// shutdown.
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "serve/client.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cellgan;
+
+  common::CliParser cli("cellgan_client: open-loop load generator for cellgan_serve");
+  cli.add_flag("connect", "127.0.0.1:0", "server endpoint (host:port)");
+  cli.add_flag("qps", "50", "offered request rate");
+  cli.add_flag("duration-s", "2", "send window seconds");
+  cli.add_flag("count", "16", "samples per request");
+  cli.add_flag("seed", "1", "seed base (request i uses seed+i)");
+  cli.add_flag("timeout-s", "30", "per-response wait bound");
+  cli.add_flag("json", "", "write the LoadReport JSON here ('-' = stdout only)");
+  cli.add_flag("stats", "false", "fetch server stats after the run");
+  cli.add_flag("shutdown", "false", "request server shutdown after the run");
+  cli.add_flag("load", "true", "run the load loop (false: stats/shutdown only)");
+  if (!cli.parse(argc, argv)) return 1;
+
+  std::string error;
+  const auto endpoint = minimpi::Endpoint::parse(cli.get("connect"), &error);
+  if (!endpoint) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  serve::ServeClient client;
+  if (!client.connect(*endpoint, 10.0, &error)) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  int exit_code = 0;
+  if (cli.get_bool("load")) {
+    serve::LoadOptions load;
+    load.qps = cli.get_double("qps");
+    load.duration_s = cli.get_double("duration-s");
+    load.count = static_cast<std::uint32_t>(cli.get_int("count"));
+    load.seed_base = static_cast<std::uint64_t>(cli.get_int("seed"));
+    load.timeout_s = cli.get_double("timeout-s");
+    const auto report = serve::run_open_loop(client, load);
+    std::printf("%s\n", report.to_json().c_str());
+    if (!cli.get("json").empty() && cli.get("json") != "-") {
+      if (std::FILE* f = std::fopen(cli.get("json").c_str(), "w")) {
+        const auto json = report.to_json();
+        std::fwrite(json.data(), 1, json.size(), f);
+        std::fputc('\n', f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "error: cannot write %s\n", cli.get("json").c_str());
+        exit_code = 1;
+      }
+    }
+    if (report.completed == 0) exit_code = 1;
+  }
+
+  if (cli.get_bool("stats")) {
+    serve::StatsResponse stats;
+    if (client.stats(&stats, 10.0)) {
+      std::printf(
+          "server stats: %llu requests, %llu samples, %llu batches, "
+          "%llu hits, %llu misses, %llu evictions, %llu rejected, "
+          "uptime %.1fs\n",
+          static_cast<unsigned long long>(stats.requests),
+          static_cast<unsigned long long>(stats.samples),
+          static_cast<unsigned long long>(stats.batches),
+          static_cast<unsigned long long>(stats.cache_hits),
+          static_cast<unsigned long long>(stats.cache_misses),
+          static_cast<unsigned long long>(stats.cache_evictions),
+          static_cast<unsigned long long>(stats.rejected), stats.uptime_s);
+    } else {
+      std::fprintf(stderr, "error: stats request failed\n");
+      exit_code = 1;
+    }
+  }
+
+  if (cli.get_bool("shutdown")) {
+    if (client.shutdown_server(10.0)) {
+      std::printf("server acknowledged shutdown\n");
+    } else {
+      std::fprintf(stderr, "error: shutdown request not acknowledged\n");
+      exit_code = 1;
+    }
+  }
+
+  client.close();
+  return exit_code;
+}

@@ -1,0 +1,68 @@
+#include "core/checkpoint_sampler.hpp"
+
+#include "common/expect.hpp"
+#include "nn/gan_models.hpp"
+
+namespace cellgan::core {
+
+int CheckpointMixture::best_cell_of(const Checkpoint& snapshot) {
+  CG_EXPECT(!snapshot.centers.empty());
+  int best = 0;
+  for (std::size_t i = 1; i < snapshot.centers.size(); ++i) {
+    if (snapshot.centers[i].g_fitness <
+        snapshot.centers[static_cast<std::size_t>(best)].g_fitness) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+CheckpointMixture::CheckpointMixture(const Checkpoint& snapshot, int cell)
+    : config_(snapshot.config),
+      cell_(cell < 0 ? best_cell_of(snapshot) : cell),
+      weights_(1) {
+  CG_EXPECT(snapshot.centers.size() == config_.grid_cells());
+  CG_EXPECT(cell_ >= 0 && static_cast<std::uint32_t>(cell_) < config_.grid_cells());
+
+  const Grid grid(static_cast<int>(config_.grid_rows),
+                  static_cast<int>(config_.grid_cols));
+  members_ = grid.neighborhood_of(cell_);
+
+  // Construction draws are throwaway (load_parameters overwrites them); the
+  // sampling streams are the per-call Rng(seed) in plan()/sample().
+  common::Rng init_rng(config_.seed ^ 0x5e7f11dULL);
+  generators_.reserve(members_.size());
+  for (const int member : members_) {
+    generators_.push_back(nn::make_generator(config_.arch, init_rng));
+    generators_.back().load_parameters(
+        snapshot.centers[static_cast<std::size_t>(member)].generator_params);
+  }
+
+  weights_ = MixtureWeights(members_.size());
+  const auto& evolved = snapshot.mixtures[static_cast<std::size_t>(cell_)];
+  if (evolved.size() == members_.size()) weights_.set_weights(evolved);
+}
+
+MixtureDraw CheckpointMixture::plan(std::size_t count, std::uint64_t seed) const {
+  common::Rng rng(seed);
+  return plan_mixture_draw(weights_, generators_.size(),
+                           config_.arch.latent_dim, count, rng);
+}
+
+tensor::Tensor CheckpointMixture::forward(std::size_t g,
+                                          const tensor::Tensor& latents) {
+  CG_EXPECT(g < generators_.size());
+  return generators_[g].forward(latents);
+}
+
+tensor::Tensor CheckpointMixture::sample(std::size_t count, std::uint64_t seed) {
+  const MixtureDraw draw = plan(count, seed);
+  tensor::Tensor out(count, config_.arch.image_dim);
+  for (std::size_t g = 0; g < generators_.size(); ++g) {
+    if (draw.rows_of[g].empty()) continue;
+    scatter_mixture_rows(draw, g, forward(g, draw.latents[g]), out);
+  }
+  return out;
+}
+
+}  // namespace cellgan::core

@@ -71,6 +71,42 @@ MixtureWeights MixtureWeights::deserialize(std::span<const std::uint8_t> bytes) 
   return out;
 }
 
+MixtureDraw plan_mixture_draw(const MixtureWeights& weights,
+                              std::size_t generators, std::size_t latent_dim,
+                              std::size_t count, common::Rng& rng) {
+  CG_EXPECT(weights.size() == generators);
+  CG_EXPECT(generators > 0 && count > 0);
+
+  // Assign each sample to a generator, then batch per generator so each
+  // network runs one forward pass.
+  MixtureDraw draw;
+  draw.count = count;
+  draw.rows_of.resize(generators);
+  draw.latents.resize(generators);
+  for (std::size_t i = 0; i < count; ++i) {
+    draw.rows_of[weights.sample_index(rng)].push_back(i);
+  }
+  for (std::size_t g = 0; g < generators; ++g) {
+    if (draw.rows_of[g].empty()) continue;
+    draw.latents[g] =
+        tensor::Tensor::randn(draw.rows_of[g].size(), latent_dim, rng, 1.0f);
+  }
+  return draw;
+}
+
+void scatter_mixture_rows(const MixtureDraw& draw, std::size_t generator,
+                          const tensor::Tensor& images, tensor::Tensor& out) {
+  CG_EXPECT(generator < draw.rows_of.size());
+  const auto& rows = draw.rows_of[generator];
+  CG_EXPECT(images.rows() == rows.size());
+  CG_EXPECT(out.rows() == draw.count && out.cols() == images.cols());
+  for (std::size_t k = 0; k < rows.size(); ++k) {
+    auto src = images.row_span(k);
+    auto dst = out.row_span(rows[k]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+}
+
 tensor::Tensor sample_mixture(const MixtureWeights& weights,
                               std::vector<nn::Sequential*> generators,
                               std::size_t latent_dim, std::size_t count,
@@ -78,29 +114,18 @@ tensor::Tensor sample_mixture(const MixtureWeights& weights,
   CG_EXPECT(weights.size() == generators.size());
   CG_EXPECT(!generators.empty() && count > 0);
 
-  // Assign each sample to a generator, then batch per generator so each
-  // network runs one forward pass.
-  std::vector<std::vector<std::size_t>> rows_of(generators.size());
-  for (std::size_t i = 0; i < count; ++i) {
-    rows_of[weights.sample_index(rng)].push_back(i);
-  }
-
+  const MixtureDraw draw =
+      plan_mixture_draw(weights, generators.size(), latent_dim, count, rng);
   tensor::Tensor out;
   bool out_ready = false;
   for (std::size_t g = 0; g < generators.size(); ++g) {
-    if (rows_of[g].empty()) continue;
-    tensor::Tensor z =
-        tensor::Tensor::randn(rows_of[g].size(), latent_dim, rng, 1.0f);
-    const tensor::Tensor images = generators[g]->forward(z);
+    if (draw.rows_of[g].empty()) continue;
+    const tensor::Tensor images = generators[g]->forward(draw.latents[g]);
     if (!out_ready) {
       out = tensor::Tensor(count, images.cols());
       out_ready = true;
     }
-    for (std::size_t k = 0; k < rows_of[g].size(); ++k) {
-      auto src = images.row_span(k);
-      auto dst = out.row_span(rows_of[g][k]);
-      std::copy(src.begin(), src.end(), dst.begin());
-    }
+    scatter_mixture_rows(draw, g, images, out);
   }
   return out;
 }

@@ -49,6 +49,31 @@ class MixtureWeights {
   std::vector<double> weights_;
 };
 
+/// The stochastic half of a mixture draw: which generator produces each of
+/// the `count` output rows, and the latent inputs already grouped per
+/// generator. Splitting this from the forward passes lets a serving batcher
+/// plan many requests independently (each on its own rng stream) and then
+/// run ONE forward per generator over the concatenated latents — the
+/// per-request outputs stay bit-identical to a solo draw because every GEMM
+/// kernel accumulates each output row in a partition-independent order.
+struct MixtureDraw {
+  std::size_t count = 0;
+  std::vector<std::vector<std::size_t>> rows_of;  ///< per generator: output rows
+  std::vector<tensor::Tensor> latents;            ///< per generator (empty if unused)
+};
+
+/// Consume `rng` exactly as sample_mixture does (count generator-index draws,
+/// then one randn block per non-empty generator in index order) and return
+/// the plan.
+MixtureDraw plan_mixture_draw(const MixtureWeights& weights,
+                              std::size_t generators, std::size_t latent_dim,
+                              std::size_t count, common::Rng& rng);
+
+/// Scatter one generator's forward output back into the draw's output rows.
+/// `out` must be count x image_dim.
+void scatter_mixture_rows(const MixtureDraw& draw, std::size_t generator,
+                          const tensor::Tensor& images, tensor::Tensor& out);
+
 /// Draw `count` samples from the weighted ensemble: each row comes from the
 /// generator selected by the mixture distribution, fed with a fresh latent
 /// vector z ~ N(0,1)^latent_dim.

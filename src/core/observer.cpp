@@ -129,6 +129,14 @@ void EventBus::run_completed(const RunSummary& summary) {
   for (auto* observer : observers_) observer->on_run_completed(summary);
 }
 
+void EventBus::serve_request(const ServeRequestRecord& record) {
+  for (auto* observer : observers_) observer->on_serve_request(record);
+}
+
+void EventBus::serve_batch(const ServeBatchRecord& record) {
+  for (auto* observer : observers_) observer->on_serve_batch(record);
+}
+
 // --- JsonlTelemetrySink -----------------------------------------------------
 
 namespace {
@@ -241,6 +249,37 @@ void JsonlTelemetrySink::on_run_completed(const RunSummary& summary) {
   line += ",";
   append_json_array(line, "g_fitnesses", summary.g_fitnesses);
   line += ",\"best_cell\":" + std::to_string(summary.best_cell);
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_serve_request(const ServeRequestRecord& record) {
+  std::string line = "{\"event\":\"serve_request\",\"request_id\":";
+  line += std::to_string(record.request_id);
+  line += ",\"count\":" + std::to_string(record.count);
+  line += ",\"batch_requests\":" + std::to_string(record.batch_requests);
+  line += ",\"batch_samples\":" + std::to_string(record.batch_samples);
+  line += ",\"queue_us\":";
+  append_json_number(line, record.queue_us);
+  line += ",\"forward_us\":";
+  append_json_number(line, record.forward_us);
+  line += ",\"total_us\":";
+  append_json_number(line, record.total_us);
+  line += ",\"cache_hit\":";
+  line += record.cache_hit ? "true" : "false";
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_serve_batch(const ServeBatchRecord& record) {
+  std::string line = "{\"event\":\"serve_batch\",\"batch_id\":";
+  line += std::to_string(record.batch_id);
+  line += ",\"requests\":" + std::to_string(record.requests);
+  line += ",\"samples\":" + std::to_string(record.samples);
+  line += ",\"delay_us\":";
+  append_json_number(line, record.delay_us);
+  line += ",\"forward_us\":";
+  append_json_number(line, record.forward_us);
   line += "}";
   write_line(line);
 }

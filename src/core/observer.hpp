@@ -109,6 +109,31 @@ struct MetricSnapshot {
   double tvd_from_uniform = 0.0;    ///< mixture class-distribution TVD
 };
 
+/// One serving request, as completed by the serve batcher (src/serve). The
+/// serving plane reuses the training telemetry seam: a ServeObserver
+/// publishes these through the same EventBus/JSONL sink that records epochs,
+/// so one artifact stream carries a model's whole life — training epochs,
+/// checkpoints, then the latencies of the requests it served.
+struct ServeRequestRecord {
+  std::uint64_t request_id = 0;
+  std::uint32_t count = 0;           ///< samples requested
+  std::uint32_t batch_requests = 0;  ///< co-batched request count (occupancy)
+  std::uint32_t batch_samples = 0;   ///< total rows of the shared forward
+  double queue_us = 0.0;             ///< enqueue -> batch close
+  double forward_us = 0.0;           ///< the shared forward+scatter pass
+  double total_us = 0.0;             ///< enqueue -> response ready
+  bool cache_hit = true;             ///< model served from the warm cache
+};
+
+/// One micro-batch the serve worker executed.
+struct ServeBatchRecord {
+  std::uint64_t batch_id = 0;
+  std::uint32_t requests = 0;
+  std::uint32_t samples = 0;
+  double delay_us = 0.0;    ///< first enqueue -> batch close
+  double forward_us = 0.0;
+};
+
 /// What a run is, announced once before the first epoch.
 struct RunInfo {
   std::string backend;  ///< registered backend name
@@ -141,6 +166,8 @@ class TrainObserver {
   virtual void on_epoch_completed(const EpochRecord& /*record*/) {}
   virtual void on_metrics(const MetricSnapshot& /*snapshot*/) {}
   virtual void on_run_completed(const RunSummary& /*summary*/) {}
+  virtual void on_serve_request(const ServeRequestRecord& /*record*/) {}
+  virtual void on_serve_batch(const ServeBatchRecord& /*record*/) {}
 
   /// Evaluators return the snapshot they computed for the epoch just
   /// completed; the bus then publishes it to every observer (so e.g. the
@@ -171,6 +198,10 @@ class EventBus {
   void epoch_completed(const EpochRecord& record);
   void metrics(const MetricSnapshot& snapshot);
   void run_completed(const RunSummary& summary);
+  /// Serving-plane events. Same single-publisher contract as the epoch
+  /// stream: the serve batcher publishes from its one worker thread only.
+  void serve_request(const ServeRequestRecord& record);
+  void serve_batch(const ServeBatchRecord& record);
 
  private:
   std::vector<TrainObserver*> observers_;
@@ -195,6 +226,8 @@ class JsonlTelemetrySink final : public TrainObserver {
   void on_epoch_completed(const EpochRecord& record) override;
   void on_metrics(const MetricSnapshot& snapshot) override;
   void on_run_completed(const RunSummary& summary) override;
+  void on_serve_request(const ServeRequestRecord& record) override;
+  void on_serve_batch(const ServeBatchRecord& record) override;
 
  private:
   void write_line(const std::string& line);

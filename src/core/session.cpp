@@ -10,6 +10,7 @@
 #include "common/log.hpp"
 
 #include "common/expect.hpp"
+#include "core/checkpoint_sampler.hpp"
 #include "core/grid.hpp"
 #include "minimpi/bootstrap.hpp"
 #include "core/mixture.hpp"
@@ -591,6 +592,18 @@ tensor::Tensor Session::sample_best(const RunResult& result, std::size_t count) 
       result.cell_results[static_cast<std::size_t>(result.best_cell)].mixture_weights;
   if (evolved.size() == members.size()) weights.set_weights(evolved);
   return sample_mixture(weights, generator_ptrs, config.arch.latent_dim, count, rng);
+}
+
+Checkpoint Session::result_checkpoint(const RunResult& result) {
+  CG_EXPECT(prepared_);
+  if (!result.distributed()) return checkpoint();
+  return checkpoint_from_results(spec_.config, result.cell_results);
+}
+
+tensor::Tensor Session::sample_best(const RunResult& result, std::size_t count,
+                                    std::uint64_t seed) {
+  CheckpointMixture model(result_checkpoint(result), result.best_cell);
+  return model.sample(count, seed);
 }
 
 }  // namespace cellgan::core

@@ -194,6 +194,20 @@ class Session {
   /// the mixture from the master's collected genomes.
   tensor::Tensor sample_best(const RunResult& result, std::size_t count);
 
+  /// Seed-addressed variant: snapshot the trained grid into a Checkpoint and
+  /// sample through core::CheckpointMixture on a fresh Rng(seed) stream —
+  /// the exact function a serving process (`cellgan_serve`) evaluates when
+  /// it restores the same checkpoint, so serve responses are verifiable
+  /// bit-for-bit against this call (per tensor-kernel kind). Works on every
+  /// backend that yields cell results or a live trainer.
+  tensor::Tensor sample_best(const RunResult& result, std::size_t count,
+                             std::uint64_t seed);
+
+  /// The grid snapshot sample_best(result, count, seed) samples from: the
+  /// live trainer's checkpoint in-process, the master's collected results
+  /// reassembled via checkpoint_from_results when distributed.
+  Checkpoint result_checkpoint(const RunResult& result);
+
  private:
   /// Construct the backend if prepare() succeeds; nullptr on failure.
   SessionBackend* ensure_backend();

@@ -1,0 +1,83 @@
+#include "serve/model_cache.hpp"
+
+#include <exception>
+#include <system_error>
+#include <utility>
+
+#include "common/expect.hpp"
+#include "core/checkpoint.hpp"
+
+namespace cellgan::serve {
+
+ModelCache::ModelCache(std::size_t capacity) : capacity_(capacity) {
+  CG_EXPECT(capacity_ >= 1);
+}
+
+ModelCache::Lookup ModelCache::get(const std::string& checkpoint_path) {
+  Lookup result;
+
+  std::error_code ec;
+  const auto mtime = std::filesystem::last_write_time(checkpoint_path, ec);
+  if (ec) {
+    result.error = "cannot stat checkpoint '" + checkpoint_path +
+                   "': " + ec.message();
+    return result;
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->path != checkpoint_path) continue;
+    if (it->mtime == mtime) {
+      entries_.splice(entries_.begin(), entries_, it);  // LRU touch
+      ++hits_;
+      result.model = entries_.front().model;
+      result.hit = true;
+      return result;
+    }
+    // The file changed under us: the stale model must not serve another
+    // request. Drop it and fall through to a fresh load.
+    entries_.erase(it);
+    break;
+  }
+
+  ++misses_;
+  auto snapshot = core::load_checkpoint(checkpoint_path);
+  if (!snapshot) {
+    result.error = "cannot load checkpoint '" + checkpoint_path + "'";
+    return result;
+  }
+  try {
+    result.model = std::make_shared<core::CheckpointMixture>(*snapshot);
+  } catch (const std::exception& e) {
+    result.error = "malformed checkpoint '" + checkpoint_path + "': " + e.what();
+    return result;
+  }
+  entries_.push_front(Entry{checkpoint_path, mtime, result.model});
+  while (entries_.size() > capacity_) {
+    entries_.pop_back();
+    ++evictions_;
+  }
+  return result;
+}
+
+std::size_t ModelCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+std::uint64_t ModelCache::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t ModelCache::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::uint64_t ModelCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+}  // namespace cellgan::serve

@@ -1,0 +1,65 @@
+// Warm model cache of the serving plane.
+//
+// Restoring a CheckpointMixture means reading the checkpoint file and
+// rebuilding a neighborhood of generators — far too slow to repeat per
+// request. The cache keeps ready-to-sample models keyed by checkpoint path,
+// validated by file mtime: a request after the trainer overwrote the
+// checkpoint (CheckpointPolicyObserver rewrites in place every cadence
+// epoch) transparently reloads, so a long-lived server always serves the
+// newest snapshot without a reload endpoint. Capacity-bounded with LRU
+// eviction so a server pointed at many checkpoints cannot grow without
+// bound.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "core/checkpoint_sampler.hpp"
+
+namespace cellgan::serve {
+
+class ModelCache {
+ public:
+  /// `capacity` >= 1: resident model bound before LRU eviction.
+  explicit ModelCache(std::size_t capacity = 4);
+
+  struct Lookup {
+    /// The restored model; nullptr when the load failed (see error). Shared
+    /// ownership: the batcher holds the model through in-flight jobs even if
+    /// an eviction or reload drops it from the cache meanwhile.
+    std::shared_ptr<core::CheckpointMixture> model;
+    bool hit = false;  ///< served warm (path present with current mtime)
+    std::string error;
+  };
+
+  /// Fetch (or load) the model of `checkpoint_path`. Thread-safe; loads run
+  /// under the cache lock, serializing concurrent misses of the same path
+  /// into one read.
+  Lookup get(const std::string& checkpoint_path);
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string path;
+    std::filesystem::file_time_type mtime;
+    std::shared_ptr<core::CheckpointMixture> model;
+  };
+
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> entries_;  ///< front = most recently used
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace cellgan::serve

@@ -1,0 +1,29 @@
+#include "serve/observer.hpp"
+
+namespace cellgan::serve {
+
+void ServeObserver::record_request(const core::ServeRequestRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    stats_.samples += record.count;
+    stats_.total_queue_us += record.queue_us;
+    stats_.total_forward_us += record.forward_us;
+  }
+  if (bus_ != nullptr) bus_->serve_request(record);
+}
+
+void ServeObserver::record_batch(const core::ServeBatchRecord& record) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.batches;
+  }
+  if (bus_ != nullptr) bus_->serve_batch(record);
+}
+
+ServeStats ServeObserver::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace cellgan::serve

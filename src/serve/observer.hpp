@@ -1,0 +1,42 @@
+// Serving telemetry: aggregates lifetime counters for the STATS frame and
+// republishes per-request / per-batch records onto a core::EventBus, so the
+// serving plane writes into the same JSONL telemetry stream as training
+// (JsonlTelemetrySink's serve_request / serve_batch events).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+
+#include "core/observer.hpp"
+
+namespace cellgan::serve {
+
+/// Lifetime aggregates of one serving process.
+struct ServeStats {
+  std::uint64_t requests = 0;
+  std::uint64_t samples = 0;
+  std::uint64_t batches = 0;
+  double total_queue_us = 0.0;
+  double total_forward_us = 0.0;
+};
+
+class ServeObserver {
+ public:
+  /// `bus` may be null (aggregation only). The bus is NOT thread-safe; the
+  /// record_* methods must be called from one thread only — the batcher's
+  /// single worker honors this.
+  explicit ServeObserver(core::EventBus* bus = nullptr) : bus_(bus) {}
+
+  void record_request(const core::ServeRequestRecord& record);
+  void record_batch(const core::ServeBatchRecord& record);
+
+  /// Thread-safe snapshot (read by connection threads answering STATS).
+  ServeStats stats() const;
+
+ private:
+  core::EventBus* bus_;
+  mutable std::mutex mutex_;
+  ServeStats stats_;
+};
+
+}  // namespace cellgan::serve

@@ -1,0 +1,109 @@
+// cellgan serving daemon core: restore a mixture from a checkpoint, accept
+// sample requests over framed TCP, micro-batch them into shared forward
+// passes, answer with bit-reproducible samples.
+//
+// Threading: one poll-based accept loop thread; one reader thread per
+// connection (requests on one connection are processed in arrival order —
+// the ordering the SHUTDOWN drain test relies on); the batcher's single
+// worker executes forwards and completes responses through per-connection
+// write locks, so pipelined responses never interleave bytes.
+//
+// Shutdown is drain-first: a SHUTDOWN frame (or the daemon's SIGINT/SIGTERM
+// handler) only *requests* the stop. drain_and_stop() then stops accepting,
+// lets the batcher finish every queued job — responses flush over the still
+// open connections — and only then tears the sockets down. Requests that
+// arrive after draining began are answered kShuttingDown, never dropped.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "minimpi/bootstrap.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_cache.hpp"
+#include "serve/observer.hpp"
+#include "serve/protocol.hpp"
+
+namespace cellgan::serve {
+
+struct ServerOptions {
+  std::string listen = "127.0.0.1:0";  ///< port 0 = ephemeral
+  std::string checkpoint;              ///< required: the model file to serve
+  BatchPolicy batch;
+  std::size_t cache_capacity = 4;
+  std::uint32_t max_samples_per_request = 4096;
+};
+
+class Server {
+ public:
+  /// `bus` may be null (no JSONL telemetry); if set it must outlive the
+  /// server and is only published to from the batcher's worker thread.
+  explicit Server(ServerOptions options, core::EventBus* bus = nullptr);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, warm-load the checkpoint into the cache, start the accept loop.
+  /// False (with `error`) when the endpoint cannot be bound or the
+  /// checkpoint cannot be restored.
+  bool start(std::string* error);
+
+  /// The bound address (resolves an ephemeral port). Valid after start().
+  minimpi::Endpoint endpoint() const { return endpoint_; }
+
+  /// True once a SHUTDOWN frame arrived — the daemon's main loop polls this
+  /// and calls drain_and_stop().
+  bool shutdown_requested() const { return shutdown_requested_.load(); }
+
+  /// Drain-first stop; see file comment. Idempotent.
+  void drain_and_stop();
+
+  const ModelCache& cache() const { return cache_; }
+  const ServeObserver& observer() const { return observer_; }
+  std::uint64_t rejected() const { return rejected_.load(); }
+  double uptime_s() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mutex;
+  };
+
+  void accept_loop();
+  void serve_connection(std::shared_ptr<Connection> conn);
+  void handle_sample(const std::shared_ptr<Connection>& conn,
+                     const SampleRequest& request);
+  void send_response(const std::shared_ptr<Connection>& conn,
+                     const SampleResponse& response);
+  StatsResponse stats_snapshot() const;
+
+  ServerOptions options_;
+  ServeObserver observer_;
+  ModelCache cache_;
+  Batcher batcher_;
+
+  int listen_fd_ = -1;
+  minimpi::Endpoint endpoint_;
+  std::chrono::steady_clock::time_point started_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<std::uint64_t> rejected_{0};
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::shared_ptr<Connection>> connections_;
+  std::vector<std::thread> readers_;
+  bool stopped_ = false;
+  std::mutex stop_mutex_;
+};
+
+}  // namespace cellgan::serve

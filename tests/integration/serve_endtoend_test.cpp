@@ -1,0 +1,266 @@
+// The serving tentpole end to end over real loopback TCP: train a tiny grid,
+// checkpoint it, serve it, and pin the plane's contract — batched serve
+// responses bit-identical to Session::sample_best(seed), cache-hit vs
+// cold-load identity, live stats, and the drain-first SHUTDOWN protocol
+// (pipelined requests all answered, then the ack's drain completes).
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/checkpoint.hpp"
+#include "core/session.hpp"
+#include "serve/client.hpp"
+#include "serve/serve_testsupport.hpp"
+#include "serve/server.hpp"
+#include "testsupport/temp_dir.hpp"
+
+namespace cellgan::serve {
+namespace {
+
+/// Train once per suite (sequential backend, tiny spec) and share the
+/// checkpoint + session across tests: the expensive part is the training
+/// run, not the servers.
+class ServeEndToEndTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dir_ = new testsupport::TempDir("serve_e2e");
+    core::RunSpec spec;
+    spec.config = core::TrainingConfig::tiny();
+    spec.config.iterations = 2;
+    spec.backend = core::Backend::kSequential;
+    session_ = new core::Session(spec);
+    ASSERT_TRUE(session_->prepare()) << session_->error();
+    outcome_ = new core::RunResult(session_->run());
+    checkpoint_path_ = (dir_->path() / "model.ckpt").string();
+    ASSERT_TRUE(core::save_checkpoint(
+        checkpoint_path_, session_->result_checkpoint(*outcome_)));
+  }
+
+  static void TearDownTestSuite() {
+    delete outcome_;
+    outcome_ = nullptr;
+    delete session_;
+    session_ = nullptr;
+    delete dir_;
+    dir_ = nullptr;
+  }
+
+  /// The reference bytes: the Session's own seed-addressed sampler.
+  static tensor::Tensor reference(std::size_t count, std::uint64_t seed) {
+    return session_->sample_best(*outcome_, count, seed);
+  }
+
+  static ServerOptions server_options() {
+    ServerOptions options;
+    options.checkpoint = checkpoint_path_;
+    options.batch.max_batch = 8;
+    options.batch.max_delay_us = 5000;
+    return options;
+  }
+
+  static testsupport::TempDir* dir_;
+  static core::Session* session_;
+  static core::RunResult* outcome_;
+  static std::string checkpoint_path_;
+};
+
+testsupport::TempDir* ServeEndToEndTest::dir_ = nullptr;
+core::Session* ServeEndToEndTest::session_ = nullptr;
+core::RunResult* ServeEndToEndTest::outcome_ = nullptr;
+std::string ServeEndToEndTest::checkpoint_path_;
+
+TEST_F(ServeEndToEndTest, ServedSamplesBitIdenticalToSessionSampleBest) {
+  Server server(server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+
+  // Pipeline several requests with distinct seeds/counts so the server
+  // co-batches them, then check every response against the Session's bytes.
+  const std::vector<std::pair<std::uint64_t, std::uint32_t>> requests = {
+      {101, 4}, {202, 7}, {303, 1}, {404, 12}};
+  std::vector<std::uint64_t> ids;
+  for (const auto& [seed, count] : requests) {
+    const auto id = client.send_request(seed, count);
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    ServeClient::Completion completion;
+    ASSERT_TRUE(client.wait(ids[i], &completion, 30.0));
+    ASSERT_TRUE(completion.response.ok()) << completion.response.error;
+
+    const tensor::Tensor expected =
+        reference(requests[i].second, requests[i].first);
+    ASSERT_EQ(completion.response.rows, expected.rows());
+    ASSERT_EQ(completion.response.cols, expected.cols());
+    const auto bytes = expected.data();
+    ASSERT_EQ(completion.response.samples.size(), bytes.size());
+    for (std::size_t k = 0; k < bytes.size(); ++k) {
+      ASSERT_EQ(completion.response.samples[k], bytes[k])
+          << "request " << i << " diverged at element " << k;
+    }
+  }
+
+  client.close();
+  server.drain_and_stop();
+}
+
+TEST_F(ServeEndToEndTest, ColdLoadAndCacheHitReturnIdenticalBytes) {
+  ServeClient::Completion cold;
+  ServeClient::Completion warm;
+  std::string error;
+  {
+    Server server(server_options());
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServeClient client;
+    ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+
+    // start() warm-loaded the checkpoint, so the first request is already a
+    // cache hit; both requests on this server are warm.
+    const auto id1 = client.send_request(55, 6);
+    ASSERT_TRUE(client.wait(id1, &warm, 30.0));
+    ASSERT_TRUE(warm.response.ok());
+    EXPECT_GE(server.cache().hits(), 1u);
+    EXPECT_EQ(server.cache().misses(), 1u);  // only the warm-load miss
+    client.close();
+    server.drain_and_stop();
+  }
+  {
+    // A fresh server = a cold cache: same request, full reload path.
+    Server server(server_options());
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServeClient client;
+    ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+    const auto id2 = client.send_request(55, 6);
+    ASSERT_TRUE(client.wait(id2, &cold, 30.0));
+    ASSERT_TRUE(cold.response.ok());
+    client.close();
+    server.drain_and_stop();
+  }
+  EXPECT_EQ(cold.response.samples, warm.response.samples);
+  EXPECT_EQ(cold.response.samples,
+            [] {
+              const auto t = reference(6, 55);
+              return std::vector<float>(t.data().begin(), t.data().end());
+            }());
+}
+
+TEST_F(ServeEndToEndTest, StatsFrameReportsServerCounters) {
+  Server server(server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+
+  const auto id = client.send_request(1, 3);
+  ServeClient::Completion completion;
+  ASSERT_TRUE(client.wait(id, &completion, 30.0));
+
+  StatsResponse stats;
+  ASSERT_TRUE(client.stats(&stats, 10.0));
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.samples, 3u);
+  EXPECT_GE(stats.batches, 1u);
+  EXPECT_EQ(stats.cache_misses, 1u);  // the warm load
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_GT(stats.uptime_s, 0.0);
+
+  client.close();
+  server.drain_and_stop();
+}
+
+TEST_F(ServeEndToEndTest, BadCountIsRejectedNotDropped) {
+  auto options = server_options();
+  options.max_samples_per_request = 8;
+  Server server(options);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+
+  const auto id = client.send_request(1, 9);  // over the limit
+  ServeClient::Completion completion;
+  ASSERT_TRUE(client.wait(id, &completion, 30.0));
+  EXPECT_EQ(completion.response.status,
+            static_cast<std::uint32_t>(SampleStatus::kBadRequest));
+  EXPECT_FALSE(completion.response.error.empty());
+  EXPECT_EQ(server.rejected(), 1u);
+
+  client.close();
+  server.drain_and_stop();
+}
+
+TEST_F(ServeEndToEndTest, ShutdownDrainsPipelinedRequests) {
+  Server server(server_options());
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ServeClient client;
+  ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+
+  // Pipeline a burst, then SHUTDOWN immediately: the drain-first contract
+  // says every request read before the shutdown frame is still answered.
+  std::vector<std::uint64_t> ids;
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const auto id = client.send_request(900 + i, 5);
+    ASSERT_NE(id, 0u);
+    ids.push_back(id);
+  }
+  ASSERT_TRUE(client.shutdown_server(10.0));
+  EXPECT_TRUE(server.shutdown_requested());
+
+  // The daemon main loop would call this on seeing shutdown_requested();
+  // the test plays that role.
+  server.drain_and_stop();
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    ServeClient::Completion completion;
+    ASSERT_TRUE(client.wait(ids[i], &completion, 30.0))
+        << "request " << i << " was dropped by shutdown";
+    ASSERT_TRUE(completion.response.ok()) << completion.response.error;
+    const tensor::Tensor expected = reference(5, 900 + i);
+    const auto bytes = expected.data();
+    ASSERT_EQ(completion.response.samples.size(), bytes.size());
+    for (std::size_t k = 0; k < bytes.size(); ++k) {
+      ASSERT_EQ(completion.response.samples[k], bytes[k]);
+    }
+  }
+  client.close();
+}
+
+TEST_F(ServeEndToEndTest, TelemetrySinkRecordsServeEvents) {
+  const auto telemetry_path = (dir_->path() / "serve.jsonl").string();
+  {
+    core::EventBus bus;
+    core::JsonlTelemetrySink sink(telemetry_path);
+    ASSERT_TRUE(sink.ok());
+    bus.subscribe(&sink);
+
+    Server server(server_options(), &bus);
+    std::string error;
+    ASSERT_TRUE(server.start(&error)) << error;
+    ServeClient client;
+    ASSERT_TRUE(client.connect(server.endpoint(), 10.0, &error)) << error;
+    const auto id = client.send_request(4, 2);
+    ServeClient::Completion completion;
+    ASSERT_TRUE(client.wait(id, &completion, 30.0));
+    client.close();
+    server.drain_and_stop();
+  }
+  std::ifstream in(telemetry_path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"event\":\"serve_request\""), std::string::npos);
+  EXPECT_NE(all.find("\"event\":\"serve_batch\""), std::string::npos);
+  EXPECT_NE(all.find("\"cache_hit\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cellgan::serve

@@ -1,0 +1,110 @@
+// serve/model_cache: warm-hit identity, mtime-invalidation reload, LRU
+// eviction at capacity, and the error surface for missing/corrupt files.
+#include "serve/model_cache.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/checkpoint.hpp"
+#include "serve/serve_testsupport.hpp"
+#include "testsupport/temp_dir.hpp"
+
+namespace cellgan::serve {
+namespace {
+
+using serve_test::synthetic_checkpoint;
+
+std::string write_checkpoint(const std::filesystem::path& dir,
+                             const std::string& name, std::uint64_t seed) {
+  const std::string path = (dir / name).string();
+  EXPECT_TRUE(core::save_checkpoint(path, synthetic_checkpoint(seed)));
+  return path;
+}
+
+TEST(ModelCache, MissThenHitReturnsSameModelInstance) {
+  testsupport::TempDir dir("model_cache");
+  const auto path = write_checkpoint(dir.path(), "a.ckpt", 1);
+
+  ModelCache cache(2);
+  const auto first = cache.get(path);
+  ASSERT_NE(first.model, nullptr) << first.error;
+  EXPECT_FALSE(first.hit);
+
+  const auto second = cache.get(path);
+  ASSERT_NE(second.model, nullptr);
+  EXPECT_TRUE(second.hit);
+  EXPECT_EQ(first.model.get(), second.model.get());  // warm = same instance
+
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(ModelCache, MtimeChangeForcesReload) {
+  testsupport::TempDir dir("model_cache");
+  const auto path = write_checkpoint(dir.path(), "a.ckpt", 1);
+
+  ModelCache cache(2);
+  const auto before = cache.get(path);
+  ASSERT_NE(before.model, nullptr);
+
+  // Rewrite the file with different parameters and push the mtime forward
+  // (filesystem clocks can be coarse; an explicit bump removes the race).
+  ASSERT_TRUE(core::save_checkpoint(path, synthetic_checkpoint(2)));
+  std::filesystem::last_write_time(
+      path, std::filesystem::last_write_time(path) + std::chrono::seconds(2));
+
+  const auto after = cache.get(path);
+  ASSERT_NE(after.model, nullptr);
+  EXPECT_FALSE(after.hit);  // stale entry dropped, fresh load
+  EXPECT_NE(before.model.get(), after.model.get());
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Samples differ because the parameters differ — the reload was real.
+  EXPECT_FALSE(serve_test::bit_identical(before.model->sample(4, 9),
+                                         after.model->sample(4, 9)));
+}
+
+TEST(ModelCache, LruEvictsLeastRecentlyUsedAtCapacity) {
+  testsupport::TempDir dir("model_cache");
+  const auto a = write_checkpoint(dir.path(), "a.ckpt", 1);
+  const auto b = write_checkpoint(dir.path(), "b.ckpt", 2);
+  const auto c = write_checkpoint(dir.path(), "c.ckpt", 3);
+
+  ModelCache cache(2);
+  ASSERT_NE(cache.get(a).model, nullptr);
+  ASSERT_NE(cache.get(b).model, nullptr);
+  EXPECT_TRUE(cache.get(a).hit);  // touch a; b becomes LRU
+
+  ASSERT_NE(cache.get(c).model, nullptr);  // evicts b
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  EXPECT_TRUE(cache.get(a).hit);
+  EXPECT_FALSE(cache.get(b).hit);  // b was evicted: miss again
+}
+
+TEST(ModelCache, MissingFileReportsError) {
+  ModelCache cache(2);
+  const auto lookup = cache.get("/nonexistent/nope.ckpt");
+  EXPECT_EQ(lookup.model, nullptr);
+  EXPECT_FALSE(lookup.error.empty());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ModelCache, CorruptFileReportsError) {
+  testsupport::TempDir dir("model_cache");
+  const auto path = (dir.path() / "junk.ckpt").string();
+  std::ofstream(path) << "this is not a checkpoint";
+
+  ModelCache cache(2);
+  const auto lookup = cache.get(path);
+  EXPECT_EQ(lookup.model, nullptr);
+  EXPECT_FALSE(lookup.error.empty());
+  EXPECT_EQ(cache.size(), 0u);  // failures are not cached
+}
+
+}  // namespace
+}  // namespace cellgan::serve
