@@ -6,7 +6,8 @@
 # --bench additionally runs the perf bed at reduced scale and records the
 # numbers (BENCH_parallel.json, the unified-runner RunResult
 # BENCH_session.json, the Table II metric sweep BENCH_metrics.json, the
-# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json, the serving-plane
+# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json, the legacy-vs-store
+# data-plane sweep BENCH_datastore.json, the serving-plane
 # latency/QPS sweep BENCH_serving.json with its telemetry stream
 # SMOKE_serving.jsonl, and a smoke-run telemetry stream
 # SMOKE_telemetry.jsonl in the build dir), so perf and quality PRs can show
@@ -36,6 +37,12 @@ echo "=== tier1 bed with CELLGAN_TENSOR_KERNEL=scalar ==="
 CELLGAN_TENSOR_KERNEL=scalar ctest --output-on-failure -j "$JOBS" -L tier1
 echo "=== tier1 bed with CELLGAN_TENSOR_KERNEL=simd ==="
 CELLGAN_TENSOR_KERNEL=simd ctest --output-on-failure -j "$JOBS" -L tier1
+
+# Same discipline for the data plane: every `--data-plane auto` consumer must
+# behave identically when the process default flips to the shared SampleStore,
+# so run the tier-1 bed once with the store plane forced.
+echo "=== tier1 bed with CELLGAN_DATA_PLANE=store ==="
+CELLGAN_DATA_PLANE=store ctest --output-on-failure -j "$JOBS" -L tier1
 
 # The label machinery must keep covering the whole bed: a tier-1 run that
 # silently matches zero (or few) tests would let label-filtered CI jobs pass
@@ -103,6 +110,13 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --json "$BUILD/BENCH_tensor.json"
   grep -q '"best_single_thread_gemm_speedup"' "$BUILD/BENCH_tensor.json" || {
     echo "error: BENCH_tensor.json missing the kernel speedup summary" >&2
+    exit 1
+  }
+  echo "=== bench: data_plane (legacy vs store sweep) -> BENCH_datastore.json ==="
+  ./bench/data_plane --samples 1000 --iterations 3 --lanes 1,2,4 \
+    --feed-epochs 10 --json "$BUILD/BENCH_datastore.json"
+  grep -q '"parity": true' "$BUILD/BENCH_datastore.json" || {
+    echo "error: store plane is not bit-identical to the legacy loader" >&2
     exit 1
   }
   echo "=== bench: serve_load (QPS sweep, in-process server) -> BENCH_serving.json ==="

@@ -38,7 +38,8 @@ CellTrainer::CellTrainer(const TrainingConfig& config, const Grid& grid, int cel
       context_(context),
       rng_(rng),
       diet_(make_diet(config_, dataset, rng_)),
-      loader_(diet_ ? *diet_ : dataset, config.batch_size),
+      feed_(datastore::make_feed(config.data_plane, diet_ ? *diet_ : dataset,
+                                 config.batch_size)),
       generator_(nn::make_generator(config.arch, rng_)),
       discriminator_(nn::make_discriminator(config.arch, rng_)),
       g_optimizer_(config.initial_learning_rate),
@@ -49,7 +50,7 @@ CellTrainer::CellTrainer(const TrainingConfig& config, const Grid& grid, int cel
       subpop_ids_(grid.neighbors_of(cell_id)),
       mixture_(grid.subpopulation_size(cell_id)) {
   CG_EXPECT(dataset.images.cols() == config_.arch.image_dim);
-  loader_.reshuffle(rng_);
+  feed_->reshuffle(rng_);
   evaluate_center_fitness();
 }
 
@@ -181,11 +182,11 @@ void CellTrainer::train() {
   }
 
   for (std::uint32_t b = 0; b < config_.batches_per_iteration; ++b) {
-    if (next_batch_ >= loader_.batches_per_epoch()) {
-      loader_.reshuffle(rng_);
+    if (next_batch_ >= feed_->batches_per_epoch()) {
+      feed_->reshuffle(rng_);
       next_batch_ = 0;
     }
-    const tensor::Tensor real = loader_.batch(next_batch_++);
+    const tensor::Tensor real = feed_->batch(next_batch_++);
 
     // Train the center generator against a tournament-selected discriminator.
     const std::size_t d_pick =
@@ -218,11 +219,11 @@ void CellTrainer::train() {
 }
 
 void CellTrainer::evaluate_center_fitness() {
-  if (next_batch_ >= loader_.batches_per_epoch()) {
-    loader_.reshuffle(rng_);
+  if (next_batch_ >= feed_->batches_per_epoch()) {
+    feed_->reshuffle(rng_);
     next_batch_ = 0;
   }
-  const tensor::Tensor real = loader_.batch(next_batch_);
+  const tensor::Tensor real = feed_->batch(next_batch_);
   const std::size_t eval_n =
       std::min<std::size_t>(config_.fitness_eval_samples, real.rows());
   const tensor::Tensor eval_real = real.slice_rows(0, eval_n);
@@ -328,7 +329,7 @@ std::vector<std::uint8_t> CellTrainer::serialize_training_state() {
   for (const std::uint64_t word : rng.s) w.write(word);
   w.write(rng.cached_normal);
   w.write<std::uint8_t>(rng.has_cached_normal ? 1 : 0);
-  w.write_vector(loader_.order());
+  w.write_vector(feed_->order());
   w.write<std::uint64_t>(next_batch_);
   w.write<std::uint64_t>(subpop_.size());
   for (const auto& slot : subpop_) {
@@ -370,7 +371,7 @@ void CellTrainer::restore_training_state(std::span<const std::uint8_t> bytes) {
   rng.cached_normal = r.read<double>();
   rng.has_cached_normal = r.read<std::uint8_t>() != 0;
   rng_.restore_state(rng);
-  loader_.restore_order(r.read_vector<std::uint32_t>());
+  feed_->restore_order(r.read_vector<std::uint32_t>());
   next_batch_ = static_cast<std::size_t>(r.read<std::uint64_t>());
   const auto slots = r.read<std::uint64_t>();
   CG_EXPECT(slots == subpop_.size());  // same config + grid topology

@@ -33,7 +33,8 @@
 #include "core/genome.hpp"
 #include "core/mixture.hpp"
 #include "core/observer.hpp"
-#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "datastore/batch_feed.hpp"
 #include "nn/gan_models.hpp"
 #include "nn/optimizer.hpp"
 
@@ -127,9 +128,11 @@ class CellTrainer {
   ExecContext context_;  // pointers inside must outlive the trainer
   common::Rng rng_;
 
-  /// Owned subsample when data dieting is on (must precede loader_).
+  /// Owned subsample when data dieting is on (must precede feed_).
   std::optional<data::Dataset> diet_;
-  data::DataLoader loader_;
+  /// Batch source — legacy DataLoader or prefetching StoreFeed, selected by
+  /// config_.data_plane. Both planes are bit-identical (parity suites).
+  std::unique_ptr<datastore::BatchFeed> feed_;
   std::size_t next_batch_ = 0;
 
   nn::Sequential generator_;

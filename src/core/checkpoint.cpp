@@ -14,7 +14,8 @@ namespace cellgan::core {
 namespace {
 constexpr std::uint32_t kMagic = 0xCE11'6A17;  // "cell gan"
 // v2: TrainingConfig gained genome_record_every (observer record cadence).
-constexpr std::uint32_t kVersion = 2;
+// v3: TrainingConfig gained data_plane (legacy loader vs shared SampleStore).
+constexpr std::uint32_t kVersion = 3;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {

@@ -57,6 +57,7 @@ std::vector<std::uint8_t> TrainingConfig::serialize() const {
   w.write(genome_record_every);
   w.write(genome_record_every_b);
   w.write(forward_records);
+  w.write(static_cast<std::uint32_t>(data_plane));
   w.write(seed);
   return w.take();
 }
@@ -87,6 +88,7 @@ TrainingConfig TrainingConfig::deserialize(std::span<const std::uint8_t> bytes) 
   c.genome_record_every = r.read<std::uint32_t>();
   c.genome_record_every_b = r.read<std::uint32_t>();
   c.forward_records = r.read<std::uint32_t>();
+  c.data_plane = static_cast<datastore::DataPlane>(r.read<std::uint32_t>());
   c.seed = r.read<std::uint64_t>();
   CG_ENSURE(r.exhausted());
   return c;

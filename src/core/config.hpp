@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "datastore/data_plane.hpp"
 #include "nn/gan_models.hpp"
 
 namespace cellgan::core {
@@ -84,6 +85,11 @@ struct TrainingConfig {
   /// a TrainObserver is subscribed at rank 0, telling slaves to forward
   /// per-epoch records at all. Keeps unobserved runs free of record traffic.
   std::uint32_t forward_records = 0;
+  /// Which data plane serves training batches: the legacy per-trainer
+  /// DataLoader or the shared prefetching SampleStore. kAuto defers to the
+  /// CELLGAN_DATA_PLANE environment variable (default legacy). Bit-identical
+  /// trajectories either way; broadcast so distributed slaves agree.
+  datastore::DataPlane data_plane = datastore::DataPlane::kAuto;
   std::uint64_t seed = 42;
 
   std::uint32_t grid_cells() const { return grid_rows * grid_cols; }

@@ -137,6 +137,10 @@ void EventBus::serve_batch(const ServeBatchRecord& record) {
   for (auto* observer : observers_) observer->on_serve_batch(record);
 }
 
+void EventBus::data_store(const DataStoreRecord& record) {
+  for (auto* observer : observers_) observer->on_data_store(record);
+}
+
 // --- JsonlTelemetrySink -----------------------------------------------------
 
 namespace {
@@ -280,6 +284,18 @@ void JsonlTelemetrySink::on_serve_batch(const ServeBatchRecord& record) {
   append_json_number(line, record.delay_us);
   line += ",\"forward_us\":";
   append_json_number(line, record.forward_us);
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_data_store(const DataStoreRecord& record) {
+  std::string line = "{\"event\":\"data_store\",\"bytes_mapped\":";
+  line += std::to_string(record.bytes_mapped);
+  line += ",\"prefetch_hits\":" + std::to_string(record.prefetch_hits);
+  line += ",\"prefetch_waits\":" + std::to_string(record.prefetch_waits);
+  line += ",\"prefetch_stalls\":" + std::to_string(record.prefetch_stalls);
+  line += ",\"staged_batches\":" + std::to_string(record.staged_batches);
+  line += ",\"staging_depth\":" + std::to_string(record.staging_depth);
   line += "}";
   write_line(line);
 }

@@ -134,6 +134,20 @@ struct ServeBatchRecord {
   double forward_us = 0.0;
 };
 
+/// Data-plane activity of one run — the delta of datastore::stats() across
+/// the run, published by the Session after the backend finishes (only when
+/// the store plane did any work). Shows how batches were served: bytes kept
+/// mmapped, how often training found its batch pre-staged (hits) vs. waited
+/// on an in-flight stage vs. staged synchronously (stalls).
+struct DataStoreRecord {
+  std::uint64_t bytes_mapped = 0;
+  std::uint64_t prefetch_hits = 0;
+  std::uint64_t prefetch_waits = 0;
+  std::uint64_t prefetch_stalls = 0;
+  std::uint64_t staged_batches = 0;
+  std::uint64_t staging_depth = 0;  ///< max outstanding ring slots seen
+};
+
 /// What a run is, announced once before the first epoch.
 struct RunInfo {
   std::string backend;  ///< registered backend name
@@ -168,6 +182,7 @@ class TrainObserver {
   virtual void on_run_completed(const RunSummary& /*summary*/) {}
   virtual void on_serve_request(const ServeRequestRecord& /*record*/) {}
   virtual void on_serve_batch(const ServeBatchRecord& /*record*/) {}
+  virtual void on_data_store(const DataStoreRecord& /*record*/) {}
 
   /// Evaluators return the snapshot they computed for the epoch just
   /// completed; the bus then publishes it to every observer (so e.g. the
@@ -202,6 +217,7 @@ class EventBus {
   /// stream: the serve batcher publishes from its one worker thread only.
   void serve_request(const ServeRequestRecord& record);
   void serve_batch(const ServeBatchRecord& record);
+  void data_store(const DataStoreRecord& record);
 
  private:
   std::vector<TrainObserver*> observers_;
@@ -228,6 +244,7 @@ class JsonlTelemetrySink final : public TrainObserver {
   void on_run_completed(const RunSummary& summary) override;
   void on_serve_request(const ServeRequestRecord& record) override;
   void on_serve_batch(const ServeBatchRecord& record) override;
+  void on_data_store(const DataStoreRecord& record) override;
 
  private:
   void write_line(const std::string& line);

@@ -224,6 +224,10 @@ void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
   cli.add_flag("tensor-kernel", to_string(defaults.tensor_kernel),
                "tensor microkernels: auto (env/default) | scalar (bit-exact"
                " reference) | simd (packed vectorized)");
+  cli.add_flag("data-plane", datastore::to_string(defaults.config.data_plane),
+               "batch source: auto (CELLGAN_DATA_PLANE/legacy) | legacy"
+               " (per-trainer DataLoader) | store (shared prefetching"
+               " SampleStore); bit-identical trajectories");
   cli.add_flag("eval-every", std::to_string(defaults.observers.eval_every),
                "compute IS/FID/mode coverage every N epochs (0 = off; needs a"
                " metric evaluator, attached by cellgan_run / table2_metrics)");
@@ -355,6 +359,15 @@ std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
       return std::nullopt;
     }
     spec.tensor_kernel = *kernel;
+  }
+  if (cli.was_set("data-plane")) {
+    const auto plane = datastore::data_plane_from_string(cli.get("data-plane"));
+    if (!plane) {
+      std::fprintf(stderr, "unknown data plane '%s' (want auto | legacy |"
+                   " store)\n", cli.get("data-plane").c_str());
+      return std::nullopt;
+    }
+    spec.config.data_plane = *plane;
   }
   if (cli.was_set("eval-every")) {
     spec.observers.eval_every = static_cast<std::uint32_t>(int_flag("eval-every", 0));
@@ -522,6 +535,13 @@ bool apply_config_key(JsonReader& reader, const std::string& key,
     }
     return true;
   }
+  if (key == "data_plane") {
+    if (!reader.read_string(value)) return false;
+    const auto plane = datastore::data_plane_from_string(value);
+    if (!plane) return reader.fail("unknown data_plane '" + value + "'");
+    config.data_plane = *plane;
+    return true;
+  }
   if (!reader.read_number(value)) return false;
   std::size_t* size_field = key == "latent_dim"      ? &config.arch.latent_dim
                             : key == "hidden_dim"    ? &config.arch.hidden_dim
@@ -643,6 +663,8 @@ std::string RunSpec::to_text() const {
   out << "    \"genome_record_every\": " << config.genome_record_every << ",\n";
   out << "    \"genome_record_every_b\": " << config.genome_record_every_b
       << ",\n";
+  out << "    \"data_plane\": \"" << datastore::to_string(config.data_plane)
+      << "\",\n";
   out << "    \"seed\": " << config.seed << "\n";
   out << "  }\n";
   out << "}\n";

@@ -17,6 +17,8 @@
 #include "core/parallel_trainer.hpp"
 #include "core/sequential_trainer.hpp"
 #include "core/workload.hpp"
+#include "datastore/errors.hpp"
+#include "datastore/stats.hpp"
 #include "nn/gan_models.hpp"
 #include "tensor/kernels.hpp"
 
@@ -397,6 +399,18 @@ bool Session::prepare() {
       }
       train_set_ = data::downsampled(train_set_, side);
       test_set_ = data::downsampled(test_set_, side);
+    } else {
+      // Full-resolution IDX training data: bind the mmap-backed store so
+      // store-plane feeds stage from the mapped bytes instead of a second
+      // float copy. Best-effort — on failure feeds fall back to the
+      // float-backed store over train_set_.
+      try {
+        idx_store_ = datastore::SampleStore::bind_idx(
+            train_set_, spec_.dataset.idx_dir + "/train-images-idx3-ubyte");
+      } catch (const datastore::DataStoreError& e) {
+        common::log_warn() << "could not mmap-bind IDX training images: "
+                           << e.what();
+      }
     }
   }
 
@@ -499,7 +513,22 @@ RunResult Session::run() {
     throw std::runtime_error(error_);
   }
   observers_.run_started(RunInfo{to_string(spec_.backend), spec_.config});
+  const datastore::StatsSnapshot store_before = datastore::stats().snapshot();
   RunResult result = backend->run();
+  // Publish the run's data-plane activity (counter deltas) when the store
+  // plane did any work; legacy-plane runs skip the event entirely.
+  const datastore::StatsSnapshot store_after = datastore::stats().snapshot();
+  if (store_after != store_before) {
+    DataStoreRecord record;
+    record.bytes_mapped = store_after.bytes_mapped;
+    record.prefetch_hits = store_after.prefetch_hits - store_before.prefetch_hits;
+    record.prefetch_waits = store_after.prefetch_waits - store_before.prefetch_waits;
+    record.prefetch_stalls =
+        store_after.prefetch_stalls - store_before.prefetch_stalls;
+    record.staged_batches = store_after.staged_batches - store_before.staged_batches;
+    record.staging_depth = store_after.staging_depth;
+    observers_.data_store(record);
+  }
   // Harvest the final metric snapshot from whichever evaluator subscribed.
   for (TrainObserver* observer : observers_.observers()) {
     if (auto snapshot = observer->final_metrics()) {

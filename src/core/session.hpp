@@ -30,6 +30,7 @@
 #include "core/run_spec.hpp"
 #include "core/trainer_core.hpp"
 #include "data/dataset.hpp"
+#include "datastore/sample_store.hpp"
 
 namespace cellgan::core {
 
@@ -227,6 +228,10 @@ class Session {
   std::string error_;
   data::Dataset train_set_;
   data::Dataset test_set_;
+  /// mmap-backed SampleStore bound to train_set_ when the spec resolved full-
+  /// resolution IDX files: keeps the binding (and the mapping) alive so store-
+  /// plane feeds stage straight from the kernel page cache.
+  std::shared_ptr<datastore::SampleStore> idx_store_;
   const data::Dataset* external_train_ = nullptr;
   const data::Dataset* external_test_ = nullptr;
   CostModel cost_model_;

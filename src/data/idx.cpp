@@ -35,6 +35,15 @@ bool write_u32_be(std::FILE* f, std::uint32_t value) {
   return std::fwrite(b, 1, 4, f) == 4;
 }
 
+/// Actual byte size of the (already-open) file, or -1 on seek failure.
+long file_size(std::FILE* f) {
+  const long pos = std::ftell(f);
+  if (pos < 0 || std::fseek(f, 0, SEEK_END) != 0) return -1;
+  const long size = std::ftell(f);
+  if (std::fseek(f, pos, SEEK_SET) != 0) return -1;
+  return size;
+}
+
 }  // namespace
 
 bool read_idx_images(const std::string& path, IdxImages& out) {
@@ -47,10 +56,23 @@ bool read_idx_images(const std::string& path, IdxImages& out) {
   }
   if (!read_u32_be(f.get(), out.count) || !read_u32_be(f.get(), out.rows) ||
       !read_u32_be(f.get(), out.cols)) {
+    common::log_warn() << "idx: truncated image header in " << path;
     return false;
   }
+  // Validate the declared shape against the real file size BEFORE allocating:
+  // a truncated download (or a corrupt count field) must be a named error,
+  // not a bad_alloc or a silent short read.
   const std::size_t total =
       std::size_t{out.count} * out.rows * out.cols;
+  const long size = file_size(f.get());
+  const std::size_t expected = 16 + total;
+  if (size < 0 || static_cast<std::size_t>(size) < expected) {
+    common::log_warn() << "idx: " << path << " is truncated: header declares "
+                       << out.count << " images of " << out.rows << "x"
+                       << out.cols << " (" << expected << " bytes) but the file"
+                       << " has " << size << " bytes";
+    return false;
+  }
   out.pixels.resize(total);
   return std::fread(out.pixels.data(), 1, total, f.get()) == total;
 }
@@ -63,7 +85,18 @@ bool read_idx_labels(const std::string& path, std::vector<std::uint8_t>& out) {
     common::log_warn() << "idx: bad label magic in " << path;
     return false;
   }
-  if (!read_u32_be(f.get(), count)) return false;
+  if (!read_u32_be(f.get(), count)) {
+    common::log_warn() << "idx: truncated label header in " << path;
+    return false;
+  }
+  const long size = file_size(f.get());
+  const std::size_t expected = 8 + std::size_t{count};
+  if (size < 0 || static_cast<std::size_t>(size) < expected) {
+    common::log_warn() << "idx: " << path << " is truncated: header declares "
+                       << count << " labels (" << expected << " bytes) but the"
+                       << " file has " << size << " bytes";
+    return false;
+  }
   out.resize(count);
   return std::fread(out.data(), 1, count, f.get()) == count;
 }

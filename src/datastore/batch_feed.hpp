@@ -1,0 +1,119 @@
+// BatchFeed — the seam between training loops and the data plane.
+//
+// CellTrainer consumes batches through this interface; which plane serves
+// them is a RunSpec/env switch (see data_plane.hpp):
+//
+//   * LegacyFeed forwards to data::DataLoader — byte-for-byte the historical
+//     path, the parity baseline.
+//   * StoreFeed reads a shared SampleStore through a generation-keyed ring of
+//     cache-aligned staging slots filled by the background Prefetcher, so the
+//     gather+normalize cost overlaps training compute.
+//
+// Contract (both planes, pinned by tests/datastore/prefetch_test.cpp):
+//   * construction leaves the identity order, like a fresh DataLoader;
+//   * reshuffle() consumes exactly the Rng draws DataLoader::reshuffle does;
+//   * batch(i) is repeatable — the trainer peeks an index in
+//     evaluate_center_fitness() and reads it again in train();
+//   * order()/restore_order() round-trip through checkpoints.
+// Feeds are single-consumer: all methods are called from the owning trainer's
+// thread. Cross-thread concurrency lives inside StoreFeed (prefetch workers).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "data/dataloader.hpp"
+#include "data/dataset.hpp"
+#include "datastore/data_plane.hpp"
+#include "datastore/sample_store.hpp"
+#include "datastore/shuffle_service.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::datastore {
+
+class BatchFeed {
+ public:
+  virtual ~BatchFeed() = default;
+
+  virtual DataPlane plane() const = 0;
+  virtual std::size_t batch_size() const = 0;
+  virtual std::size_t batches_per_epoch() const = 0;
+  virtual void reshuffle(common::Rng& rng) = 0;
+  virtual const std::vector<std::uint32_t>& order() const = 0;
+  virtual void restore_order(std::vector<std::uint32_t> order) = 0;
+  /// Materialize batch `index` of the current epoch. Repeatable: reading the
+  /// same index twice (peek, then consume) returns identical tensors.
+  virtual tensor::Tensor batch(std::size_t index) = 0;
+};
+
+/// The historical path: a thin forwarder around data::DataLoader.
+class LegacyFeed final : public BatchFeed {
+ public:
+  LegacyFeed(const data::Dataset& dataset, std::size_t batch_size)
+      : loader_(dataset, batch_size) {}
+
+  DataPlane plane() const override { return DataPlane::kLegacy; }
+  std::size_t batch_size() const override { return loader_.batch_size(); }
+  std::size_t batches_per_epoch() const override { return loader_.batches_per_epoch(); }
+  void reshuffle(common::Rng& rng) override { loader_.reshuffle(rng); }
+  const std::vector<std::uint32_t>& order() const override { return loader_.order(); }
+  void restore_order(std::vector<std::uint32_t> order) override {
+    loader_.restore_order(std::move(order));
+  }
+  tensor::Tensor batch(std::size_t index) override { return loader_.batch(index); }
+
+ private:
+  data::DataLoader loader_;
+};
+
+/// Store-served batches with background prefetch.
+///
+/// A ring of `depth` staging slots covers the next few batches of the current
+/// epoch order. Slots are keyed by (generation << 32 | batch index); every
+/// reshuffle/restore bumps the generation so stale in-flight work can never
+/// publish into the new epoch — a worker compares its captured key against the
+/// slot's before marking it ready and silently drops on mismatch. Row indices
+/// are snapshotted into the task at schedule time (on the consumer thread,
+/// which owns the order), so workers never read the mutable order vector.
+///
+/// batch(i): ready slot with matching key → copy out (hit); matching slot
+/// still in flight → wait on the slot condvar (wait); anything else → stage
+/// synchronously from the store (stall). Counters land in datastore::stats().
+class StoreFeed final : public BatchFeed {
+ public:
+  StoreFeed(std::shared_ptr<const SampleStore> store, std::size_t batch_size);
+  ~StoreFeed() override;
+
+  DataPlane plane() const override { return DataPlane::kStore; }
+  std::size_t batch_size() const override;
+  std::size_t batches_per_epoch() const override;
+  void reshuffle(common::Rng& rng) override;
+  const std::vector<std::uint32_t>& order() const override { return shuffle_.order(); }
+  void restore_order(std::vector<std::uint32_t> order) override;
+  tensor::Tensor batch(std::size_t index) override;
+
+  const SampleStore& store() const;
+
+ private:
+  struct State;
+
+  std::uint64_t key_of(std::size_t index) const;
+  /// Claim and enqueue staging for batches (index, index + depth - 1] that
+  /// are in range and not already covered. Never touches `index`'s own slot,
+  /// so a peeked batch stays resident for its second read.
+  void schedule_ahead(std::size_t index);
+  void schedule_one(std::size_t index);
+
+  ShuffleService shuffle_;
+  std::uint32_t generation_ = 0;
+  std::shared_ptr<State> state_;
+};
+
+/// Build the feed `plane` selects (resolving kAuto via CELLGAN_DATA_PLANE).
+/// Store feeds intern the process-wide SampleStore for `dataset`.
+std::unique_ptr<BatchFeed> make_feed(DataPlane plane, const data::Dataset& dataset,
+                                     std::size_t batch_size);
+
+}  // namespace cellgan::datastore

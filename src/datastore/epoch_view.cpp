@@ -1,0 +1,38 @@
+#include "datastore/epoch_view.hpp"
+
+#include "common/expect.hpp"
+
+namespace cellgan::datastore {
+
+EpochView::EpochView(std::shared_ptr<const SampleStore> store,
+                     std::span<const std::uint32_t> order, std::size_t batch_size)
+    : store_(std::move(store)), order_(order), batch_size_(batch_size) {
+  CG_EXPECT(store_ != nullptr);
+  CG_EXPECT(batch_size_ > 0);
+}
+
+void EpochView::stage_batch(std::size_t index, float* dst) const {
+  CG_EXPECT(index < batches());
+  const std::size_t dim = store_->sample_dim();
+  for (std::size_t i = 0; i < batch_size_; ++i) {
+    store_->stage_row(order_[index * batch_size_ + i], dst + i * dim);
+  }
+}
+
+tensor::Tensor EpochView::batch(std::size_t index) const {
+  tensor::Tensor out(batch_size_, store_->sample_dim());
+  stage_batch(index, out.data().data());
+  return out;
+}
+
+EpochView EpochView::shard(std::size_t lane, std::size_t lanes) const {
+  CG_EXPECT(lanes > 0 && lane < lanes);
+  const std::size_t total = batches();
+  const std::size_t begin = total * lane / lanes;
+  const std::size_t end = total * (lane + 1) / lanes;
+  return EpochView(store_,
+                   order_.subspan(begin * batch_size_, (end - begin) * batch_size_),
+                   batch_size_);
+}
+
+}  // namespace cellgan::datastore

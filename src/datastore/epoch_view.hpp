@@ -1,0 +1,51 @@
+// EpochView — a zero-copy, read-only window over one epoch's batch stream.
+//
+// A view binds (store, epoch order, batch size) without copying any sample
+// data; batch materialization gathers rows through the store's staging path
+// on demand. Views are value types safe to copy across threads, and every
+// method is const: any number of lanes can read overlapping or sharded views
+// of the same store concurrently (the ASan hammer suite pins this).
+//
+// shard(lane, lanes) splits the epoch's batches contiguously across lanes —
+// the per-rank partition a sharded consumer (bench sweeps, future
+// data-parallel modes) reads its slice through.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "datastore/sample_store.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::datastore {
+
+class EpochView {
+ public:
+  /// `order` must outlive the view (it lives in the owning ShuffleService /
+  /// test fixture); the store is kept alive by the shared_ptr.
+  EpochView(std::shared_ptr<const SampleStore> store,
+            std::span<const std::uint32_t> order, std::size_t batch_size);
+
+  std::size_t batch_size() const { return batch_size_; }
+  std::size_t sample_dim() const { return store_->sample_dim(); }
+  /// Full batches in this view (tail dropped, like the legacy loader).
+  std::size_t batches() const { return order_.size() / batch_size_; }
+
+  /// Stage batch `index` as batches()*sample_dim() floats into `dst`.
+  void stage_batch(std::size_t index, float* dst) const;
+
+  /// Materialize batch `index` as a fresh tensor (legacy-loader-identical).
+  tensor::Tensor batch(std::size_t index) const;
+
+  /// This lane's contiguous share of the view's batches. Lanes partition:
+  /// every batch belongs to exactly one lane, early lanes get the remainder.
+  EpochView shard(std::size_t lane, std::size_t lanes) const;
+
+ private:
+  std::shared_ptr<const SampleStore> store_;
+  std::span<const std::uint32_t> order_;
+  std::size_t batch_size_;
+};
+
+}  // namespace cellgan::datastore

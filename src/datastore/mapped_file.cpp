@@ -1,0 +1,75 @@
+#include "datastore/mapped_file.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "datastore/errors.hpp"
+
+namespace cellgan::datastore {
+
+MappedFile::MappedFile(const std::string& path) : path_(path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw MissingFileError("datastore: cannot open '" + path +
+                           "': " + std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw MappingError("datastore: fstat '" + path +
+                       "' failed: " + std::strerror(err));
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  if (size_ == 0) {
+    // mmap(0) is EINVAL; represent an empty file as an empty mapping and let
+    // the header validation produce the named TruncatedFileError.
+    ::close(fd);
+    return;
+  }
+  void* mapping = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  const int err = errno;
+  ::close(fd);  // the mapping keeps its own reference to the file
+  if (mapping == MAP_FAILED) {
+    size_ = 0;
+    throw MappingError("datastore: mmap '" + path +
+                       "' failed: " + std::strerror(err));
+  }
+  data_ = static_cast<const unsigned char*>(mapping);
+}
+
+MappedFile::~MappedFile() { unmap(); }
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : path_(std::move(other.path_)), data_(other.data_), size_(other.size_) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    path_ = std::move(other.path_);
+    data_ = other.data_;
+    size_ = other.size_;
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void MappedFile::unmap() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(data_), size_);
+    data_ = nullptr;
+  }
+  size_ = 0;
+}
+
+}  // namespace cellgan::datastore

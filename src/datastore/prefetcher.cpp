@@ -1,0 +1,79 @@
+#include "datastore/prefetcher.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+namespace cellgan::datastore {
+
+namespace {
+
+std::size_t configured_threads() {
+  const char* env = std::getenv("CELLGAN_PREFETCH_THREADS");
+  if (env != nullptr && *env != '\0') {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return std::min<std::size_t>(static_cast<std::size_t>(parsed), 16);
+  }
+  return 2;
+}
+
+}  // namespace
+
+Prefetcher& Prefetcher::global() {
+  // Leaked on purpose: feeds may enqueue from static-destruction-ordered
+  // contexts in tests; a leaked pool cannot be destroyed under them. The OS
+  // reclaims the threads at process exit.
+  static Prefetcher* pool = new Prefetcher(configured_threads());
+  return *pool;
+}
+
+Prefetcher::Prefetcher(std::size_t threads) {
+  workers_.reserve(std::max<std::size_t>(1, threads));
+  for (std::size_t i = 0; i < std::max<std::size_t>(1, threads); ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Prefetcher::~Prefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void Prefetcher::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void Prefetcher::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void Prefetcher::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace cellgan::datastore

@@ -1,0 +1,58 @@
+// Prefetcher — the shared background staging pool.
+//
+// One small process-wide pool of worker threads stages upcoming minibatches
+// while the training lanes compute, overlapping the gather+normalize cost
+// with GEMMs instead of paying it inline. The pool is deliberately separate
+// from common::ThreadPool: that pool's parallel_for blocks the caller, while
+// staging must be fire-and-forget with completion observed through the
+// feed's own slot state.
+//
+// Determinism: the pool never touches an Rng and never decides *what* to
+// stage — feeds enqueue fully-described tasks (store + snapshotted row
+// indices + destination slot), so scheduling jitter can only change *when* a
+// batch is ready, never its contents or the training trajectory.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cellgan::datastore {
+
+class Prefetcher {
+ public:
+  /// The process-wide pool, created on first use. Thread count comes from
+  /// CELLGAN_PREFETCH_THREADS (default 2, clamped to [1, 16]).
+  static Prefetcher& global();
+
+  explicit Prefetcher(std::size_t threads);
+  ~Prefetcher();
+
+  Prefetcher(const Prefetcher&) = delete;
+  Prefetcher& operator=(const Prefetcher&) = delete;
+
+  std::size_t threads() const { return workers_.size(); }
+
+  /// Run `task` on a worker thread. Tasks must not throw.
+  void enqueue(std::function<void()> task);
+
+  /// Block until every task enqueued so far has finished (tests/benches).
+  void drain();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::size_t running_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cellgan::datastore

@@ -1,0 +1,164 @@
+#include "datastore/sample_store.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/expect.hpp"
+#include "datastore/errors.hpp"
+#include "datastore/stats.hpp"
+
+namespace cellgan::datastore {
+
+namespace {
+
+constexpr std::uint32_t kImagesMagic = 0x00000803;  // idx3, ubyte
+constexpr std::size_t kHeaderBytes = 16;            // magic + count + rows + cols
+/// Sanity ceiling for one image side; a "dimension" above this is header
+/// corruption, not a plausible dataset. Also keeps rows*cols in 32 bits so
+/// the size arithmetic below cannot overflow.
+constexpr std::uint32_t kMaxSide = 1u << 15;
+
+std::uint32_t read_u32_be(const unsigned char* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+GlobalStats global_stats;
+
+/// Registry of live stores keyed by the dataset's float storage address.
+/// Entries are weak so the registry never extends a store's lifetime; a dead
+/// entry is simply replaced on the next lookup. The (size, dim) pair is
+/// checked on hits so a recycled allocation address with a different shape
+/// cannot alias a stale store.
+struct Registry {
+  std::mutex mutex;
+  std::map<const float*, std::weak_ptr<SampleStore>> stores;
+
+  static Registry& instance() {
+    static Registry registry;
+    return registry;
+  }
+};
+
+const float* dataset_key(const data::Dataset& dataset) {
+  return dataset.images.data().data();
+}
+
+}  // namespace
+
+GlobalStats& stats() { return global_stats; }
+
+std::shared_ptr<SampleStore> SampleStore::map_idx(const std::string& images_path) {
+  MappedFile mapping(images_path);  // throws MissingFileError / MappingError
+  if (mapping.size() < kHeaderBytes) {
+    throw TruncatedFileError("datastore: '" + images_path + "' holds " +
+                             std::to_string(mapping.size()) +
+                             " bytes, smaller than the 16-byte IDX header");
+  }
+  const unsigned char* head = mapping.data();
+  const std::uint32_t magic = read_u32_be(head);
+  if (magic != kImagesMagic) {
+    char hex[16];
+    std::snprintf(hex, sizeof(hex), "0x%08x", magic);
+    throw BadMagicError("datastore: '" + images_path + "' has magic " + hex +
+                        ", not idx3-ubyte (0x00000803)");
+  }
+  const std::uint32_t count = read_u32_be(head + 4);
+  const std::uint32_t rows = read_u32_be(head + 8);
+  const std::uint32_t cols = read_u32_be(head + 12);
+  if (rows == 0 || cols == 0 || rows > kMaxSide || cols > kMaxSide) {
+    throw BadMagicError("datastore: '" + images_path +
+                        "' declares implausible image dimensions " +
+                        std::to_string(rows) + "x" + std::to_string(cols));
+  }
+  if (count == 0) {
+    throw EmptyStoreError("datastore: '" + images_path +
+                          "' declares zero samples");
+  }
+  // Validate the payload against the real file size before trusting `count`
+  // anywhere: division instead of count*rows*cols sidesteps overflow from a
+  // garbage header.
+  const std::uint64_t row_bytes = std::uint64_t{rows} * cols;
+  const std::uint64_t available = mapping.size() - kHeaderBytes;
+  if (count > available / row_bytes) {
+    throw TruncatedFileError(
+        "datastore: '" + images_path + "' is truncated: header declares " +
+        std::to_string(count) + " images of " + std::to_string(row_bytes) +
+        " bytes but only " + std::to_string(available) +
+        " payload bytes are on disk");
+  }
+
+  auto store = std::shared_ptr<SampleStore>(new SampleStore());
+  store->samples_ = count;
+  store->dim_ = static_cast<std::size_t>(row_bytes);
+  store->mapping_ = std::move(mapping);
+  store->pixels_ = store->mapping_->data() + kHeaderBytes;
+  global_stats.bytes_mapped.value.fetch_add(store->mapping_->size(),
+                                            std::memory_order_relaxed);
+  global_stats.stores_created.value.fetch_add(1, std::memory_order_relaxed);
+  return store;
+}
+
+std::shared_ptr<SampleStore> SampleStore::adopt(const data::Dataset& dataset) {
+  CG_EXPECT(dataset.size() > 0);
+  auto store = std::shared_ptr<SampleStore>(new SampleStore());
+  store->samples_ = dataset.size();
+  store->dim_ = dataset.images.cols();
+  store->floats_ = dataset.images.data().data();
+  global_stats.stores_created.value.fetch_add(1, std::memory_order_relaxed);
+  return store;
+}
+
+std::shared_ptr<SampleStore> SampleStore::for_dataset(const data::Dataset& dataset) {
+  Registry& registry = Registry::instance();
+  const float* key = dataset_key(dataset);
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto it = registry.stores.find(key);
+  if (it != registry.stores.end()) {
+    if (auto live = it->second.lock();
+        live != nullptr && live->samples() == dataset.size() &&
+        live->sample_dim() == dataset.images.cols()) {
+      return live;
+    }
+  }
+  auto store = adopt(dataset);
+  registry.stores[key] = store;
+  return store;
+}
+
+std::shared_ptr<SampleStore> SampleStore::bind_idx(const data::Dataset& dataset,
+                                                   const std::string& images_path) {
+  auto store = map_idx(images_path);
+  if (store->samples() != dataset.size() ||
+      store->sample_dim() != dataset.images.cols()) {
+    throw DataStoreError(
+        "datastore: '" + images_path + "' shape (" +
+        std::to_string(store->samples()) + " x " +
+        std::to_string(store->sample_dim()) +
+        ") does not match the dataset it should back (" +
+        std::to_string(dataset.size()) + " x " +
+        std::to_string(dataset.images.cols()) + ")");
+  }
+  Registry& registry = Registry::instance();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  registry.stores[dataset_key(dataset)] = store;
+  return store;
+}
+
+void SampleStore::stage_row(std::size_t row, float* dst) const {
+  CG_EXPECT(row < samples_);
+  if (pixels_ != nullptr) {
+    const unsigned char* src = pixels_ + row * dim_;
+    for (std::size_t j = 0; j < dim_; ++j) {
+      // bytes 0..255 -> [-1, 1]; must stay the exact expression
+      // data::load_idx_pair uses so staged floats are bit-identical.
+      dst[j] = static_cast<float>(src[j]) / 127.5f - 1.0f;
+    }
+  } else {
+    std::memcpy(dst, floats_ + row * dim_, dim_ * sizeof(float));
+  }
+}
+
+}  // namespace cellgan::datastore

@@ -1,0 +1,13 @@
+#include "datastore/shuffle_service.hpp"
+
+namespace cellgan::datastore {
+
+ShuffleService::ShuffleService(std::size_t samples) : order_(samples) {
+  for (std::size_t i = 0; i < samples; ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+}
+
+void ShuffleService::reshuffle(common::Rng& rng) { rng.shuffle(order_); }
+
+}  // namespace cellgan::datastore

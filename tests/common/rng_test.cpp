@@ -141,6 +141,27 @@ TEST(RngTest, ShuffleIsAPermutation) {
   for (std::uint32_t i = 0; i < 100; ++i) EXPECT_EQ(sorted[i], i);
 }
 
+TEST(RngTest, ShuffleOrderIsPinnedForever) {
+  // The historical Fisher-Yates order for seed 1234, n = 16 — two consecutive
+  // epochs from one stream. This is the ONE shuffle implementation in the
+  // system: data::DataLoader::reshuffle and datastore::ShuffleService both
+  // delegate here, and every legacy-vs-store data-plane parity guarantee (and
+  // every past checkpoint's saved epoch order) assumes these exact values.
+  // If this test fails, the change broke replay compatibility — revert it.
+  Rng rng(1234);
+  std::vector<std::uint32_t> v(16);
+  for (std::uint32_t i = 0; i < 16; ++i) v[i] = i;
+  rng.shuffle(v);
+  const std::vector<std::uint32_t> epoch1{0, 9,  7, 12, 11, 4,  2,  6,
+                                          1, 14, 13, 8, 15, 5, 10, 3};
+  EXPECT_EQ(v, epoch1);
+  for (std::uint32_t i = 0; i < 16; ++i) v[i] = i;
+  rng.shuffle(v);
+  const std::vector<std::uint32_t> epoch2{10, 1,  7,  5, 6, 3,  13, 15,
+                                          8,  14, 12, 2, 0, 11, 4,  9};
+  EXPECT_EQ(v, epoch2);
+}
+
 TEST(RngTest, ShuffleActuallyShuffles) {
   Rng rng(41);
   std::vector<std::uint32_t> v(100);

@@ -173,9 +173,28 @@ TEST(RunSpecTest, PaperArchFlag) {
   EXPECT_EQ(noop->config.batch_size, 50u);
 }
 
+TEST(RunSpecTest, DataPlaneFlagAndTextRoundTrip) {
+  RunSpec defaults;
+  EXPECT_EQ(defaults.config.data_plane, datastore::DataPlane::kAuto);
+  const auto store = parse_args({"--data-plane", "store"}, defaults);
+  ASSERT_TRUE(store.has_value());
+  EXPECT_EQ(store->config.data_plane, datastore::DataPlane::kStore);
+  const auto legacy = parse_args({"--data-plane", "legacy"}, defaults);
+  ASSERT_TRUE(legacy.has_value());
+  EXPECT_EQ(legacy->config.data_plane, datastore::DataPlane::kLegacy);
+
+  // JSON text form round-trips the plane, so saved specs replay on it.
+  std::string error;
+  const auto reparsed = RunSpec::from_text(store->to_text(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(reparsed->config.data_plane, datastore::DataPlane::kStore);
+  EXPECT_EQ(*reparsed, *store);
+}
+
 TEST(RunSpecTest, BadValuesAreRejected) {
   RunSpec defaults;
   EXPECT_FALSE(parse_args({"--backend", "gpu"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--data-plane", "turbo"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--loss", "wasserstein"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--dataset", "nope"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--cost-profile", "table9"}, defaults).has_value());

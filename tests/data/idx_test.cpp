@@ -80,6 +80,41 @@ TEST_F(IdxTest, TruncatedFileFails) {
   EXPECT_FALSE(read_idx_images(path("full"), loaded));
 }
 
+TEST_F(IdxTest, HugeDeclaredCountRejectedBeforeAllocating) {
+  // A corrupt header declaring ~4G images over a 16-byte file must fail the
+  // size check up front — never resize the pixel vector to petabytes first.
+  std::FILE* f = std::fopen(path("huge").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::uint8_t header[16] = {0, 0, 8, 3,              // idx3 magic
+                                   0xFF, 0xFF, 0xFF, 0xFF,  // count
+                                   0, 0, 0, 28, 0, 0, 0, 28};
+  ASSERT_EQ(std::fwrite(header, 1, 16, f), 16u);
+  std::fclose(f);
+  IdxImages loaded;
+  EXPECT_FALSE(read_idx_images(path("huge"), loaded));
+  EXPECT_TRUE(loaded.pixels.empty());
+}
+
+TEST_F(IdxTest, TruncatedLabelFileFails) {
+  ASSERT_TRUE(write_idx_labels(path("lab"), {1, 2, 3, 4, 5, 6, 7, 8}));
+  const auto full_size = std::filesystem::file_size(path("lab"));
+  std::filesystem::resize_file(path("lab"), full_size - 3);
+  std::vector<std::uint8_t> loaded;
+  EXPECT_FALSE(read_idx_labels(path("lab"), loaded));
+}
+
+TEST_F(IdxTest, HeaderOnlyImageFileFails) {
+  IdxImages images;
+  images.count = 2;
+  images.rows = 3;
+  images.cols = 3;
+  images.pixels.resize(18, 9);
+  ASSERT_TRUE(write_idx_images(path("hdr"), images));
+  std::filesystem::resize_file(path("hdr"), 16);  // keep only the header
+  IdxImages loaded;
+  EXPECT_FALSE(read_idx_images(path("hdr"), loaded));
+}
+
 TEST_F(IdxTest, EmptyLabelsRoundtrip) {
   ASSERT_TRUE(write_idx_labels(path("empty"), {}));
   std::vector<std::uint8_t> loaded{1, 2, 3};

@@ -1,0 +1,187 @@
+// SampleStore: mmap ingest validation (every named failure path), staging
+// bit-identity against the legacy IDX loader, and registry interning.
+#include "datastore/sample_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "data/dataset.hpp"
+#include "data/idx.hpp"
+#include "data/synthetic_mnist.hpp"
+#include "datastore/errors.hpp"
+#include "datastore/stats.hpp"
+#include "testsupport/temp_dir.hpp"
+
+namespace cellgan::datastore {
+namespace {
+
+class SampleStoreTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) const { return tmp_.file(name).string(); }
+
+  /// Write a deterministic idx3-ubyte image file with `count` samples.
+  std::string write_images(const char* name, std::uint32_t count,
+                           std::uint32_t side = 28) {
+    data::IdxImages images;
+    images.count = count;
+    images.rows = side;
+    images.cols = side;
+    images.pixels.resize(std::size_t{count} * side * side);
+    for (std::size_t i = 0; i < images.pixels.size(); ++i) {
+      images.pixels[i] = static_cast<std::uint8_t>((i * 7 + 13) % 256);
+    }
+    const std::string p = path(name);
+    EXPECT_TRUE(data::write_idx_images(p, images));
+    return p;
+  }
+
+  testsupport::TempDir tmp_{"cellgan_store"};
+};
+
+TEST_F(SampleStoreTest, MapIdxStagesBitIdenticalToLegacyLoader) {
+  // Build a complete MNIST-shaped IDX quartet, load it through the legacy
+  // data::load_mnist_idx pipeline, and check the store's staged floats match
+  // the loader's normalization bit for bit — the foundation of every
+  // legacy-vs-store parity guarantee.
+  write_images("train-images-idx3-ubyte", 12);
+  write_images("t10k-images-idx3-ubyte", 4);
+  ASSERT_TRUE(data::write_idx_labels(path("train-labels-idx1-ubyte"),
+                                     {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1}));
+  ASSERT_TRUE(data::write_idx_labels(path("t10k-labels-idx1-ubyte"), {1, 2, 3, 4}));
+  auto loaded = data::load_mnist_idx(tmp_.path().string());
+  ASSERT_TRUE(loaded.has_value());
+  const data::Dataset& train = loaded->first;
+
+  auto store = SampleStore::map_idx(path("train-images-idx3-ubyte"));
+  ASSERT_TRUE(store->mmap_backed());
+  EXPECT_EQ(store->samples(), 12u);
+  EXPECT_EQ(store->sample_dim(), data::kImageDim);
+  EXPECT_EQ(store->bytes_mapped(), 16u + 12u * data::kImageDim);
+
+  std::vector<float> staged(data::kImageDim);
+  for (std::size_t row = 0; row < store->samples(); ++row) {
+    store->stage_row(row, staged.data());
+    const auto expected = train.images.data().subspan(row * data::kImageDim,
+                                                      data::kImageDim);
+    for (std::size_t j = 0; j < data::kImageDim; ++j) {
+      ASSERT_EQ(staged[j], expected[j]) << "row " << row << " col " << j;
+    }
+  }
+}
+
+TEST_F(SampleStoreTest, MissingFileThrowsNamedError) {
+  EXPECT_THROW(SampleStore::map_idx(path("nope")), MissingFileError);
+}
+
+TEST_F(SampleStoreTest, SmallerThanHeaderThrowsTruncated) {
+  std::FILE* f = std::fopen(path("tiny").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("idx", f);
+  std::fclose(f);
+  EXPECT_THROW(SampleStore::map_idx(path("tiny")), TruncatedFileError);
+}
+
+TEST_F(SampleStoreTest, EmptyFileThrowsTruncated) {
+  std::FILE* f = std::fopen(path("empty").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  EXPECT_THROW(SampleStore::map_idx(path("empty")), TruncatedFileError);
+}
+
+TEST_F(SampleStoreTest, TruncatedPayloadThrowsTruncated) {
+  const std::string p = write_images("trunc", 10);
+  const auto full = std::filesystem::file_size(p);
+  std::filesystem::resize_file(p, full / 2);
+  EXPECT_THROW(SampleStore::map_idx(p), TruncatedFileError);
+}
+
+TEST_F(SampleStoreTest, BadMagicThrowsNamedError) {
+  ASSERT_TRUE(data::write_idx_labels(path("labels"), std::vector<std::uint8_t>(64, 1)));
+  EXPECT_THROW(SampleStore::map_idx(path("labels")), BadMagicError);
+}
+
+TEST_F(SampleStoreTest, ImplausibleDimensionsThrowBadMagic) {
+  std::FILE* f = std::fopen(path("dims").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::uint8_t header[16] = {0, 0, 8, 3, 0, 0, 0, 1,
+                                   0xFF, 0xFF, 0xFF, 0xFF,  // rows = 4G
+                                   0, 0, 0, 28};
+  ASSERT_EQ(std::fwrite(header, 1, 16, f), 16u);
+  std::fclose(f);
+  EXPECT_THROW(SampleStore::map_idx(path("dims")), BadMagicError);
+}
+
+TEST_F(SampleStoreTest, ZeroSamplesThrowsEmptyStore) {
+  std::FILE* f = std::fopen(path("zero").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::uint8_t header[16] = {0, 0, 8, 3, 0, 0, 0, 0,  // count = 0
+                                   0, 0, 0, 28, 0, 0, 0, 28};
+  ASSERT_EQ(std::fwrite(header, 1, 16, f), 16u);
+  std::fclose(f);
+  EXPECT_THROW(SampleStore::map_idx(path("zero")), EmptyStoreError);
+}
+
+TEST_F(SampleStoreTest, AdoptStagesDatasetRowsWithoutCopying) {
+  const data::Dataset dataset = data::make_synthetic_mnist(8, 21);
+  auto store = SampleStore::adopt(dataset);
+  EXPECT_FALSE(store->mmap_backed());
+  EXPECT_EQ(store->bytes_mapped(), 0u);
+  EXPECT_EQ(store->samples(), 8u);
+  std::vector<float> staged(store->sample_dim());
+  for (std::size_t row = 0; row < store->samples(); ++row) {
+    store->stage_row(row, staged.data());
+    const auto expected =
+        dataset.images.data().subspan(row * store->sample_dim(), store->sample_dim());
+    for (std::size_t j = 0; j < store->sample_dim(); ++j) {
+      ASSERT_EQ(staged[j], expected[j]);
+    }
+  }
+}
+
+TEST_F(SampleStoreTest, ForDatasetInternsOneStorePerDataset) {
+  const data::Dataset a = data::make_synthetic_mnist(6, 5);
+  const data::Dataset b = data::make_synthetic_mnist(6, 6);
+  auto store_a1 = SampleStore::for_dataset(a);
+  auto store_a2 = SampleStore::for_dataset(a);
+  auto store_b = SampleStore::for_dataset(b);
+  EXPECT_EQ(store_a1.get(), store_a2.get());  // every rank/lane shares one store
+  EXPECT_NE(store_a1.get(), store_b.get());
+}
+
+TEST_F(SampleStoreTest, BindIdxServesMappedBytesForTheDataset) {
+  write_images("train-images-idx3-ubyte", 12);
+  write_images("t10k-images-idx3-ubyte", 4);
+  ASSERT_TRUE(data::write_idx_labels(path("train-labels-idx1-ubyte"),
+                                     {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0, 1}));
+  ASSERT_TRUE(data::write_idx_labels(path("t10k-labels-idx1-ubyte"), {1, 2, 3, 4}));
+  auto loaded = data::load_mnist_idx(tmp_.path().string());
+  ASSERT_TRUE(loaded.has_value());
+
+  auto bound =
+      SampleStore::bind_idx(loaded->first, path("train-images-idx3-ubyte"));
+  ASSERT_TRUE(bound->mmap_backed());
+  // Feeds that intern the store for this dataset now get the mapped one.
+  auto interned = SampleStore::for_dataset(loaded->first);
+  EXPECT_EQ(interned.get(), bound.get());
+}
+
+TEST_F(SampleStoreTest, BindIdxRejectsShapeMismatch) {
+  const data::Dataset dataset = data::make_synthetic_mnist(5, 3);
+  write_images("wrong-count", 9);
+  EXPECT_THROW(SampleStore::bind_idx(dataset, path("wrong-count")), DataStoreError);
+}
+
+TEST_F(SampleStoreTest, MappingCountsIntoGlobalStats) {
+  const StatsSnapshot before = stats().snapshot();
+  const std::string p = write_images("counted", 3);
+  auto store = SampleStore::map_idx(p);
+  const StatsSnapshot after = stats().snapshot();
+  EXPECT_EQ(after.stores_created, before.stores_created + 1);
+  EXPECT_EQ(after.bytes_mapped, before.bytes_mapped + store->bytes_mapped());
+}
+
+}  // namespace
+}  // namespace cellgan::datastore
