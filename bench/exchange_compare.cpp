@@ -1,0 +1,193 @@
+// Exchange-policy comparison: the three registered population-exchange
+// policies (cellular five-cell adoption, LTFB pairwise tournaments, GAP
+// discriminator rotation) swept across grid sizes on identical seeds. Per
+// (policy, grid) cell the bench reports the final best/mean generator loss,
+// the exchange traffic the policy generated (events, adoptions, genome
+// bytes), and the virtual makespan — the quality-vs-communication trade the
+// policies exist to explore.
+//
+// Every configuration runs TWICE and the rows must agree bit for bit: the
+// policies are pure functions of (seed, cell, epoch), so any divergence is a
+// determinism regression. The JSON carries the verdict as `"deterministic"`
+// and ci/check.sh --bench gates on it (BENCH_exchange.json).
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/session.hpp"
+#include "evolve/exchange.hpp"
+
+namespace {
+
+using namespace cellgan;
+
+/// Aggregates the "event":"exchange" stream of one run.
+struct ExchangeStats final : core::TrainObserver {
+  void on_exchange(const core::CellEpochRecord& record) override {
+    ++events;
+    if (record.exchange_g_adopted != 0) ++g_adoptions;
+    if (record.exchange_d_adopted != 0) ++d_adoptions;
+    bytes += record.exchange_bytes;
+  }
+  std::size_t events = 0;
+  std::size_t g_adoptions = 0;
+  std::size_t d_adoptions = 0;
+  double bytes = 0.0;
+};
+
+struct Row {
+  std::string policy;
+  int side = 0;
+  double best_g = 0.0;
+  double mean_g = 0.0;
+  std::size_t events = 0;
+  std::size_t g_adoptions = 0;
+  std::size_t d_adoptions = 0;
+  double exchange_mb = 0.0;
+  double virtual_min = 0.0;
+  bool deterministic = false;
+};
+
+struct RunSample {
+  std::vector<double> g_fitnesses;
+  double best_g = 0.0;
+  double virtual_s = 0.0;
+  ExchangeStats stats;
+};
+
+RunSample run_once(const core::RunSpec& spec) {
+  core::Session session(spec);
+  if (!session.prepare()) {
+    std::fprintf(stderr, "error: %s\n", session.error().c_str());
+    std::exit(1);
+  }
+  RunSample sample;
+  session.observers().subscribe(&sample.stats);
+  const core::RunResult result = session.run();
+  sample.g_fitnesses = result.g_fitnesses;
+  sample.best_g = result.g_fitnesses.empty()
+                      ? 0.0
+                      : result.g_fitnesses[static_cast<std::size_t>(result.best_cell)];
+  sample.virtual_s = result.virtual_s;
+  return sample;
+}
+
+Row run_config(const core::RunSpec& base, evolve::ExchangePolicyKind policy,
+               int side) {
+  core::RunSpec spec = base;
+  spec.config.exchange_policy = policy;
+  spec.config.grid_rows = spec.config.grid_cols = static_cast<std::uint32_t>(side);
+
+  const RunSample first = run_once(spec);
+  const RunSample second = run_once(spec);
+
+  Row row;
+  row.policy = evolve::to_string(policy);
+  row.side = side;
+  row.best_g = first.best_g;
+  double total = 0.0;
+  for (const double g : first.g_fitnesses) total += g;
+  row.mean_g = first.g_fitnesses.empty()
+                   ? 0.0
+                   : total / static_cast<double>(first.g_fitnesses.size());
+  row.events = first.stats.events;
+  row.g_adoptions = first.stats.g_adoptions;
+  row.d_adoptions = first.stats.d_adoptions;
+  row.exchange_mb = first.stats.bytes / (1024.0 * 1024.0);
+  row.virtual_min = first.virtual_s / 60.0;
+  row.deterministic = first.g_fitnesses == second.g_fitnesses &&
+                      first.virtual_s == second.virtual_s &&
+                      first.stats.events == second.stats.events &&
+                      first.stats.bytes == second.stats.bytes;
+  return row;
+}
+
+void write_json(const std::string& path, const std::vector<Row>& rows,
+                const core::RunSpec& base, bool deterministic) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"exchange_compare\",\n");
+  std::fprintf(f, "  \"schema_version\": %u,\n", core::kRunJsonSchemaVersion);
+  std::fprintf(f, "  \"iterations\": %u,\n  \"exchange_every\": %u,\n",
+               base.config.iterations, base.config.exchange_every);
+  std::fprintf(f, "  \"deterministic\": %s,\n", deterministic ? "true" : "false");
+  std::fprintf(f, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(f,
+                 "    {\"policy\": \"%s\", \"side\": %d, \"best_g\": %.6f, "
+                 "\"mean_g\": %.6f,\n"
+                 "     \"exchange_events\": %zu, \"g_adoptions\": %zu, "
+                 "\"d_adoptions\": %zu,\n"
+                 "     \"exchange_mb\": %.3f, \"virtual_min\": %.6f, "
+                 "\"deterministic\": %s}%s\n",
+                 r.policy.c_str(), r.side, r.best_g, r.mean_g, r.events,
+                 r.g_adoptions, r.d_adoptions, r.exchange_mb, r.virtual_min,
+                 r.deterministic ? "true" : "false",
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  core::RunSpec defaults;
+  defaults.config = core::TrainingConfig::tiny();
+  defaults.config.iterations = 8;
+  defaults.dataset.samples = 200;
+  defaults.cost_profile = core::CostProfileKind::kTable3;
+
+  common::CliParser cli(
+      "exchange_compare: policy x grid sweep of the population-exchange "
+      "subsystem (quality, traffic, determinism)");
+  core::RunSpec::add_flags(cli, defaults);
+  cli.add_flag("max-side", "3", "largest grid side to run (2..max-side)");
+  cli.add_flag("json", "", "write machine-readable results to this file");
+  if (!cli.parse(argc, argv)) return 1;
+  const auto spec = core::RunSpec::from_cli(cli, defaults);
+  if (!spec) return 1;
+  const int max_side = static_cast<int>(cli.get_int("max-side"));
+  if (max_side < 2) {
+    std::fprintf(stderr, "--max-side must be >= 2\n");
+    return 1;
+  }
+
+  std::printf("exchange policy comparison (%u iterations, exchange every %u)\n",
+              spec->config.iterations, spec->config.exchange_every);
+  std::printf("  %-8s %-5s | %10s %10s | %7s %6s %6s %9s | %9s %5s\n",
+              "policy", "grid", "best G", "mean G", "events", "g-ad", "d-ad",
+              "MB moved", "virt(min)", "det");
+  std::vector<Row> rows;
+  bool deterministic = true;
+  for (const auto policy :
+       {evolve::ExchangePolicyKind::kCellular, evolve::ExchangePolicyKind::kLtfb,
+        evolve::ExchangePolicyKind::kGap}) {
+    for (int side = 2; side <= max_side; ++side) {
+      const Row r = run_config(*spec, policy, side);
+      deterministic = deterministic && r.deterministic;
+      rows.push_back(r);
+      std::printf("  %-8s %dx%-3d | %10.4f %10.4f | %7zu %6zu %6zu %9.3f |"
+                  " %9.2f %5s\n",
+                  r.policy.c_str(), r.side, r.side, r.best_g, r.mean_g,
+                  r.events, r.g_adoptions, r.d_adoptions, r.exchange_mb,
+                  r.virtual_min, r.deterministic ? "yes" : "NO");
+    }
+  }
+
+  const std::string json_path = cli.get("json");
+  if (!json_path.empty()) write_json(json_path, rows, *spec, deterministic);
+
+  if (!deterministic) {
+    std::fprintf(stderr, "\nDETERMINISM REGRESSION: repeated runs diverged\n");
+    return 1;
+  }
+  std::printf("\nall configurations reproduced bit-identically on re-run\n");
+  return 0;
+}

@@ -6,7 +6,8 @@
 # --bench additionally runs the perf bed at reduced scale and records the
 # numbers (BENCH_parallel.json, the unified-runner RunResult
 # BENCH_session.json, the Table II metric sweep BENCH_metrics.json, the
-# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json, the legacy-vs-store
+# scalar-vs-SIMD tensor kernel sweep BENCH_tensor.json, the exchange-policy
+# sweep BENCH_exchange.json, the legacy-vs-store
 # data-plane sweep BENCH_datastore.json, the serving-plane
 # latency/QPS sweep BENCH_serving.json with its telemetry stream
 # SMOKE_serving.jsonl, and a smoke-run telemetry stream
@@ -43,6 +44,13 @@ CELLGAN_TENSOR_KERNEL=simd ctest --output-on-failure -j "$JOBS" -L tier1
 # so run the tier-1 bed once with the store plane forced.
 echo "=== tier1 bed with CELLGAN_DATA_PLANE=store ==="
 CELLGAN_DATA_PLANE=store ctest --output-on-failure -j "$JOBS" -L tier1
+
+# And for the population-exchange seam: `--exchange auto` consumers must keep
+# working when the process default flips to LTFB tournaments (tests that pin
+# semantics of a specific policy set config.exchange_policy explicitly, so
+# this run exercises exactly the auto-resolving surface).
+echo "=== tier1 bed with CELLGAN_EXCHANGE=ltfb ==="
+CELLGAN_EXCHANGE=ltfb ctest --output-on-failure -j "$JOBS" -L tier1
 
 # The label machinery must keep covering the whole bed: a tier-1 run that
 # silently matches zero (or few) tests would let label-filtered CI jobs pass
@@ -103,6 +111,13 @@ if [ "$RUN_BENCH" -eq 1 ]; then
     --eval-samples 48 --telemetry "$BUILD/SMOKE_telemetry.jsonl"
   grep -q '"event":"metrics"' "$BUILD/SMOKE_telemetry.jsonl" || {
     echo "error: telemetry stream has no metrics records" >&2
+    exit 1
+  }
+  echo "=== bench: exchange_compare (policy x grid sweep) -> BENCH_exchange.json ==="
+  ./bench/exchange_compare --iterations 4 --samples 96 --max-side 3 \
+    --json "$BUILD/BENCH_exchange.json"
+  grep -q '"deterministic": true' "$BUILD/BENCH_exchange.json" || {
+    echo "error: an exchange policy diverged between repeated runs" >&2
     exit 1
   }
   echo "=== bench: micro_tensor (scalar vs SIMD) -> BENCH_tensor.json ==="

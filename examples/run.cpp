@@ -35,10 +35,18 @@ int main(int argc, char** argv) {
   cli.add_flag("dry-run", "false", "resolve and print the spec, skip training");
   cli.add_flag("list-backends", "false",
                "print the registered backend names and exit");
+  cli.add_flag("list-exchanges", "false",
+               "print the registered exchange policy names and exit");
   if (!cli.parse(argc, argv)) return 1;
 
   if (cli.get_bool("list-backends")) {
     for (const auto& name : core::BackendRegistry::instance().names()) {
+      std::printf("%s\n", name.c_str());
+    }
+    return 0;
+  }
+  if (cli.get_bool("list-exchanges")) {
+    for (const auto& name : evolve::exchange_policy_names()) {
       std::printf("%s\n", name.c_str());
     }
     return 0;

@@ -40,15 +40,21 @@ CellTrainer::CellTrainer(const TrainingConfig& config, const Grid& grid, int cel
       diet_(make_diet(config_, dataset, rng_)),
       feed_(datastore::make_feed(config.data_plane, diet_ ? *diet_ : dataset,
                                  config.batch_size)),
-      generator_(nn::make_generator(config.arch, rng_)),
-      discriminator_(nn::make_discriminator(config.arch, rng_)),
+      generator_(nn::make_generator(config.arch, rng_, config.conditional_classes())),
+      discriminator_(
+          nn::make_discriminator(config.arch, rng_, config.conditional_classes())),
       g_optimizer_(config.initial_learning_rate),
       d_optimizer_(config.initial_learning_rate),
-      scratch_generator_(nn::make_generator(config.arch, rng_)),
-      scratch_discriminator_(nn::make_discriminator(config.arch, rng_)),
+      scratch_generator_(
+          nn::make_generator(config.arch, rng_, config.conditional_classes())),
+      scratch_discriminator_(
+          nn::make_discriminator(config.arch, rng_, config.conditional_classes())),
       subpop_(grid.neighbors_of(cell_id).size()),
       subpop_ids_(grid.neighbors_of(cell_id)),
-      mixture_(grid.subpopulation_size(cell_id)) {
+      mixture_(grid.subpopulation_size(cell_id)),
+      policy_(evolve::make_exchange_policy(
+          evolve::resolve_exchange_policy(config.exchange_policy), config.seed,
+          config.exchange_every)) {
   CG_EXPECT(dataset.images.cols() == config_.arch.image_dim);
   feed_->reshuffle(rng_);
   evaluate_center_fitness();
@@ -119,42 +125,32 @@ void CellTrainer::step(const std::vector<std::vector<std::uint8_t>>& gathered) {
 void CellTrainer::update_genomes(
     const std::vector<std::vector<std::uint8_t>>& gathered) {
   sync_topology();
-  last_update_bytes_ = 0.0;
-  const auto& neighbors = subpop_ids_;
-  for (std::size_t slot = 0; slot < neighbors.size(); ++slot) {
-    const int neighbor = neighbors[slot];
-    if (neighbor >= static_cast<int>(gathered.size())) continue;
-    const auto& bytes = gathered[neighbor];
-    if (bytes.empty()) continue;
-    subpop_[slot].genome = CellGenome::deserialize(bytes);
-    last_update_bytes_ += static_cast<double>(bytes.size());
-  }
+  last_exchange_ = policy_->apply(*this, gathered, iteration_);
+  last_update_bytes_ = last_exchange_.bytes_in;
+}
 
-  // Selection: a strictly fitter neighbor center replaces the local center
-  // (parameters, learning rate and bookkeeping fitness), per side.
-  const SubpopSlot* best_g = nullptr;
-  const SubpopSlot* best_d = nullptr;
-  for (const auto& slot : subpop_) {
-    if (!slot.genome) continue;
-    if (slot.genome->g_fitness < g_fitness_ &&
-        (best_g == nullptr || slot.genome->g_fitness < best_g->genome->g_fitness)) {
-      best_g = &slot;
-    }
-    if (slot.genome->d_fitness < d_fitness_ &&
-        (best_d == nullptr || slot.genome->d_fitness < best_d->genome->d_fitness)) {
-      best_d = &slot;
-    }
-  }
-  if (best_g != nullptr) {
-    generator_.load_parameters(best_g->genome->generator_params);
-    g_optimizer_.set_learning_rate(best_g->genome->g_learning_rate);
-    g_fitness_ = best_g->genome->g_fitness;
-  }
-  if (best_d != nullptr) {
-    discriminator_.load_parameters(best_d->genome->discriminator_params);
-    d_optimizer_.set_learning_rate(best_d->genome->d_learning_rate);
-    d_fitness_ = best_d->genome->d_fitness;
-  }
+std::vector<int> CellTrainer::exchange_sources(std::uint32_t epoch) const {
+  return policy_->sources(grid_, cell_, epoch);
+}
+
+const CellGenome* CellTrainer::subpop_genome(std::size_t slot) const {
+  return subpop_[slot].genome ? &*subpop_[slot].genome : nullptr;
+}
+
+void CellTrainer::install_subpop(std::size_t slot, CellGenome genome) {
+  subpop_[slot].genome = std::move(genome);
+}
+
+void CellTrainer::adopt_generator(const CellGenome& genome) {
+  generator_.load_parameters(genome.generator_params);
+  g_optimizer_.set_learning_rate(genome.g_learning_rate);
+  g_fitness_ = genome.g_fitness;
+}
+
+void CellTrainer::adopt_discriminator(const CellGenome& genome) {
+  discriminator_.load_parameters(genome.discriminator_params);
+  d_optimizer_.set_learning_rate(genome.d_learning_rate);
+  d_fitness_ = genome.d_fitness;
 }
 
 void CellTrainer::train() {
@@ -167,7 +163,13 @@ void CellTrainer::train() {
     case LossMode::kMustangs:
       current_loss_ = static_cast<GanLossKind>(rng_.uniform_int(3));
       break;
+    case LossMode::kWasserstein: current_loss_ = GanLossKind::kWasserstein; break;
   }
+
+  GanStepOptions options;
+  options.label_classes = config_.conditional_classes();
+  options.weight_clip =
+      current_loss_ == GanLossKind::kWasserstein ? config_.weight_clip : 0.0;
 
   // Sub-population fitness tables for tournament selection: entry 0 is the
   // center, entries 1.. are the installed neighbor genomes.
@@ -186,7 +188,13 @@ void CellTrainer::train() {
       feed_->reshuffle(rng_);
       next_batch_ = 0;
     }
-    const tensor::Tensor real = feed_->batch(next_batch_++);
+    const std::size_t batch_index = next_batch_++;
+    const tensor::Tensor real = feed_->batch(batch_index);
+    std::vector<std::uint32_t> real_labels;
+    if (options.label_classes > 0) {
+      real_labels = feed_->batch_labels(batch_index);
+      options.real_labels = real_labels;
+    }
 
     // Train the center generator against a tournament-selected discriminator.
     const std::size_t d_pick =
@@ -197,7 +205,7 @@ void CellTrainer::train() {
       opponent_d = &scratch_discriminator_;
     }
     train_generator_step(generator_, g_optimizer_, *opponent_d, config_.batch_size,
-                         config_.arch.latent_dim, rng_, current_loss_);
+                         config_.arch.latent_dim, rng_, current_loss_, options);
 
     // Train the center discriminator against a tournament-selected generator,
     // honoring the "skip N discriminator steps" setting.
@@ -211,7 +219,8 @@ void CellTrainer::train() {
         opponent_g = &scratch_generator_;
       }
       train_discriminator_step(discriminator_, d_optimizer_, *opponent_g, real,
-                               config_.arch.latent_dim, rng_, current_loss_);
+                               config_.arch.latent_dim, rng_, current_loss_,
+                               options);
     }
   }
 
@@ -227,10 +236,18 @@ void CellTrainer::evaluate_center_fitness() {
   const std::size_t eval_n =
       std::min<std::size_t>(config_.fitness_eval_samples, real.rows());
   const tensor::Tensor eval_real = real.slice_rows(0, eval_n);
+  GanStepOptions options;
+  options.label_classes = config_.conditional_classes();
+  std::vector<std::uint32_t> real_labels;
+  if (options.label_classes > 0) {
+    real_labels = feed_->batch_labels(next_batch_);
+    real_labels.resize(eval_n);
+    options.real_labels = real_labels;
+  }
   g_fitness_ = evaluate_generator_loss(generator_, discriminator_, eval_n,
-                                       config_.arch.latent_dim, rng_);
+                                       config_.arch.latent_dim, rng_, options);
   d_fitness_ = evaluate_discriminator_loss(discriminator_, generator_, eval_real,
-                                           config_.arch.latent_dim, rng_);
+                                           config_.arch.latent_dim, rng_, options);
 }
 
 void CellTrainer::mutate() {
@@ -256,6 +273,8 @@ double CellTrainer::mixture_quality(const MixtureWeights& weights) {
   // Lower is better: generator-side BCE of mixture samples against the
   // center discriminator on a small probe batch.
   const std::size_t probe = std::max<std::size_t>(8, config_.fitness_eval_samples / 4);
+  const std::size_t classes = config_.conditional_classes();
+  std::vector<std::uint32_t> sample_labels;  // row-aligned, conditional only
   const tensor::Tensor samples = [&] {
     // Temporarily sample with the candidate weights via the shared machinery.
     std::vector<std::size_t> counts(weights.size(), 0);
@@ -274,8 +293,18 @@ double CellTrainer::mixture_quality(const MixtureWeights& weights) {
           gen = &scratch_generator_;
         }
       }
-      const tensor::Tensor z = tensor::Tensor::randn(
+      // Conditional: labels first, then latents — the fixed rng order the
+      // training steps use.
+      std::vector<std::uint32_t> labels(counts[member]);
+      if (classes > 0) {
+        for (auto& label : labels) {
+          label = static_cast<std::uint32_t>(rng_.uniform_int(classes));
+        }
+        sample_labels.insert(sample_labels.end(), labels.begin(), labels.end());
+      }
+      tensor::Tensor z = tensor::Tensor::randn(
           counts[member], config_.arch.latent_dim, rng_, 1.0f);
+      if (classes > 0) z = append_one_hot(z, labels, classes);
       const tensor::Tensor images = gen->forward(z);
       for (std::size_t k = 0; k < counts[member]; ++k, ++row) {
         auto src = images.row_span(k);
@@ -285,7 +314,8 @@ double CellTrainer::mixture_quality(const MixtureWeights& weights) {
     }
     return out;
   }();
-  const tensor::Tensor logits = discriminator_.forward(samples);
+  const tensor::Tensor logits = discriminator_.forward(
+      classes == 0 ? samples : append_one_hot(samples, sample_labels, classes));
   auto [loss, grad] = tensor::bce_with_logits(
       logits, tensor::Tensor::full(samples.rows(), 1, 1.0f));
   (void)grad;
@@ -341,6 +371,7 @@ std::vector<std::uint8_t> CellTrainer::serialize_training_state() {
   w.write(last_train_flops_);
   w.write(total_train_flops_);
   w.write(last_update_bytes_);
+  policy_->serialize_state(w);  // policy-private state (LTFB win counters)
   return w.take();
 }
 
@@ -389,6 +420,7 @@ void CellTrainer::restore_training_state(std::span<const std::uint8_t> bytes) {
   last_train_flops_ = r.read<double>();
   total_train_flops_ = r.read<double>();
   last_update_bytes_ = r.read<double>();
+  policy_->restore_state(r);
   CG_ENSURE(r.exhausted());
 }
 
@@ -414,6 +446,16 @@ CellEpochRecord CellTrainer::epoch_record(std::uint32_t epoch, double virtual_s)
   record.loss_kind = static_cast<std::uint32_t>(current_loss_);
   record.virtual_s = virtual_s;
   record.train_flops = total_train_flops_;
+  record.exchange_policy = static_cast<std::uint32_t>(policy_->kind());
+  record.exchange_partner = last_exchange_.partner;
+  record.exchange_g_adopted = last_exchange_.g_adopted ? 1 : 0;
+  record.exchange_d_adopted = last_exchange_.d_adopted ? 1 : 0;
+  record.exchange_g_before = last_exchange_.g_fitness_before;
+  record.exchange_g_after = last_exchange_.g_fitness_after;
+  record.exchange_d_before = last_exchange_.d_fitness_before;
+  record.exchange_d_after = last_exchange_.d_fitness_after;
+  record.exchange_wins = last_exchange_.wins;
+  record.exchange_bytes = last_exchange_.bytes_in;
   if (config_.genome_record_epoch(epoch)) {
     record.genome = center_genome().serialize();
     record.mixture_weights = mixture_.weights();
@@ -437,8 +479,16 @@ tensor::Tensor CellTrainer::sample_from_mixture(std::size_t count) {
         gen = &scratch_generator_;
       }
     }
-    const tensor::Tensor z =
+    const std::size_t classes = config_.conditional_classes();
+    std::vector<std::uint32_t> labels(counts[member]);
+    if (classes > 0) {
+      for (auto& label : labels) {
+        label = static_cast<std::uint32_t>(rng_.uniform_int(classes));
+      }
+    }
+    tensor::Tensor z =
         tensor::Tensor::randn(counts[member], config_.arch.latent_dim, rng_, 1.0f);
+    if (classes > 0) z = append_one_hot(z, labels, classes);
     const tensor::Tensor images = gen->forward(z);
     for (std::size_t k = 0; k < counts[member]; ++k, ++row) {
       auto src = images.row_span(k);

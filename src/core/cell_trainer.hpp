@@ -5,9 +5,10 @@
 // the comm-manager. An epoch (step) runs the paper's four profiled routines
 // in order:
 //
-//   update_genomes — install freshly gathered neighbor genomes into the
-//                    sub-population and apply selection (a strictly fitter
-//                    neighbor center replaces the local center);
+//   update_genomes — apply the configured exchange policy (evolve/exchange):
+//                    cellular installs gathered neighbor genomes and adopts a
+//                    strictly fitter neighbor center; ltfb/gap run tournament
+//                    replacement / discriminator rotation instead;
 //   train          — for each mini-batch, tournament-select (size 2) an
 //                    opponent from the sub-population and apply adversarial
 //                    gradient steps to the center pair, then re-evaluate
@@ -35,12 +36,13 @@
 #include "core/observer.hpp"
 #include "data/dataset.hpp"
 #include "datastore/batch_feed.hpp"
+#include "evolve/exchange.hpp"
 #include "nn/gan_models.hpp"
 #include "nn/optimizer.hpp"
 
 namespace cellgan::core {
 
-class CellTrainer {
+class CellTrainer : private evolve::ExchangeHost {
  public:
   /// `dataset` must outlive the trainer. `rng` seeds this cell's private
   /// stream (fork per cell for schedule-independent reproducibility).
@@ -57,15 +59,23 @@ class CellTrainer {
 
   int cell_id() const { return cell_; }
   std::uint32_t iteration() const { return iteration_; }
-  double g_fitness() const { return g_fitness_; }
-  double d_fitness() const { return d_fitness_; }
+  double g_fitness() const override { return g_fitness_; }
+  double d_fitness() const override { return d_fitness_; }
   /// Objective used in the most recent train() (fixed by config, or the
   /// epoch's Mustangs draw).
   GanLossKind current_loss() const { return current_loss_; }
   double g_learning_rate() const { return g_optimizer_.learning_rate(); }
   double d_learning_rate() const { return d_optimizer_.learning_rate(); }
   const MixtureWeights& mixture() const { return mixture_; }
-  const Grid& grid() const { return grid_; }
+  const Grid& grid() const override { return grid_; }
+
+  /// Cells whose genomes this cell's exchange policy needs for `epoch`
+  /// (installation order). Drives the local comm-manager's copy list; network
+  /// transports may deliver a superset.
+  std::vector<int> exchange_sources(std::uint32_t epoch) const;
+  /// What the most recent update_genomes did (policy application outcome) —
+  /// the payload of the `"event":"exchange"` telemetry.
+  const evolve::ExchangeOutcome& last_exchange() const { return last_exchange_; }
 
   /// Snapshot of the center (params + hyperparams + fitness).
   CellGenome center_genome();
@@ -110,6 +120,14 @@ class CellTrainer {
     std::optional<CellGenome> genome;  ///< empty until first exchange
   };
 
+  // ExchangeHost — the surface the pluggable exchange policy manipulates.
+  int cell() const override { return cell_; }
+  std::size_t subpop_slots() const override { return subpop_.size(); }
+  const CellGenome* subpop_genome(std::size_t slot) const override;
+  void install_subpop(std::size_t slot, CellGenome genome) override;
+  void adopt_generator(const CellGenome& genome) override;
+  void adopt_discriminator(const CellGenome& genome) override;
+
   /// Re-align subpopulation slots (and mixture size) with the grid's current
   /// neighbor list — supports dynamic topology reconfiguration: genomes of
   /// cells that remain neighbors are kept, new slots start empty, and the
@@ -147,6 +165,12 @@ class CellTrainer {
   std::vector<SubpopSlot> subpop_;  ///< slot i <-> subpop_ids_[i]
   std::vector<int> subpop_ids_;     ///< neighbor cell ids, mirrors the grid
   MixtureWeights mixture_;
+
+  /// How genomes migrate each epoch (cellular/ltfb/gap), resolved from the
+  /// config at construction. Policies are pure functions of (seed, cell,
+  /// epoch) and never touch rng_.
+  std::unique_ptr<evolve::ExchangePolicy> policy_;
+  evolve::ExchangeOutcome last_exchange_;
 
   double g_fitness_ = 0.0;
   double d_fitness_ = 0.0;

@@ -15,7 +15,10 @@ namespace {
 constexpr std::uint32_t kMagic = 0xCE11'6A17;  // "cell gan"
 // v2: TrainingConfig gained genome_record_every (observer record cadence).
 // v3: TrainingConfig gained data_plane (legacy loader vs shared SampleStore).
-constexpr std::uint32_t kVersion = 3;
+// v4: TrainingConfig gained exchange_policy/exchange_every (population
+//     exchange seam), conditional and weight_clip (wasserstein + class-
+//     conditional training).
+constexpr std::uint32_t kVersion = 4;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {

@@ -29,6 +29,17 @@ class CheckpointWriteError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// A checkpoint written under one exchange policy was asked to resume under
+/// another. Policies shape the whole population trajectory (which genomes
+/// moved where), so silently continuing under a different policy would
+/// produce a run that no policy could have generated — resuming refuses
+/// instead. Compared after env resolution, so `--exchange auto` resumes
+/// whatever CELLGAN_EXCHANGE names only if it matches the snapshot.
+class CheckpointPolicyMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct Checkpoint {
   TrainingConfig config;
   std::uint32_t iteration = 0;

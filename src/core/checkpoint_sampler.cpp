@@ -33,7 +33,8 @@ CheckpointMixture::CheckpointMixture(const Checkpoint& snapshot, int cell)
   common::Rng init_rng(config_.seed ^ 0x5e7f11dULL);
   generators_.reserve(members_.size());
   for (const int member : members_) {
-    generators_.push_back(nn::make_generator(config_.arch, init_rng));
+    generators_.push_back(
+        nn::make_generator(config_.arch, init_rng, config_.conditional_classes()));
     generators_.back().load_parameters(
         snapshot.centers[static_cast<std::size_t>(member)].generator_params);
   }
@@ -45,8 +46,8 @@ CheckpointMixture::CheckpointMixture(const Checkpoint& snapshot, int cell)
 
 MixtureDraw CheckpointMixture::plan(std::size_t count, std::uint64_t seed) const {
   common::Rng rng(seed);
-  return plan_mixture_draw(weights_, generators_.size(),
-                           config_.arch.latent_dim, count, rng);
+  return plan_mixture_draw(weights_, generators_.size(), config_.arch.latent_dim,
+                           count, rng, config_.conditional_classes());
 }
 
 tensor::Tensor CheckpointMixture::forward(std::size_t g,

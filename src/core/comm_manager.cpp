@@ -62,9 +62,14 @@ std::vector<std::vector<std::uint8_t>> LocalCommManager::exchange(
 }
 
 std::vector<std::vector<std::uint8_t>> LocalCommManager::collect() {
+  return collect(grid_.neighbors_of(cell_));
+}
+
+std::vector<std::vector<std::uint8_t>> LocalCommManager::collect(
+    std::span<const int> sources) {
   std::vector<std::vector<std::uint8_t>> out(store_.size());
   double copied_bytes = 0.0;
-  for (const int neighbor : grid_.neighbors_of(cell_)) {
+  for (const int neighbor : sources) {
     out[neighbor] = store_.latest(neighbor);  // copy, like a real transport
     copied_bytes += static_cast<double>(out[neighbor].size());
   }

@@ -113,6 +113,12 @@ class LocalCommManager final : public CommManager {
   /// calibrated in-process copy cost to the cell's context.
   std::vector<std::vector<std::uint8_t>> collect();
 
+  /// Same, but copy exactly `sources` (the exchange policy's per-epoch list,
+  /// e.g. neighbors plus an LTFB tournament partner). With the cellular
+  /// policy the list equals the grid neighbors, so bytes and charged cost are
+  /// identical to collect().
+  std::vector<std::vector<std::uint8_t>> collect(std::span<const int> sources);
+
   /// Stage this cell's serialized genome for the next epoch.
   void publish(std::span<const std::uint8_t> genome_bytes);
 

@@ -18,6 +18,7 @@ const char* to_string(LossMode mode) {
     case LossMode::kMinimax: return "minimax";
     case LossMode::kLeastSquares: return "least-squares";
     case LossMode::kMustangs: return "mustangs";
+    case LossMode::kWasserstein: return "wasserstein";
   }
   return "unknown";
 }
@@ -59,6 +60,10 @@ std::vector<std::uint8_t> TrainingConfig::serialize() const {
   w.write(forward_records);
   w.write(static_cast<std::uint32_t>(data_plane));
   w.write(seed);
+  w.write(static_cast<std::uint32_t>(exchange_policy));
+  w.write(exchange_every);
+  w.write(conditional);
+  w.write(weight_clip);
   return w.take();
 }
 
@@ -90,6 +95,10 @@ TrainingConfig TrainingConfig::deserialize(std::span<const std::uint8_t> bytes) 
   c.forward_records = r.read<std::uint32_t>();
   c.data_plane = static_cast<datastore::DataPlane>(r.read<std::uint32_t>());
   c.seed = r.read<std::uint64_t>();
+  c.exchange_policy = static_cast<evolve::ExchangePolicyKind>(r.read<std::uint32_t>());
+  c.exchange_every = r.read<std::uint32_t>();
+  c.conditional = r.read<std::uint32_t>();
+  c.weight_clip = r.read<double>();
   CG_ENSURE(r.exhausted());
   return c;
 }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "datastore/data_plane.hpp"
+#include "evolve/exchange.hpp"
 #include "nn/gan_models.hpp"
 
 namespace cellgan::core {
@@ -18,12 +19,14 @@ namespace cellgan::core {
 /// Which adversarial objective the cells train with. The first three pin one
 /// objective for the whole run (kHeuristic = Lipizzaner's default); kMustangs
 /// applies Mustangs-style loss-function mutation — each cell draws a fresh
-/// objective from {heuristic, minimax, least-squares} every epoch.
+/// objective from {heuristic, minimax, least-squares} every epoch;
+/// kWasserstein trains a WGAN critic (linear losses + weight clipping).
 enum class LossMode : std::uint32_t {
   kHeuristic = 0,
   kMinimax = 1,
   kLeastSquares = 2,
   kMustangs = 3,
+  kWasserstein = 4,
 };
 
 const char* to_string(LossMode mode);
@@ -91,8 +94,27 @@ struct TrainingConfig {
   /// trajectories either way; broadcast so distributed slaves agree.
   datastore::DataPlane data_plane = datastore::DataPlane::kAuto;
   std::uint64_t seed = 42;
+  /// How genomes/discriminators migrate between cells each epoch (cellular
+  /// neighborhoods, LTFB tournaments, GAP discriminator rotation). kAuto
+  /// defers to the CELLGAN_EXCHANGE environment variable (default cellular).
+  /// Broadcast so all ranks run the identical policy; a checkpoint refuses to
+  /// resume under a different resolved policy (CheckpointPolicyMismatchError).
+  evolve::ExchangePolicyKind exchange_policy = evolve::ExchangePolicyKind::kAuto;
+  /// Tournament/rotation cadence in epochs for ltfb/gap (cellular migrates
+  /// every epoch regardless).
+  std::uint32_t exchange_every = 1;
+  /// Class-conditional training: latents and discriminator inputs carry a
+  /// one-hot label plane of `conditional_classes()` classes.
+  std::uint32_t conditional = 0;
+  /// WGAN critic weight clip (|w| <= weight_clip after each critic step);
+  /// only applied under LossMode::kWasserstein.
+  double weight_clip = 0.01;
 
   std::uint32_t grid_cells() const { return grid_rows * grid_cols; }
+
+  /// One-hot label width of the conditional pathway (0 when unconditional).
+  /// MNIST-shaped datasets label 10 classes (data::kNumClasses).
+  std::size_t conditional_classes() const { return conditional != 0 ? 10 : 0; }
 
   /// True when this (0-based, run-relative) epoch's observer records carry
   /// genome payloads: the epoch matches either configured cadence.

@@ -1,25 +1,10 @@
-// Evolutionary operators of the cellular coevolutionary algorithm:
-// tournament selection (Table I: tournament size 2) and Gaussian
-// hyperparameter mutation of the Adam learning rate (Table I: mutation rate
-// 1e-4, probability 0.5).
+// Compatibility re-export: the evolutionary operators moved to the evolve
+// library. Include "evolve/evolution.hpp" directly in new code.
 #pragma once
 
-#include <cstddef>
-#include <vector>
-
-#include "common/rng.hpp"
+#include "evolve/evolution.hpp"
 
 namespace cellgan::core {
-
-/// Pick the best (lowest-fitness) of `tournament_size` uniformly drawn
-/// entrants. Fitnesses are losses: lower is better.
-std::size_t tournament_select(const std::vector<double>& fitnesses,
-                              std::size_t tournament_size, common::Rng& rng);
-
-/// With probability `probability`, perturb `learning_rate` by N(0, sigma),
-/// clamped to a small positive floor so optimizers stay sane. Returns the
-/// (possibly unchanged) new rate.
-double mutate_learning_rate(double learning_rate, double sigma, double probability,
-                            common::Rng& rng);
-
+using evolve::mutate_learning_rate;
+using evolve::tournament_select;
 }  // namespace cellgan::core

@@ -13,6 +13,7 @@ const char* to_string(GanLossKind kind) {
     case GanLossKind::kHeuristic: return "heuristic";
     case GanLossKind::kMinimax: return "minimax";
     case GanLossKind::kLeastSquares: return "least-squares";
+    case GanLossKind::kWasserstein: return "wasserstein";
   }
   return "unknown";
 }
@@ -63,12 +64,35 @@ std::pair<float, tensor::Tensor> generator_loss_grad(
       }
       break;
     }
+    case GanLossKind::kWasserstein: {
+      // Critic scores, not probabilities: G maximizes E[D(G(z))], so
+      // L = -z ; dL/dz = -1.
+      for (std::size_t i = 0; i < n; ++i) {
+        loss += -fake_logits.data()[i];
+        grad.data()[i] = -inv_n;
+      }
+      break;
+    }
   }
   return {static_cast<float>(loss) * inv_n, std::move(grad)};
 }
 
 std::pair<float, tensor::Tensor> discriminator_real_loss_grad(
     GanLossKind kind, const tensor::Tensor& real_logits) {
+  if (kind == GanLossKind::kWasserstein) {
+    // Critic maximizes E[D(x)] - E[D(G(z))]: real term L = -z ; dL/dz = -1.
+    const std::size_t n = real_logits.size();
+    CG_EXPECT(n > 0);
+    tensor::Tensor grad(real_logits.rows(), real_logits.cols());
+    tensor::count_flops(2ULL * n);
+    double loss = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      loss += -real_logits.data()[i];
+      grad.data()[i] = -inv_n;
+    }
+    return {static_cast<float>(loss) * inv_n, std::move(grad)};
+  }
   if (kind == GanLossKind::kLeastSquares) {
     // L = (z - 1)^2 ; dL/dz = 2 (z - 1).
     const std::size_t n = real_logits.size();
@@ -92,6 +116,20 @@ std::pair<float, tensor::Tensor> discriminator_real_loss_grad(
 
 std::pair<float, tensor::Tensor> discriminator_fake_loss_grad(
     GanLossKind kind, const tensor::Tensor& fake_logits) {
+  if (kind == GanLossKind::kWasserstein) {
+    // Fake term of the critic objective: L = +z ; dL/dz = +1.
+    const std::size_t n = fake_logits.size();
+    CG_EXPECT(n > 0);
+    tensor::Tensor grad(fake_logits.rows(), fake_logits.cols());
+    tensor::count_flops(2ULL * n);
+    double loss = 0.0;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      loss += fake_logits.data()[i];
+      grad.data()[i] = inv_n;
+    }
+    return {static_cast<float>(loss) * inv_n, std::move(grad)};
+  }
   if (kind == GanLossKind::kLeastSquares) {
     // L = z^2 ; dL/dz = 2 z.
     const std::size_t n = fake_logits.size();

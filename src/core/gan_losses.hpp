@@ -27,6 +27,7 @@ enum class GanLossKind : std::uint32_t {
   kHeuristic = 0,     ///< non-saturating BCE (Lipizzaner's default)
   kMinimax = 1,       ///< original saturating objective
   kLeastSquares = 2,  ///< LSGAN quadratic objective
+  kWasserstein = 3,   ///< WGAN critic: linear losses, weight clipping outside
 };
 
 const char* to_string(GanLossKind kind);

@@ -1,65 +1,12 @@
-// The grid class — one of the paper's two new classes (Section III.C).
-//
-// Replaces Lipizzaner's `neighbourhood`: a toroidal rows x cols grid whose
-// cells each own a five-cell neighborhood {center, N, S, W, E} (Fig. 1).
-// Unlike the original, neighborhoods can be modified dynamically at runtime
-// ("allows modifying the grid and also the structure of neighboring
-// processes dynamically ... exploring different patterns for training"),
-// and the class is fully decoupled from the communication layer — it only
-// deals in cell indices.
+// Compatibility re-export: Grid moved to the evolve library (the population
+// exchange subsystem owns grid topology). Include "evolve/grid.hpp" directly
+// in new code.
 #pragma once
 
-#include <vector>
-
-#include "minimpi/cart.hpp"
+#include "evolve/grid.hpp"
 
 namespace cellgan::core {
-
-using minimpi::GridCoord;
-
-class Grid {
- public:
-  Grid(int rows, int cols);
-
-  int rows() const { return topology_.rows(); }
-  int cols() const { return topology_.cols(); }
-  int size() const { return topology_.size(); }
-
-  GridCoord coords_of(int cell) const { return topology_.coords_of(cell); }
-  int cell_of(GridCoord coord) const { return topology_.rank_of(coord); }
-
-  /// Neighbors of `cell`, center excluded, in N,S,W,E order (default) or the
-  /// order given to set_neighbors.
-  const std::vector<int>& neighbors_of(int cell) const;
-
-  /// Full sub-population membership: center first, then neighbors.
-  std::vector<int> neighborhood_of(int cell) const;
-
-  /// Size of cell's sub-population (s in the paper; 5 on grids >= 3x3).
-  std::size_t subpopulation_size(int cell) const;
-
-  // ---- dynamic reconfiguration ---------------------------------------------
-
-  /// Replace a cell's neighbor list (deduplicated, center removed).
-  void set_neighbors(int cell, std::vector<int> neighbors);
-
-  /// Restore the default five-cell toroidal neighborhoods everywhere.
-  void reset_default_neighborhoods();
-
-  /// True if `other` is in `cell`'s neighbor list.
-  bool is_neighbor(int cell, int other) const;
-
-  /// Cells whose neighborhoods contain `cell` — the overlapping
-  /// neighborhoods through which updates propagate (Fig. 1's N1,1 / N1,3
-  /// example). With default neighborhoods this is symmetric with
-  /// neighbors_of, but dynamic rewiring can make influence asymmetric.
-  std::vector<int> influenced_by(int cell) const;
-
- private:
-  void check_cell(int cell) const;
-
-  minimpi::CartTopology topology_;
-  std::vector<std::vector<int>> neighbors_;  // per cell, center excluded
-};
-
+using evolve::Grid;
+using evolve::GridCoord;
+using evolve::GridTopologyError;
 }  // namespace cellgan::core

@@ -127,6 +127,9 @@ MasterOutcome Master::run() {
       for (const auto& cell : epoch.cells) {
         options_.observers->cell_stepped(cell);
       }
+      for (const auto& cell : epoch.cells) {
+        options_.observers->exchange(cell);
+      }
       options_.observers->epoch_completed(epoch);
       ++epochs_published;
     }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/serialize.hpp"
+#include "evolve/exchange.hpp"
 
 namespace cellgan::core {
 
@@ -22,6 +23,16 @@ std::vector<std::uint8_t> CellEpochRecord::serialize() const {
   w.write(train_flops);
   w.write_vector(genome);
   w.write_vector(mixture_weights);
+  w.write(exchange_policy);
+  w.write(exchange_partner);
+  w.write(exchange_g_adopted);
+  w.write(exchange_d_adopted);
+  w.write(exchange_g_before);
+  w.write(exchange_g_after);
+  w.write(exchange_d_before);
+  w.write(exchange_d_after);
+  w.write(exchange_wins);
+  w.write(exchange_bytes);
   return w.take();
 }
 
@@ -39,6 +50,16 @@ CellEpochRecord CellEpochRecord::deserialize(std::span<const std::uint8_t> bytes
   rec.train_flops = r.read<double>();
   rec.genome = r.read_vector<std::uint8_t>();
   rec.mixture_weights = r.read_vector<double>();
+  rec.exchange_policy = r.read<std::uint32_t>();
+  rec.exchange_partner = r.read<std::int32_t>();
+  rec.exchange_g_adopted = r.read<std::uint8_t>();
+  rec.exchange_d_adopted = r.read<std::uint8_t>();
+  rec.exchange_g_before = r.read<double>();
+  rec.exchange_g_after = r.read<double>();
+  rec.exchange_d_before = r.read<double>();
+  rec.exchange_d_after = r.read<double>();
+  rec.exchange_wins = r.read<std::uint64_t>();
+  rec.exchange_bytes = r.read<double>();
   CG_ENSURE(r.exhausted());
   return rec;
 }
@@ -112,6 +133,11 @@ void EventBus::epoch_started(std::uint32_t epoch) {
 
 void EventBus::cell_stepped(const CellEpochRecord& record) {
   for (auto* observer : observers_) observer->on_cell_stepped(record);
+}
+
+void EventBus::exchange(const CellEpochRecord& record) {
+  if (!record.exchange_noteworthy()) return;
+  for (auto* observer : observers_) observer->on_exchange(record);
 }
 
 void EventBus::epoch_completed(const EpochRecord& record) {
@@ -191,6 +217,33 @@ void JsonlTelemetrySink::on_run_started(const RunInfo& info) {
   line += ",\"grid_cols\":" + std::to_string(info.config.grid_cols);
   line += ",\"iterations\":" + std::to_string(info.config.iterations);
   line += ",\"seed\":" + std::to_string(info.config.seed);
+  line += "}";
+  write_line(line);
+}
+
+void JsonlTelemetrySink::on_exchange(const CellEpochRecord& record) {
+  std::string line = "{\"event\":\"exchange\",\"epoch\":";
+  line += std::to_string(record.epoch);
+  line += ",\"cell\":" + std::to_string(record.cell);
+  line += ",\"policy\":\"";
+  line += evolve::to_string(
+      static_cast<evolve::ExchangePolicyKind>(record.exchange_policy));
+  line += "\",\"partner\":" + std::to_string(record.exchange_partner);
+  line += ",\"g_adopted\":";
+  line += record.exchange_g_adopted != 0 ? "true" : "false";
+  line += ",\"d_adopted\":";
+  line += record.exchange_d_adopted != 0 ? "true" : "false";
+  line += ",\"g_fitness_before\":";
+  append_json_number(line, record.exchange_g_before);
+  line += ",\"g_fitness_after\":";
+  append_json_number(line, record.exchange_g_after);
+  line += ",\"d_fitness_before\":";
+  append_json_number(line, record.exchange_d_before);
+  line += ",\"d_fitness_after\":";
+  append_json_number(line, record.exchange_d_after);
+  line += ",\"wins\":" + std::to_string(record.exchange_wins);
+  line += ",\"bytes_in\":";
+  append_json_number(line, record.exchange_bytes);
   line += "}";
   write_line(line);
 }

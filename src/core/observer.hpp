@@ -70,6 +70,29 @@ struct CellEpochRecord {
   /// Neighborhood mixture weights, recorded alongside the genome.
   std::vector<double> mixture_weights;
 
+  /// What this epoch's exchange-policy application did (a flattened
+  /// evolve::ExchangeOutcome, so the record stays wire-forwardable from
+  /// distributed ranks). `exchange_partner` is -1 when the policy involved no
+  /// counterpart this epoch.
+  std::uint32_t exchange_policy = 0;  ///< evolve::ExchangePolicyKind
+  std::int32_t exchange_partner = -1;
+  std::uint8_t exchange_g_adopted = 0;
+  std::uint8_t exchange_d_adopted = 0;
+  double exchange_g_before = 0.0;  ///< generator fitness entering the exchange
+  double exchange_g_after = 0.0;
+  double exchange_d_before = 0.0;
+  double exchange_d_after = 0.0;
+  std::uint64_t exchange_wins = 0;  ///< cumulative LTFB tournaments won
+  double exchange_bytes = 0.0;      ///< serialized genome bytes installed
+
+  /// True when this epoch's exchange should surface as an `"event":"exchange"`
+  /// telemetry record: something was adopted, or a tournament/rotation
+  /// counterpart existed even if the local center won.
+  bool exchange_noteworthy() const {
+    return exchange_g_adopted != 0 || exchange_d_adopted != 0 ||
+           exchange_partner >= 0;
+  }
+
   std::vector<std::uint8_t> serialize() const;
   static CellEpochRecord deserialize(std::span<const std::uint8_t> bytes);
 
@@ -177,6 +200,10 @@ class TrainObserver {
   virtual void on_run_started(const RunInfo& /*info*/) {}
   virtual void on_epoch_started(std::uint32_t /*epoch*/) {}
   virtual void on_cell_stepped(const CellEpochRecord& /*record*/) {}
+  /// A cell's exchange-policy application that moved (or tournament-compared)
+  /// genomes this epoch. Published after on_cell_stepped for the same record,
+  /// only when record.exchange_noteworthy().
+  virtual void on_exchange(const CellEpochRecord& /*record*/) {}
   virtual void on_epoch_completed(const EpochRecord& /*record*/) {}
   virtual void on_metrics(const MetricSnapshot& /*snapshot*/) {}
   virtual void on_run_completed(const RunSummary& /*summary*/) {}
@@ -208,6 +235,9 @@ class EventBus {
   void run_started(const RunInfo& info);
   void epoch_started(std::uint32_t epoch);
   void cell_stepped(const CellEpochRecord& record);
+  /// Publish the record's exchange outcome; no-op unless
+  /// record.exchange_noteworthy().
+  void exchange(const CellEpochRecord& record);
   /// Delivers the epoch record, then collects take_metrics() from every
   /// observer and re-publishes each snapshot through metrics().
   void epoch_completed(const EpochRecord& record);
@@ -239,6 +269,7 @@ class JsonlTelemetrySink final : public TrainObserver {
   bool ok() const { return file_ != nullptr; }
 
   void on_run_started(const RunInfo& info) override;
+  void on_exchange(const CellEpochRecord& record) override;
   void on_epoch_completed(const EpochRecord& record) override;
   void on_metrics(const MetricSnapshot& snapshot) override;
   void on_run_completed(const RunSummary& summary) override;

@@ -12,6 +12,7 @@
 
 #include "common/expect.hpp"
 #include "core/session.hpp"  // BackendRegistry: parse-time backend validation
+#include "evolve/exchange.hpp"
 
 namespace cellgan::core {
 
@@ -95,6 +96,7 @@ std::optional<LossMode> loss_mode_from_string(std::string_view name) {
   if (name == "minimax") return LossMode::kMinimax;
   if (name == "lsq" || name == "least-squares") return LossMode::kLeastSquares;
   if (name == "mustangs") return LossMode::kMustangs;
+  if (name == "wasserstein" || name == "wgan") return LossMode::kWasserstein;
   return std::nullopt;
 }
 
@@ -104,6 +106,41 @@ std::optional<ExchangeMode> exchange_mode_from_string(std::string_view name) {
     return ExchangeMode::kAsyncNeighbors;
   }
   return std::nullopt;
+}
+
+std::string registered_exchange_policy_names() {
+  std::string joined;
+  for (const auto& name : evolve::exchange_policy_names()) {
+    if (!joined.empty()) joined += ", ";
+    joined += name;
+  }
+  return joined;
+}
+
+namespace {
+
+/// The async transport only moves neighbor genomes, so policies that need a
+/// non-neighbor counterpart (ltfb tournaments, gap rotation) cannot run on
+/// it. Checked at parse time AND by Session::prepare (specs can arrive via
+/// from_text without a CLI in front).
+bool validate_exchange_combo(const TrainingConfig& config, std::string* error) {
+  const auto policy = evolve::resolve_exchange_policy(config.exchange_policy);
+  if (policy != evolve::ExchangePolicyKind::kCellular &&
+      config.exchange_mode == ExchangeMode::kAsyncNeighbors) {
+    if (error != nullptr) {
+      *error = std::string("exchange policy '") + evolve::to_string(policy) +
+               "' needs the allgather transport (async-neighbors only moves "
+               "neighbor genomes)";
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool validate_exchange(const TrainingConfig& config, std::string* error) {
+  return validate_exchange_combo(config, error);
 }
 
 const char* to_string(TensorKernel kernel) {
@@ -203,9 +240,22 @@ void RunSpec::add_flags(common::CliParser& cli, const RunSpec& defaults) {
                "shorthand for the synthetic dataset's sample count");
   cli.add_flag("seed", std::to_string(defaults.config.seed), "global training seed");
   cli.add_flag("loss", to_string(defaults.config.loss_mode),
-               "objective: heuristic | minimax | lsq | mustangs");
-  cli.add_flag("exchange", to_string(defaults.config.exchange_mode),
-               "genome exchange: allgather | async-neighbors");
+               "objective: heuristic | minimax | lsq | mustangs | wasserstein");
+  cli.add_flag("exchange", evolve::to_string(defaults.config.exchange_policy),
+               "population-exchange policy: auto (CELLGAN_EXCHANGE/cellular) |"
+               " cellular | ltfb | gap");
+  cli.add_flag("exchange-transport", to_string(defaults.config.exchange_mode),
+               "genome transport: allgather | async-neighbors (cellular only)");
+  cli.add_flag("exchange-every", std::to_string(defaults.config.exchange_every),
+               "ltfb tournament / gap rotation cadence in epochs");
+  cli.add_flag("conditional", defaults.config.conditional != 0 ? "true" : "false",
+               "class-conditional training: one-hot labels ride the latent and"
+               " image planes");
+  char weight_clip_default[32];
+  std::snprintf(weight_clip_default, sizeof(weight_clip_default), "%g",
+                defaults.config.weight_clip);
+  cli.add_flag("weight-clip", weight_clip_default,
+               "critic weight-clipping bound for --loss wasserstein");
   cli.add_flag("batch-size", std::to_string(defaults.config.batch_size),
                "training batch size");
   cli.add_flag("batches-per-iteration",
@@ -306,19 +356,51 @@ std::optional<RunSpec> RunSpec::from_cli(const common::CliParser& cli,
     const auto loss = loss_mode_from_string(cli.get("loss"));
     if (!loss) {
       std::fprintf(stderr, "unknown loss '%s' (want heuristic | minimax | lsq |"
-                   " mustangs)\n", cli.get("loss").c_str());
+                   " mustangs | wasserstein)\n", cli.get("loss").c_str());
       return std::nullopt;
     }
     spec.config.loss_mode = *loss;
   }
   if (cli.was_set("exchange")) {
-    const auto exchange = exchange_mode_from_string(cli.get("exchange"));
+    const auto policy = evolve::exchange_policy_from_string(cli.get("exchange"));
+    if (!policy) {
+      std::fprintf(stderr, "unknown exchange policy '%s' (registered: %s)\n",
+                   cli.get("exchange").c_str(),
+                   registered_exchange_policy_names().c_str());
+      return std::nullopt;
+    }
+    spec.config.exchange_policy = *policy;
+  }
+  if (cli.was_set("exchange-transport")) {
+    const auto exchange = exchange_mode_from_string(cli.get("exchange-transport"));
     if (!exchange) {
-      std::fprintf(stderr, "unknown exchange '%s' (want allgather |"
-                   " async-neighbors)\n", cli.get("exchange").c_str());
+      std::fprintf(stderr, "unknown exchange transport '%s' (want allgather |"
+                   " async-neighbors)\n", cli.get("exchange-transport").c_str());
       return std::nullopt;
     }
     spec.config.exchange_mode = *exchange;
+  }
+  if (cli.was_set("exchange-every")) {
+    spec.config.exchange_every =
+        static_cast<std::uint32_t>(int_flag("exchange-every", 1));
+  }
+  if (cli.was_set("conditional")) {
+    spec.config.conditional = cli.get_bool("conditional") ? 1 : 0;
+  }
+  if (cli.was_set("weight-clip")) {
+    const double clip = cli.get_double("weight-clip");
+    if (!(clip > 0.0)) {  // negated so NaN is rejected
+      std::fprintf(stderr, "--weight-clip must be > 0\n");
+      flags_ok = false;
+    }
+    spec.config.weight_clip = clip;
+  }
+  {
+    std::string exchange_error;
+    if (!validate_exchange(spec.config, &exchange_error)) {
+      std::fprintf(stderr, "%s\n", exchange_error.c_str());
+      flags_ok = false;
+    }
   }
   if (cli.was_set("batch-size")) {
     spec.config.batch_size = static_cast<std::uint32_t>(int_flag("batch-size", 1));
@@ -542,6 +624,16 @@ bool apply_config_key(JsonReader& reader, const std::string& key,
     config.data_plane = *plane;
     return true;
   }
+  if (key == "exchange_policy") {
+    if (!reader.read_string(value)) return false;
+    const auto policy = evolve::exchange_policy_from_string(value);
+    if (!policy) {
+      return reader.fail("unknown exchange_policy '" + value + "' (registered: " +
+                         registered_exchange_policy_names() + ")");
+    }
+    config.exchange_policy = *policy;
+    return true;
+  }
   if (!reader.read_number(value)) return false;
   std::size_t* size_field = key == "latent_dim"      ? &config.arch.latent_dim
                             : key == "hidden_dim"    ? &config.arch.hidden_dim
@@ -566,6 +658,8 @@ bool apply_config_key(JsonReader& reader, const std::string& key,
       : key == "fitness_eval_samples"      ? &config.fitness_eval_samples
       : key == "genome_record_every"       ? &config.genome_record_every
       : key == "genome_record_every_b"     ? &config.genome_record_every_b
+      : key == "exchange_every"            ? &config.exchange_every
+      : key == "conditional"               ? &config.conditional
                                            : nullptr;
   if (u32_field != nullptr) {
     if (!parse_u32(value, *u32_field)) return reader.fail("bad " + key);
@@ -577,6 +671,7 @@ bool apply_config_key(JsonReader& reader, const std::string& key,
       : key == "lr_mutation_sigma"      ? &config.lr_mutation_sigma
       : key == "lr_mutation_probability" ? &config.lr_mutation_probability
       : key == "data_dieting_fraction"  ? &config.data_dieting_fraction
+      : key == "weight_clip"            ? &config.weight_clip
                                         : nullptr;
   if (f64_field != nullptr) {
     if (!parse_f64(value, *f64_field)) return reader.fail("bad " + key);
@@ -658,6 +753,11 @@ std::string RunSpec::to_text() const {
   out << "    \"loss_mode\": \"" << core::to_string(config.loss_mode) << "\",\n";
   out << "    \"exchange_mode\": \"" << core::to_string(config.exchange_mode)
       << "\",\n";
+  out << "    \"exchange_policy\": \"" << evolve::to_string(config.exchange_policy)
+      << "\",\n";
+  out << "    \"exchange_every\": " << config.exchange_every << ",\n";
+  out << "    \"conditional\": " << config.conditional << ",\n";
+  out << "    \"weight_clip\": " << format_double(config.weight_clip) << ",\n";
   out << "    \"data_dieting_fraction\": "
       << format_double(config.data_dieting_fraction) << ",\n";
   out << "    \"genome_record_every\": " << config.genome_record_every << ",\n";

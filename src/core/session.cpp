@@ -334,6 +334,10 @@ bool Session::prepare() {
   if (prepared_) return true;
   if (!error_.empty()) return false;
 
+  // Specs can arrive via from_text/load with no CLI validation in front, so
+  // the exchange policy/transport combination is re-checked here.
+  if (!validate_exchange(spec_.config, &error_)) return false;
+
   // Pin the tensor microkernel kind before anything computes (the cost-model
   // calibration probe below runs real kernels). The selection is
   // process-wide — the kernels are a global seam — so an explicit spec choice
@@ -609,7 +613,8 @@ tensor::Tensor Session::sample_best(const RunResult& result, std::size_t count) 
   std::vector<nn::Sequential> generators;
   generators.reserve(members.size());
   for (const int member : members) {
-    generators.push_back(nn::make_generator(config.arch, rng));
+    generators.push_back(
+        nn::make_generator(config.arch, rng, config.conditional_classes()));
     generators.back().load_parameters(
         result.cell_results[static_cast<std::size_t>(member)].center.generator_params);
   }
@@ -620,7 +625,8 @@ tensor::Tensor Session::sample_best(const RunResult& result, std::size_t count) 
   const auto& evolved =
       result.cell_results[static_cast<std::size_t>(result.best_cell)].mixture_weights;
   if (evolved.size() == members.size()) weights.set_weights(evolved);
-  return sample_mixture(weights, generator_ptrs, config.arch.latent_dim, count, rng);
+  return sample_mixture(weights, generator_ptrs, config.arch.latent_dim, count,
+                        rng, config.conditional_classes());
 }
 
 Checkpoint Session::result_checkpoint(const RunResult& result) {

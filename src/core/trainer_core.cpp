@@ -1,8 +1,10 @@
 #include "core/trainer_core.hpp"
 
 #include <algorithm>
+#include <string>
 
 #include "common/timer.hpp"
+#include "evolve/exchange.hpp"
 
 namespace cellgan::core {
 
@@ -48,7 +50,11 @@ void TrainerCore::begin_epoch(std::uint32_t epoch) {
 void TrainerCore::run_cell_epoch(int cell) {
   const ExecContext& context = contexts_[cell];
   common::WallTimer gather_wall;
-  const auto inbox = comms_[cell]->collect();
+  // The exchange policy names the cells whose genomes this epoch needs
+  // (neighbors for cellular; plus a tournament partner / rotation donor for
+  // ltfb/gap); the local transport copies exactly that list.
+  const auto inbox = comms_[cell]->collect(
+      cells_[cell]->exchange_sources(cells_[cell]->iteration()));
   // The virtual gather cost was charged inside collect(); here only the
   // measured wall time enters the books.
   context.charge(common::routine::kGather, gather_wall.elapsed_s(), 0.0);
@@ -71,6 +77,7 @@ void TrainerCore::publish_epoch() {
   record.cells = std::move(epoch_records_);
   epoch_records_.assign(static_cast<std::size_t>(grid_.size()), CellEpochRecord{});
   for (const auto& cell : record.cells) bus_->cell_stepped(cell);
+  for (const auto& cell : record.cells) bus_->exchange(cell);
   bus_->epoch_completed(record);
 }
 
@@ -111,6 +118,18 @@ Checkpoint TrainerCore::checkpoint() const {
 void TrainerCore::restore(const Checkpoint& snapshot) {
   CG_EXPECT(snapshot.centers.size() == cells_.size());
   CG_EXPECT(snapshot.config.arch == config_.arch);
+  // A snapshot trained under one exchange policy must not silently continue
+  // under another (compared after env resolution, so `auto` has a concrete
+  // meaning on both sides).
+  const auto snapshot_policy =
+      evolve::resolve_exchange_policy(snapshot.config.exchange_policy);
+  const auto run_policy = evolve::resolve_exchange_policy(config_.exchange_policy);
+  if (snapshot_policy != run_policy) {
+    throw CheckpointPolicyMismatchError(
+        std::string("checkpoint was written under exchange policy '") +
+        evolve::to_string(snapshot_policy) + "' but this run uses '" +
+        evolve::to_string(run_policy) + "'");
+  }
   for (std::size_t cell = 0; cell < cells_.size(); ++cell) {
     const auto& mixture = cell < snapshot.mixtures.size()
                               ? snapshot.mixtures[cell]

@@ -42,9 +42,12 @@ struct StoreFeed::State {
   std::vector<std::unique_ptr<Slot>> slots;
 };
 
-StoreFeed::StoreFeed(std::shared_ptr<const SampleStore> store, std::size_t batch_size)
-    : shuffle_(store->samples()), state_(std::make_shared<State>()) {
+StoreFeed::StoreFeed(std::shared_ptr<const SampleStore> store, std::size_t batch_size,
+                     std::vector<std::uint32_t> labels)
+    : shuffle_(store->samples()), state_(std::make_shared<State>()),
+      labels_(std::move(labels)) {
   CG_EXPECT(batch_size > 0);
+  CG_EXPECT(labels_.empty() || labels_.size() == store->samples());
   state_->store = std::move(store);
   state_->batch_size = batch_size;
   state_->dim = state_->store->sample_dim();
@@ -175,13 +178,24 @@ tensor::Tensor StoreFeed::batch(std::size_t index) {
   return out;
 }
 
+std::vector<std::uint32_t> StoreFeed::batch_labels(std::size_t index) const {
+  CG_EXPECT(index < batches_per_epoch());
+  CG_EXPECT(!labels_.empty());  // feed built without a label plane
+  const auto& order = shuffle_.order();
+  std::vector<std::uint32_t> out(state_->batch_size);
+  for (std::size_t i = 0; i < state_->batch_size; ++i) {
+    out[i] = labels_[order[index * state_->batch_size + i]];
+  }
+  return out;
+}
+
 std::unique_ptr<BatchFeed> make_feed(DataPlane plane, const data::Dataset& dataset,
                                      std::size_t batch_size) {
   const DataPlane resolved = resolve_data_plane(plane);
   if (resolved == DataPlane::kStore) {
     auto store = SampleStore::for_dataset(dataset);
     CG_EXPECT(store->sample_dim() == dataset.images.cols());
-    return std::make_unique<StoreFeed>(std::move(store), batch_size);
+    return std::make_unique<StoreFeed>(std::move(store), batch_size, dataset.labels);
   }
   return std::make_unique<LegacyFeed>(dataset, batch_size);
 }

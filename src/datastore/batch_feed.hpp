@@ -46,6 +46,10 @@ class BatchFeed {
   /// Materialize batch `index` of the current epoch. Repeatable: reading the
   /// same index twice (peek, then consume) returns identical tensors.
   virtual tensor::Tensor batch(std::size_t index) = 0;
+  /// Row-aligned class labels of batch `index` — the conditional pathway's
+  /// label plane. Follows the same order() the image batch uses, so labels[i]
+  /// annotates batch(index).row(i).
+  virtual std::vector<std::uint32_t> batch_labels(std::size_t index) const = 0;
 };
 
 /// The historical path: a thin forwarder around data::DataLoader.
@@ -63,6 +67,9 @@ class LegacyFeed final : public BatchFeed {
     loader_.restore_order(std::move(order));
   }
   tensor::Tensor batch(std::size_t index) override { return loader_.batch(index); }
+  std::vector<std::uint32_t> batch_labels(std::size_t index) const override {
+    return loader_.batch_labels(index);
+  }
 
  private:
   data::DataLoader loader_;
@@ -83,7 +90,8 @@ class LegacyFeed final : public BatchFeed {
 /// synchronously from the store (stall). Counters land in datastore::stats().
 class StoreFeed final : public BatchFeed {
  public:
-  StoreFeed(std::shared_ptr<const SampleStore> store, std::size_t batch_size);
+  StoreFeed(std::shared_ptr<const SampleStore> store, std::size_t batch_size,
+            std::vector<std::uint32_t> labels = {});
   ~StoreFeed() override;
 
   DataPlane plane() const override { return DataPlane::kStore; }
@@ -93,6 +101,7 @@ class StoreFeed final : public BatchFeed {
   const std::vector<std::uint32_t>& order() const override { return shuffle_.order(); }
   void restore_order(std::vector<std::uint32_t> order) override;
   tensor::Tensor batch(std::size_t index) override;
+  std::vector<std::uint32_t> batch_labels(std::size_t index) const override;
 
   const SampleStore& store() const;
 
@@ -109,6 +118,9 @@ class StoreFeed final : public BatchFeed {
   ShuffleService shuffle_;
   std::uint32_t generation_ = 0;
   std::shared_ptr<State> state_;
+  /// Per-sample class labels (copied from the dataset at feed construction);
+  /// the store itself only holds the pixel plane.
+  std::vector<std::uint32_t> labels_;
 };
 
 /// Build the feed `plane` selects (resolving kAuto via CELLGAN_DATA_PLANE).

@@ -1,10 +1,10 @@
-#include "core/evolution.hpp"
+#include "evolve/evolution.hpp"
 
 #include <algorithm>
 
 #include "common/expect.hpp"
 
-namespace cellgan::core {
+namespace cellgan::evolve {
 
 std::size_t tournament_select(const std::vector<double>& fitnesses,
                               std::size_t tournament_size, common::Rng& rng) {
@@ -26,4 +26,4 @@ double mutate_learning_rate(double learning_rate, double sigma, double probabili
   return std::max(kFloor, learning_rate + rng.normal(0.0, sigma));
 }
 
-}  // namespace cellgan::core
+}  // namespace cellgan::evolve

@@ -1,8 +1,8 @@
-#include "core/genome.hpp"
+#include "evolve/genome.hpp"
 
 #include "common/serialize.hpp"
 
-namespace cellgan::core {
+namespace cellgan::evolve {
 
 std::size_t CellGenome::byte_size() const {
   return sizeof(float) * (generator_params.size() + discriminator_params.size()) +
@@ -51,4 +51,4 @@ void CellGenome::install(nn::Sequential& generator,
   discriminator.load_parameters(discriminator_params);
 }
 
-}  // namespace cellgan::core
+}  // namespace cellgan::evolve

@@ -1,10 +1,10 @@
-#include "core/grid.hpp"
+#include "evolve/grid.hpp"
 
 #include <algorithm>
 
 #include "common/expect.hpp"
 
-namespace cellgan::core {
+namespace cellgan::evolve {
 
 Grid::Grid(int rows, int cols) : topology_(rows, cols) {
   reset_default_neighborhoods();
@@ -38,7 +38,12 @@ void Grid::set_neighbors(int cell, std::vector<int> neighbors) {
   std::vector<int> cleaned;
   cleaned.reserve(neighbors.size());
   for (const int n : neighbors) {
-    check_cell(n);
+    if (n < 0 || n >= size()) {
+      throw GridTopologyError("neighbor index " + std::to_string(n) +
+                              " out of range for cell " + std::to_string(cell) +
+                              " on a " + std::to_string(rows()) + "x" +
+                              std::to_string(cols()) + " grid");
+    }
     if (n == cell) continue;
     if (std::find(cleaned.begin(), cleaned.end(), n) == cleaned.end()) {
       cleaned.push_back(n);
@@ -73,4 +78,4 @@ std::vector<int> Grid::influenced_by(int cell) const {
   return out;
 }
 
-}  // namespace cellgan::core
+}  // namespace cellgan::evolve

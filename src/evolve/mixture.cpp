@@ -1,10 +1,10 @@
-#include "core/mixture.hpp"
+#include "evolve/mixture.hpp"
 
 #include <algorithm>
 
 #include "common/serialize.hpp"
 
-namespace cellgan::core {
+namespace cellgan::evolve {
 
 MixtureWeights::MixtureWeights(std::size_t size)
     : weights_(size, size > 0 ? 1.0 / static_cast<double>(size) : 0.0) {
@@ -73,7 +73,8 @@ MixtureWeights MixtureWeights::deserialize(std::span<const std::uint8_t> bytes) 
 
 MixtureDraw plan_mixture_draw(const MixtureWeights& weights,
                               std::size_t generators, std::size_t latent_dim,
-                              std::size_t count, common::Rng& rng) {
+                              std::size_t count, common::Rng& rng,
+                              std::size_t label_classes) {
   CG_EXPECT(weights.size() == generators);
   CG_EXPECT(generators > 0 && count > 0);
 
@@ -88,8 +89,28 @@ MixtureDraw plan_mixture_draw(const MixtureWeights& weights,
   }
   for (std::size_t g = 0; g < generators; ++g) {
     if (draw.rows_of[g].empty()) continue;
-    draw.latents[g] =
-        tensor::Tensor::randn(draw.rows_of[g].size(), latent_dim, rng, 1.0f);
+    const std::size_t rows = draw.rows_of[g].size();
+    // Conditional draws: uniform class labels BEFORE the latent block (the
+    // fixed rng order every conditional sampler shares), appended one-hot.
+    std::vector<std::size_t> labels;
+    if (label_classes > 0) {
+      labels.resize(rows);
+      for (auto& label : labels) label = rng.uniform_int(label_classes);
+    }
+    tensor::Tensor z = tensor::Tensor::randn(rows, latent_dim, rng, 1.0f);
+    if (label_classes > 0) {
+      tensor::Tensor conditioned(rows, latent_dim + label_classes);
+      for (std::size_t k = 0; k < rows; ++k) {
+        const auto src = z.row_span(k);
+        auto dst = conditioned.row_span(k);
+        std::copy(src.begin(), src.end(), dst.begin());
+        std::fill(dst.begin() + static_cast<std::ptrdiff_t>(latent_dim),
+                  dst.end(), 0.0f);
+        dst[latent_dim + labels[k]] = 1.0f;
+      }
+      z = std::move(conditioned);
+    }
+    draw.latents[g] = std::move(z);
   }
   return draw;
 }
@@ -110,12 +131,12 @@ void scatter_mixture_rows(const MixtureDraw& draw, std::size_t generator,
 tensor::Tensor sample_mixture(const MixtureWeights& weights,
                               std::vector<nn::Sequential*> generators,
                               std::size_t latent_dim, std::size_t count,
-                              common::Rng& rng) {
+                              common::Rng& rng, std::size_t label_classes) {
   CG_EXPECT(weights.size() == generators.size());
   CG_EXPECT(!generators.empty() && count > 0);
 
-  const MixtureDraw draw =
-      plan_mixture_draw(weights, generators.size(), latent_dim, count, rng);
+  const MixtureDraw draw = plan_mixture_draw(weights, generators.size(),
+                                             latent_dim, count, rng, label_classes);
   tensor::Tensor out;
   bool out_ready = false;
   for (std::size_t g = 0; g < generators.size(); ++g) {
@@ -130,4 +151,4 @@ tensor::Tensor sample_mixture(const MixtureWeights& weights,
   return out;
 }
 
-}  // namespace cellgan::core
+}  // namespace cellgan::evolve

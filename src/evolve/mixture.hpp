@@ -1,0 +1,90 @@
+// Neighborhood generator mixtures.
+//
+// Lipizzaner's final product is not a single generator but the sub-population
+// of a neighborhood combined with mixture weights: samples are drawn from
+// generator i with probability w_i. Weights evolve by Gaussian mutation
+// (Table I: mixture mutation scale 0.01) under (1+1)-ES selection on the
+// mixture's quality.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/sequential.hpp"
+#include "tensor/tensor.hpp"
+
+namespace cellgan::evolve {
+
+class MixtureWeights {
+ public:
+  /// Uniform weights over `size` generators.
+  explicit MixtureWeights(std::size_t size);
+
+  std::size_t size() const { return weights_.size(); }
+  double weight(std::size_t i) const { return weights_[i]; }
+  const std::vector<double>& weights() const { return weights_; }
+
+  /// Replace weights (renormalized; non-negative required).
+  void set_weights(std::vector<double> w);
+
+  /// Install already-normalized weights verbatim (checkpoint restore):
+  /// renormalizing an (approximately) unit-sum vector would perturb its
+  /// low-order bits and break bit-exact resume. Requires non-negative
+  /// weights summing to ~1.
+  void restore_weights(std::vector<double> w);
+
+  /// Gaussian-perturb every weight with stddev `scale`, clamp at zero,
+  /// renormalize. Returns the mutated copy (callers keep the original for
+  /// (1+1)-ES selection).
+  MixtureWeights mutated(double scale, common::Rng& rng) const;
+
+  /// Sample a generator index from the weight distribution.
+  std::size_t sample_index(common::Rng& rng) const;
+
+  std::vector<std::uint8_t> serialize() const;
+  static MixtureWeights deserialize(std::span<const std::uint8_t> bytes);
+
+ private:
+  void normalize();
+  std::vector<double> weights_;
+};
+
+/// The stochastic half of a mixture draw: which generator produces each of
+/// the `count` output rows, and the latent inputs already grouped per
+/// generator. Splitting this from the forward passes lets a serving batcher
+/// plan many requests independently (each on its own rng stream) and then
+/// run ONE forward per generator over the concatenated latents — the
+/// per-request outputs stay bit-identical to a solo draw because every GEMM
+/// kernel accumulates each output row in a partition-independent order.
+struct MixtureDraw {
+  std::size_t count = 0;
+  std::vector<std::vector<std::size_t>> rows_of;  ///< per generator: output rows
+  std::vector<tensor::Tensor> latents;            ///< per generator (empty if unused)
+};
+
+/// Consume `rng` exactly as sample_mixture does (count generator-index draws,
+/// then, per non-empty generator in index order, the conditional label draws
+/// — when label_classes > 0 — followed by that generator's randn block) and
+/// return the plan. Conditional plans carry latent_dim + label_classes wide
+/// latents with the one-hot label appended, ready for a conditional
+/// generator's forward.
+MixtureDraw plan_mixture_draw(const MixtureWeights& weights,
+                              std::size_t generators, std::size_t latent_dim,
+                              std::size_t count, common::Rng& rng,
+                              std::size_t label_classes = 0);
+
+/// Scatter one generator's forward output back into the draw's output rows.
+/// `out` must be count x image_dim.
+void scatter_mixture_rows(const MixtureDraw& draw, std::size_t generator,
+                          const tensor::Tensor& images, tensor::Tensor& out);
+
+/// Draw `count` samples from the weighted ensemble: each row comes from the
+/// generator selected by the mixture distribution, fed with a fresh latent
+/// vector z ~ N(0,1)^latent_dim (plus a uniform one-hot class label when
+/// label_classes > 0 — class-conditional generators).
+tensor::Tensor sample_mixture(const MixtureWeights& weights,
+                              std::vector<nn::Sequential*> generators,
+                              std::size_t latent_dim, std::size_t count,
+                              common::Rng& rng, std::size_t label_classes = 0);
+
+}  // namespace cellgan::evolve

@@ -37,7 +37,8 @@ nn::Sequential generator_from_record(const core::TrainingConfig& config,
                                      const core::CellEpochRecord& record,
                                      common::Rng& rng) {
   const core::CellGenome genome = core::CellGenome::deserialize(record.genome);
-  nn::Sequential generator = nn::make_generator(config.arch, rng);
+  nn::Sequential generator =
+      nn::make_generator(config.arch, rng, config.conditional_classes());
   generator.load_parameters(genome.generator_params);
   return generator;
 }
@@ -73,8 +74,9 @@ void EvaluatorObserver::on_epoch_completed(const core::EpochRecord& record) {
   for (const auto& cell : record.cells) {
     nn::Sequential generator = generator_from_record(config_, cell, rng);
     const core::MixtureWeights single(1);
-    const tensor::Tensor images = core::sample_mixture(
-        single, {&generator}, config_.arch.latent_dim, options_.samples, rng);
+    const tensor::Tensor images =
+        core::sample_mixture(single, {&generator}, config_.arch.latent_dim,
+                             options_.samples, rng, config_.conditional_classes());
     snapshot.cell_is.push_back(inception_score(classifier_, images));
   }
 
@@ -94,7 +96,8 @@ void EvaluatorObserver::on_epoch_completed(const core::EpochRecord& record) {
       record.cells[static_cast<std::size_t>(snapshot.best_cell)].mixture_weights;
   if (evolved.size() == members.size()) weights.set_weights(evolved);
   const tensor::Tensor mixture_images = core::sample_mixture(
-      weights, generator_ptrs, config_.arch.latent_dim, options_.samples, rng);
+      weights, generator_ptrs, config_.arch.latent_dim, options_.samples, rng,
+      config_.conditional_classes());
 
   snapshot.mixture_is = inception_score(classifier_, mixture_images);
   snapshot.fid = fid_score(classifier_, real_.images, mixture_images);

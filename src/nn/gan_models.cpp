@@ -30,9 +30,10 @@ std::size_t GanArch::discriminator_parameter_count() const {
   return mlp_parameter_count(image_dim, hidden_dim, hidden_layers, 1);
 }
 
-Sequential make_generator(const GanArch& arch, common::Rng& rng) {
+Sequential make_generator(const GanArch& arch, common::Rng& rng,
+                          std::size_t label_dims) {
   Sequential net;
-  net.add(std::make_unique<Linear>(arch.latent_dim, arch.hidden_dim));
+  net.add(std::make_unique<Linear>(arch.latent_dim + label_dims, arch.hidden_dim));
   net.add(std::make_unique<Tanh>());
   for (std::size_t i = 1; i < arch.hidden_layers; ++i) {
     net.add(std::make_unique<Linear>(arch.hidden_dim, arch.hidden_dim));
@@ -44,9 +45,10 @@ Sequential make_generator(const GanArch& arch, common::Rng& rng) {
   return net;
 }
 
-Sequential make_discriminator(const GanArch& arch, common::Rng& rng) {
+Sequential make_discriminator(const GanArch& arch, common::Rng& rng,
+                              std::size_t label_dims) {
   Sequential net;
-  net.add(std::make_unique<Linear>(arch.image_dim, arch.hidden_dim));
+  net.add(std::make_unique<Linear>(arch.image_dim + label_dims, arch.hidden_dim));
   net.add(std::make_unique<Tanh>());
   for (std::size_t i = 1; i < arch.hidden_layers; ++i) {
     net.add(std::make_unique<Linear>(arch.hidden_dim, arch.hidden_dim));

@@ -32,10 +32,14 @@ struct GanArch {
   friend bool operator==(const GanArch&, const GanArch&) = default;
 };
 
-/// latent -> hidden^k (tanh) -> image (tanh).
-Sequential make_generator(const GanArch& arch, common::Rng& rng);
+/// latent (+ label_dims one-hot columns when conditional) -> hidden^k (tanh)
+/// -> image (tanh).
+Sequential make_generator(const GanArch& arch, common::Rng& rng,
+                          std::size_t label_dims = 0);
 
-/// image -> hidden^k (tanh) -> 1 logit.
-Sequential make_discriminator(const GanArch& arch, common::Rng& rng);
+/// image (+ label_dims one-hot columns when conditional) -> hidden^k (tanh)
+/// -> 1 logit.
+Sequential make_discriminator(const GanArch& arch, common::Rng& rng,
+                              std::size_t label_dims = 0);
 
 }  // namespace cellgan::nn

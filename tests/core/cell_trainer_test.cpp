@@ -68,6 +68,9 @@ TEST_F(CellFixture, NeighborGenomesAreInstalled) {
 }
 
 TEST_F(CellFixture, SelectionAdoptsStrictlyBetterNeighborCenter) {
+  // Pins the CELLULAR policy's selection rule: explicit so a
+  // CELLGAN_EXCHANGE override cannot swap the policy under the test.
+  config.exchange_policy = evolve::ExchangePolicyKind::kCellular;
   Grid grid(3, 3);
   CellTrainer cell = make_cell(grid, 0);
   std::vector<std::vector<std::uint8_t>> inbox(grid.size());
@@ -90,6 +93,7 @@ TEST_F(CellFixture, SelectionAdoptsStrictlyBetterNeighborCenter) {
 }
 
 TEST_F(CellFixture, WorseNeighborIsNotAdopted) {
+  config.exchange_policy = evolve::ExchangePolicyKind::kCellular;
   Grid grid(3, 3);
   CellTrainer cell = make_cell(grid, 0);
   std::vector<std::vector<std::uint8_t>> inbox(grid.size());

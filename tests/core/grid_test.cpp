@@ -86,6 +86,33 @@ TEST(GridTest, SetNeighborsAllowsEmpty) {
   EXPECT_EQ(grid.subpopulation_size(4), 1u);  // isolated cell trains alone
 }
 
+TEST(GridTest, SetNeighborsSelfOnlyListBecomesIsolated) {
+  // A list of only the cell itself collapses to the empty neighborhood (self
+  // entries are dropped, not errors — the cell is always its own center).
+  Grid grid(3, 3);
+  grid.set_neighbors(4, {4, 4});
+  EXPECT_TRUE(grid.neighbors_of(4).empty());
+  EXPECT_EQ(grid.subpopulation_size(4), 1u);
+}
+
+TEST(GridTest, SetNeighborsRejectsOutOfRangeWithNamedError) {
+  // Out-of-range neighbor ids used to be silently accepted and blow up later
+  // inside exchange; now they are a named topology error at the call site.
+  Grid grid(3, 3);
+  EXPECT_THROW(grid.set_neighbors(0, {9}), GridTopologyError);
+  EXPECT_THROW(grid.set_neighbors(0, {-1}), GridTopologyError);
+  EXPECT_THROW(grid.set_neighbors(0, {1, 2, 42}), GridTopologyError);
+  try {
+    grid.set_neighbors(0, {9});
+    FAIL() << "expected GridTopologyError";
+  } catch (const GridTopologyError& e) {
+    // The diagnostic names the offending id and the valid range.
+    EXPECT_NE(std::string(e.what()).find('9'), std::string::npos) << e.what();
+  }
+  // A failed rewiring leaves the previous neighborhood untouched.
+  EXPECT_EQ(grid.neighbors_of(0).size(), 4u);
+}
+
 TEST(GridTest, DynamicRewiringCanBeAsymmetric) {
   Grid grid(3, 3);
   grid.set_neighbors(0, {4});
@@ -114,7 +141,9 @@ TEST(GridTest, CoordsRoundtrip) {
 TEST(GridDeathTest, InvalidCellAborts) {
   Grid grid(2, 2);
   EXPECT_DEATH((void)grid.neighbors_of(4), "precondition");
-  EXPECT_DEATH(grid.set_neighbors(0, {7}), "precondition");
+  // The CELL argument is still a hard contract violation (abort); only the
+  // neighbor LIST is user/config input and throws GridTopologyError.
+  EXPECT_DEATH(grid.set_neighbors(7, {0}), "precondition");
 }
 
 }  // namespace

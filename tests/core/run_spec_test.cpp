@@ -113,8 +113,8 @@ TEST(RunSpecTest, FlagsOverrideDefaults) {
   const auto spec = parse_args(
       {"--backend", "threads", "--threads", "4", "--grid", "3", "--iterations",
        "17", "--dataset", "synthetic:128@5", "--seed", "7", "--loss", "mustangs",
-       "--exchange", "async-neighbors", "--dieting", "0.5", "--cost-profile",
-       "table4", "--result-json", "out.json"},
+       "--exchange", "cellular", "--exchange-transport", "async-neighbors",
+       "--dieting", "0.5", "--cost-profile", "table4", "--result-json", "out.json"},
       defaults);
   ASSERT_TRUE(spec.has_value());
   EXPECT_EQ(spec->backend, Backend::kThreads);
@@ -195,7 +195,13 @@ TEST(RunSpecTest, BadValuesAreRejected) {
   RunSpec defaults;
   EXPECT_FALSE(parse_args({"--backend", "gpu"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--data-plane", "turbo"}, defaults).has_value());
-  EXPECT_FALSE(parse_args({"--loss", "wasserstein"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--loss", "hinge"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--exchange", "ring"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--exchange-transport", "ring"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--exchange-every", "0"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--weight-clip", "0"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--weight-clip", "-0.5"}, defaults).has_value());
+  EXPECT_FALSE(parse_args({"--weight-clip", "nan"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--dataset", "nope"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--cost-profile", "table9"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--threads", "0"}, defaults).has_value());
@@ -209,6 +215,72 @@ TEST(RunSpecTest, BadValuesAreRejected) {
   EXPECT_FALSE(parse_args({"--dieting", "0"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--dieting", "1.5"}, defaults).has_value());
   EXPECT_FALSE(parse_args({"--dieting", "nan"}, defaults).has_value());
+}
+
+TEST(RunSpecTest, ExchangePolicyFlagsParse) {
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  EXPECT_EQ(defaults.config.exchange_policy, evolve::ExchangePolicyKind::kAuto);
+  const auto spec = parse_args(
+      {"--exchange", "ltfb", "--exchange-every", "3", "--loss", "wasserstein",
+       "--conditional", "true", "--weight-clip", "0.05"},
+      defaults);
+  ASSERT_TRUE(spec.has_value());
+  EXPECT_EQ(spec->config.exchange_policy, evolve::ExchangePolicyKind::kLtfb);
+  EXPECT_EQ(spec->config.exchange_every, 3u);
+  EXPECT_EQ(spec->config.loss_mode, LossMode::kWasserstein);
+  EXPECT_EQ(spec->config.conditional, 1u);
+  EXPECT_DOUBLE_EQ(spec->config.weight_clip, 0.05);
+
+  const auto gap = parse_args({"--exchange", "gap"}, defaults);
+  ASSERT_TRUE(gap.has_value());
+  EXPECT_EQ(gap->config.exchange_policy, evolve::ExchangePolicyKind::kGap);
+
+  // The JSON text form round-trips every new field.
+  std::string error;
+  const auto reparsed = RunSpec::from_text(spec->to_text(), &error);
+  ASSERT_TRUE(reparsed.has_value()) << error;
+  EXPECT_EQ(*reparsed, *spec);
+}
+
+TEST(RunSpecTest, UnknownExchangePolicyListsRegisteredNames) {
+  // Same UX as the backend-name validation: the from_text diagnostic names
+  // what IS registered.
+  std::string error;
+  EXPECT_FALSE(RunSpec::from_text("{\"config\": {\"exchange_policy\": \"ring\"}}",
+                                  &error)
+                   .has_value());
+  EXPECT_NE(error.find("unknown exchange_policy 'ring'"), std::string::npos)
+      << error;
+  for (const char* name : {"cellular", "ltfb", "gap"}) {
+    EXPECT_NE(error.find(name), std::string::npos) << "missing " << name;
+  }
+}
+
+TEST(RunSpecTest, NonCellularPolicyRejectsAsyncTransport) {
+  RunSpec defaults;
+  defaults.config = TrainingConfig::tiny();
+  // ltfb and gap need non-neighbor genomes the async transport never moves.
+  EXPECT_FALSE(parse_args({"--exchange", "ltfb", "--exchange-transport",
+                           "async-neighbors"},
+                          defaults)
+                   .has_value());
+  EXPECT_FALSE(parse_args({"--exchange", "gap", "--exchange-transport", "async"},
+                          defaults)
+                   .has_value());
+  // Cellular (and auto, which resolves to it here) stays fine on async.
+  const auto ok = parse_args({"--exchange", "cellular", "--exchange-transport",
+                              "async-neighbors"},
+                             defaults);
+  EXPECT_TRUE(ok.has_value());
+
+  TrainingConfig config = TrainingConfig::tiny();
+  config.exchange_policy = evolve::ExchangePolicyKind::kGap;
+  config.exchange_mode = ExchangeMode::kAsyncNeighbors;
+  std::string error;
+  EXPECT_FALSE(validate_exchange(config, &error));
+  EXPECT_NE(error.find("gap"), std::string::npos) << error;
+  EXPECT_NE(error.find("allgather"), std::string::npos) << error;
 }
 
 TEST(RunSpecTest, ObserverFlagsParse) {
@@ -257,8 +329,9 @@ TEST(RunSpecTest, ArgsToTextToSpecRoundTrip) {
   defaults.config = TrainingConfig::tiny();
   const auto spec = parse_args(
       {"--backend", "distributed", "--grid", "3", "--iterations", "21",
-       "--dataset", "idx:/data/mnist", "--loss", "lsq", "--exchange",
-       "async-neighbors", "--dieting", "0.25", "--seed", "12345",
+       "--dataset", "idx:/data/mnist", "--loss", "lsq", "--exchange", "cellular",
+       "--exchange-transport", "async-neighbors", "--dieting", "0.25", "--seed",
+       "12345",
        "--cost-profile", "table3", "--batch-size", "37", "--paper-arch", "true"},
       defaults);
   ASSERT_TRUE(spec.has_value());
